@@ -1,0 +1,28 @@
+# Convenience targets for the HYDE reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full examples tables clean
+
+install:
+	$(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+bench-full:
+	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+
+tables:
+	$(PYTHON) -m repro.cli table1 --classes medium
+	$(PYTHON) -m repro.cli table2 --classes medium
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
+	rm -rf .pytest_cache .benchmarks build *.egg-info

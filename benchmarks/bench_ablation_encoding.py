@@ -1,0 +1,86 @@
+"""Ablation — how much does the chart encoder actually buy?
+
+For a pool of decomposable functions, decompose once with each encoding
+policy (chart / random draft / adversarial worst) and compare the class
+count of the image function at its own next decomposition.  This brackets
+the contribution of Section 3's algorithm: chart <= random <= worst.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bdd import BddManager
+from repro.decompose import DecompositionOptions, count_classes, decompose_step
+from repro.harness import render_table
+
+
+def _pool(seed: int, count: int):
+    """Seeded pool of 8-variable functions with decomposition structure."""
+    rng = random.Random(seed)
+    functions = []
+    for _ in range(count):
+        m = BddManager(8)
+        vs = [m.var_at_level(i) for i in range(8)]
+        # Compose small random subfunctions so classes stay non-trivial.
+        g1 = m.from_truth_table(rng.getrandbits(16), [0, 1, 2, 3])
+        g2 = m.from_truth_table(rng.getrandbits(16), [2, 3, 4, 5])
+        h = m.from_truth_table(rng.getrandbits(8), [5, 6, 7])
+        f = m.apply_xor(m.apply_and(g1, h), m.apply_or(g2, vs[6]))
+        if len(m.support(f)) == 8:
+            functions.append((m, f))
+    return functions
+
+
+def _image_classes(m, step, policy_options) -> int:
+    """Class count of the image at its own best next decomposition."""
+    from repro.decompose import select_bound_set
+
+    support = sorted(
+        set(m.support(step.image.on)) | set(m.support(step.image.dc))
+    )
+    if len(support) <= policy_options.k:
+        return 1
+    vp = select_bound_set(
+        m, step.image.on, support, min(policy_options.k, len(support) - 1),
+        dc=step.image.dc,
+    )
+    return vp.num_classes
+
+
+@pytest.mark.benchmark(group="ablation-encoding")
+def test_ablation_encoding_policies(benchmark):
+    def experiment():
+        rows = []
+        totals = {"chart": 0, "random": 0, "worst": 0}
+        for index, (m, f) in enumerate(_pool(seed=7, count=12)):
+            support = m.support(f)
+            row = [f"f{index}"]
+            for policy in ("chart", "random", "worst"):
+                options = DecompositionOptions(k=5, encoding_policy=policy)
+                step = decompose_step(
+                    m, f, support, options, bound_levels=support[:5]
+                )
+                classes = (
+                    _image_classes(m, step, options)
+                    if step.num_classes >= 2
+                    else 1
+                )
+                row.append(classes)
+                totals[policy] += classes
+            rows.append(row)
+        return rows, totals
+
+    rows, totals = run_once(benchmark, experiment)
+
+    print()
+    print(render_table(
+        "image-function class count by encoding policy",
+        ["function", "chart", "random", "worst"],
+        rows + [["TOTAL", totals["chart"], totals["random"], totals["worst"]]],
+    ))
+
+    assert totals["chart"] <= totals["random"] <= totals["worst"]

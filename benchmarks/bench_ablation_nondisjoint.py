@@ -1,0 +1,61 @@
+"""Ablation — non-disjoint decomposition (the j < i extension).
+
+The paper restricts itself to disjoint decomposition; its Section-2
+definition also admits shared variables.  This bench measures, over a
+seeded pool of mux-flavoured functions, how many α functions the shared
+form saves relative to the disjoint form for the same bound set.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.bdd import BddManager
+from repro.decompose import nondisjoint_gain
+from repro.harness import render_table
+
+
+def _pool(seed: int, count: int):
+    rng = random.Random(seed)
+    cases = []
+    for _ in range(count):
+        m = BddManager(8)
+        x = [m.var_at_level(i) for i in range(4)]
+        s = m.var_at_level(4)
+        y = [m.var_at_level(i) for i in (5, 6, 7)]
+        g1 = m.from_truth_table(rng.getrandbits(16), [0, 1, 2, 3])
+        g2 = m.from_truth_table(rng.getrandbits(16), [0, 1, 2, 3])
+        branch1 = m.apply_and(g1, y[0])
+        branch2 = m.apply_or(g2, m.apply_and(y[1], y[2]))
+        f = m.ite(s, branch1, branch2)
+        cases.append((m, f))
+    return cases
+
+
+@pytest.mark.benchmark(group="ablation-nondisjoint")
+def test_ablation_nondisjoint(benchmark):
+    def experiment():
+        rows = []
+        total_disjoint = total_shared = 0
+        for index, (m, f) in enumerate(_pool(seed=21, count=12)):
+            t_disjoint, t_shared = nondisjoint_gain(
+                m, f, bound_levels=[0, 1, 2, 3, 4], shared_levels=[4]
+            )
+            rows.append([f"f{index}", t_disjoint, t_shared])
+            total_disjoint += t_disjoint
+            total_shared += t_shared
+        return rows, total_disjoint, total_shared
+
+    rows, total_disjoint, total_shared = run_once(benchmark, experiment)
+
+    print()
+    print(render_table(
+        "alpha-function width: disjoint vs non-disjoint (shared select)",
+        ["function", "disjoint t", "shared t"],
+        rows + [["TOTAL", total_disjoint, total_shared]],
+    ))
+    assert total_shared <= total_disjoint
+    assert all(r[2] <= r[1] for r in rows)

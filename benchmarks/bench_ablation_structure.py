@@ -1,0 +1,60 @@
+"""Ablation — collapsed (global-BDD) vs structural (node-local) mapping.
+
+The paper prepares small circuits by collapsing and large ones with the
+SIS algebraic script before node-wise decomposition.  This ablation runs
+both of our corresponding paths on the same circuits: `hyde_map`
+(collapse to global functions, then decompose) vs `map_structural`
+(algebraic preprocessing + per-node local decomposition) and reports
+LUTs and runtime — quantifying what the global view buys and what it
+costs.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import build
+from repro.harness import render_table
+from repro.mapping import hyde_map, map_structural
+
+CIRCUITS = ["z4ml", "rd84", "count", "alu2", "alu4"]
+
+
+@pytest.mark.benchmark(group="ablation-structure")
+def test_ablation_collapse_vs_structural(benchmark):
+    def experiment():
+        rows = []
+        for name in CIRCUITS:
+            entry = [name]
+            start = time.time()
+            global_result = hyde_map(build(name), 5, verify="bdd")
+            entry.extend([global_result.lut_count,
+                          round(time.time() - start, 2)])
+            start = time.time()
+            struct_result = map_structural(build(name), 5, verify="bdd")
+            entry.extend([struct_result.lut_count,
+                          round(time.time() - start, 2)])
+            rows.append(entry)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+
+    print()
+    print(render_table(
+        "collapsed (global) vs structural (local) mapping",
+        ["circuit", "global LUTs", "global s", "structural LUTs",
+         "structural s"],
+        rows,
+    ))
+    print(
+        "\nThe global flow sees cross-node structure (fewer LUTs); the "
+        "structural flow never builds global BDDs (bounded runtime on "
+        "large circuits) — matching the paper's small-vs-large treatment."
+    )
+    # Both paths verified equivalence internally; structural must be the
+    # faster of the two on multi-level circuits like count.
+    count_row = next(r for r in rows if r[0] == "count")
+    assert count_row[4] <= count_row[2]

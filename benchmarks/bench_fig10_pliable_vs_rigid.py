@@ -1,0 +1,51 @@
+"""Figure 10 — pliable vs rigid encoding on Example 4.2's partitions.
+
+The paper's Example 4.2: three functions share the bound set
+{x0..x3}; Π0 (multiplicity 4) is contained by Πc of {Π1, Π2}
+(multiplicity 8), so three shared decomposition functions serve all
+three ingredients pliably (Figure 10a), while a rigid IMODEC-style
+encoding needs five (Figure 10b) — two extra LUTs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_4_2_partitions
+from repro.decompose import conjunction, contains
+from repro.harness import render_table
+from repro.hyper import pliable_sharing_plan
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_pliable_vs_rigid(benchmark):
+    plan = run_once(benchmark, pliable_sharing_plan, example_4_2_partitions())
+
+    parts = plan.partitions
+    print()
+    rows = [
+        [f"Π{i}", plan.multiplicities[i],
+         "yes" if plan.containment[i][j] else "no"]
+        for i in range(3)
+        for j in [2]
+    ]
+    print(render_table(
+        "Example 4.2 partitions",
+        ["partition", "multiplicity", "contained by Π2?"],
+        rows,
+    ))
+    pc12 = conjunction([parts[1], parts[2]])
+    print(f"\nΠc{{Π1,Π2}} multiplicity : {pc12.multiplicity} (paper: 8)")
+    print(f"Πc{{Π0,Π1,Π2}} mult.    : {plan.conjunction_multiplicity} (paper: 8)")
+    print(f"Π0 contained by Πc12   : {contains(pc12, parts[0])} (paper: yes)")
+    print(f"pliable shared α-LUTs  : {plan.shared_alpha_count} (Figure 10a: 3)")
+    print(f"rigid α-LUTs           : {plan.rigid_alpha_count} (Figure 10b: 5)")
+    print(f"LUTs saved             : {plan.lut_savings} (paper: 2)")
+
+    assert plan.multiplicities == [4, 6, 6]
+    assert plan.conjunction_multiplicity == 8
+    assert contains(pc12, parts[0])
+    assert plan.shared_alpha_count == 3
+    assert plan.rigid_alpha_count == 5
+    assert plan.lut_savings == 2

@@ -1,0 +1,52 @@
+"""Figure 1 — the Example 3.1 function and its three compatible classes.
+
+The paper's Figure 1 shows a 5-relevant-input function whose bound set
+{a, b, c} yields three compatible classes fc0, fc1, fc2 needing two
+α-functions.  This bench regenerates the decomposition chart data: the
+class count, the class membership of every bound-set assignment, and the
+two α truth tables of a strict rigid encoding.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_1_function
+from repro.decompose import DecompositionOptions, compute_classes, decompose_step
+from repro.harness import render_table
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_fig1_compatible_classes(benchmark):
+    def experiment():
+        manager, f, bound, free = example_3_1_function()
+        classes = compute_classes(manager, f, bound)
+        step = decompose_step(
+            manager,
+            f,
+            sorted(set(bound) | set(free)),
+            DecompositionOptions(k=4),
+            bound_levels=bound,
+        )
+        return manager, classes, step
+
+    manager, classes, step = run_once(benchmark, experiment)
+
+    print()
+    rows = [
+        [format(p, "03b")[::-1], f"fc{classes.class_of_position[p]}"]
+        for p in range(8)
+    ]
+    print(render_table(
+        "Figure 1(b) — compatible class of each (a,b,c) assignment",
+        ["abc", "class"],
+        rows,
+    ))
+    print(f"\ncompatible classes: {classes.num_classes} (paper: 3)")
+    print(f"alpha functions   : {len(step.alpha_tables)} (paper: 2)")
+    for j, table in enumerate(step.alpha_tables):
+        print(f"  alpha{j} over (a,b,c): {table.to_string()}")
+
+    assert classes.num_classes == 3
+    assert len(step.alpha_tables) == 2

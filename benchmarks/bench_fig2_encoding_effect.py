@@ -1,0 +1,77 @@
+"""Figure 2 — the encoding changes the image function's class count.
+
+Example 3.1 continues: with λ' = {α0, x, y} for the decomposition of
+g(α0, α1, x, y, z), one strict encoding of the three classes gives more
+compatible classes than another.  This bench sweeps *all* strict
+encodings (3 classes into 4 codes) and reports the spread, then shows the
+chart encoder lands on the minimum.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_1_function
+from repro.decompose import (
+    build_image_function,
+    compute_classes,
+    count_classes,
+    encode_classes,
+)
+from repro.harness import render_table
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_encoding_effect(benchmark):
+    def experiment():
+        manager, f, bound, free = example_3_1_function()
+        classes = compute_classes(manager, f, bound)
+        alpha = []
+        for _ in range(2):
+            manager.add_var()
+            alpha.append(manager.num_vars - 1)
+        lambda_prime = [alpha[0], manager.level_of("x"), manager.level_of("y")]
+        spread = {}
+        for assignment in itertools.permutations(range(4), 3):
+            codes = [
+                {a: (code >> a) & 1 for a in range(2)} for code in assignment
+            ]
+            image = build_image_function(
+                manager, alpha, codes, classes.class_functions
+            )
+            count = count_classes(
+                manager, image.on, lambda_prime, image.dc, True
+            )
+            spread[assignment] = count
+        encoder = encode_classes(
+            manager, classes.class_functions, alpha, k=4
+        )
+        return spread, encoder
+
+    spread, encoder = run_once(benchmark, experiment)
+
+    print()
+    rows = [
+        [
+            " ".join(format(c, "02b") for c in assignment),
+            count,
+        ]
+        for assignment, count in sorted(spread.items())
+    ]
+    print(render_table(
+        "Figure 2 — image-function class count per strict encoding "
+        "(codes of fc0 fc1 fc2, with λ' = {α0, x, y})",
+        ["encoding", "classes"],
+        rows,
+    ))
+    best, worst = min(spread.values()), max(spread.values())
+    print(f"\nbest encoding: {best} classes; worst: {worst} "
+          f"(paper's Figure 2 contrast: 3 vs 4)")
+    print(f"chart encoder policy used: {encoder.policy_used}")
+
+    assert worst > best, "the encoding must matter (Figure 2's point)"
+    if encoder.image_classes_chart is not None:
+        assert encoder.image_classes_chart <= encoder.image_classes_random

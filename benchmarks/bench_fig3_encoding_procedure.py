@@ -1,0 +1,47 @@
+"""Figure 3 — the Encoding procedure, traced end to end on Example 3.2.
+
+Runs every stage of the paper's algorithm on the ten verbatim partitions:
+column sets via b-matching (Step 5), row-set combination (Steps 6/7), and
+the final 4x4 chart with codes (Figures 6/7).  This bench checks the
+procedure's invariants; the per-figure benches print the detailed
+artefacts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_2_partitions
+from repro.decompose import combine_column_sets, combine_row_sets, pack_chart
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_encoding_procedure(benchmark):
+    def experiment():
+        partitions = example_3_2_partitions()
+        col_result = combine_column_sets(partitions, num_rows=4)
+        rows = combine_row_sets(partitions, col_result, num_rows=4, num_cols=4)
+        assert rows is not None
+        row_sets, column_set_of_class = rows
+        sizes = {}
+        for cls, cs in column_set_of_class.items():
+            sizes[cs] = sizes.get(cs, 0) + 1
+        chart = pack_chart(row_sets, column_set_of_class, sizes, 4, 4)
+        return col_result, row_sets, chart
+
+    col_result, row_sets, chart = run_once(benchmark, experiment)
+
+    print()
+    print("Step 5 column sets:",
+          [f"{{{','.join('Π%d' % c for c in s)}}}" for s in col_result.column_sets])
+    print("Step 7 row sets   :",
+          [f"{{{','.join('Π%d' % c for c in s)}}}" for s in row_sets])
+    print("final chart (paper Figure 7a):")
+    print(chart.render(labels=[f"Π{i}" for i in range(10)]))
+
+    assert chart is not None
+    assert len(row_sets) <= 4
+    assert sorted(chart.placed_classes()) == list(range(10))
+    codes = chart.codes(10, [0, 1], [2, 3])
+    assert len({tuple(sorted(c.items())) for c in codes}) == 10

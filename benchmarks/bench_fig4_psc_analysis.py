@@ -1,0 +1,58 @@
+"""Figure 4 — positions-with-same-content (Psc) analysis of Example 3.2.
+
+Regenerates both halves of the paper's Figure 4: (a) the maximal
+same-content position groups of each partition, and (b) the Psc table
+restricted to groups shared by at least two partitions — asserted to
+match the paper verbatim.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_2_partitions
+from repro.decompose import combine_column_sets, same_content_position_groups
+from repro.harness import render_table
+
+
+def _fmt(group) -> str:
+    return "".join(f"p{i}" for i in group)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4_psc_analysis(benchmark):
+    def experiment():
+        partitions = example_3_2_partitions()
+        groups = [same_content_position_groups(p) for p in partitions]
+        col_result = combine_column_sets(partitions, num_rows=4)
+        return partitions, groups, col_result.psc_table
+
+    partitions, groups, psc_table = run_once(benchmark, experiment)
+
+    print()
+    rows_a = [
+        [f"Π{i}", str(partitions[i]), ", ".join(_fmt(g) for g in gs) or "(none)"]
+        for i, gs in enumerate(groups)
+    ]
+    print(render_table(
+        "Figure 4(a) — positions with the same content",
+        ["partition", "symbols", "groups"],
+        rows_a,
+    ))
+    rows_b = [
+        [_fmt(key), "{" + ",".join(f"Π{i}" for i in members) + "}"]
+        for key, members in sorted(psc_table.items())
+    ]
+    print()
+    print(render_table(
+        "Figure 4(b) — Psc's shared by >= 2 partitions",
+        ["Psc", "Partitions(Psc)"],
+        rows_b,
+    ))
+
+    assert psc_table == {
+        (0, 3): [2, 7],
+        (1, 3): [3, 4, 6, 7, 8],
+        (0, 2): [5, 8],
+    }, "must match the paper's Figure 4(b) exactly"

@@ -1,0 +1,41 @@
+"""Figure 5 — the column-graph b-matching of Example 3.2.
+
+Builds the bipartite column graph (partition vertices vs Psc vertices
+with capacity #R = 4, edge weight |Psc| + #Partitions(Psc)), takes a
+maximum-weight b-matching, and reports the resulting column sets.
+
+The optimum is not unique — the paper reports the grouping
+{Π3,Π4,Π6,Π8}, {Π2,Π7} plus four singletons — so the assertions pin the
+invariants every optimum shares: total matched weight 40, six column
+sets, a 4-member set drawn from {Π3,Π4,Π6,Π7,Π8}.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_2_partitions
+from repro.decompose import combine_column_sets
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5_column_sets(benchmark):
+    result = run_once(
+        benchmark, combine_column_sets, example_3_2_partitions(), 4
+    )
+
+    print()
+    print("matched weight:", result.matching_weight, "(optimum: 40)")
+    for s in result.column_sets:
+        print("  column set {" + ",".join(f"Π{i}" for i in s) + "}")
+    print("paper's grouping: {Π3,Π4,Π6,Π8} {Π2,Π7} {Π0} {Π1} {Π5} {Π9}")
+
+    assert result.matching_weight == 40
+    assert len(result.column_sets) == 6
+    sizes = sorted(len(s) for s in result.column_sets)
+    assert sizes == [1, 1, 1, 1, 2, 4]
+    big = next(s for s in result.column_sets if len(s) == 4)
+    assert set(big) <= {3, 4, 6, 7, 8}
+    flat = sorted(c for s in result.column_sets for c in s)
+    assert flat == list(range(10))

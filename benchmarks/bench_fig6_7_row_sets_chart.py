@@ -1,0 +1,56 @@
+"""Figures 6/7 — row-set combination and the final encoding chart.
+
+Traces Steps 6/7 on Example 3.2: the first matching round must pair the
+ten partitions into five row sets, a second round must reach four, and
+the final chart must be a legal 4x4 strict encoding (Figure 7).  The
+paper's own run produces rows {Π7,Π8} {Π5,Π6} {Π2,Π4} {Π1,Π3,Π0,Π9};
+benefit ties make other optimal pairings possible, so the assertions pin
+the structure rather than the exact pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import example_3_2_partitions
+from repro.decompose import (
+    combine_column_sets,
+    combine_row_sets,
+    pack_chart,
+)
+
+
+@pytest.mark.benchmark(group="fig6_7")
+def test_fig6_7_row_sets_and_chart(benchmark):
+    def experiment():
+        partitions = example_3_2_partitions()
+        col_result = combine_column_sets(partitions, num_rows=4)
+        rows = combine_row_sets(partitions, col_result, 4, 4)
+        assert rows is not None
+        row_sets, column_set_of_class = rows
+        sizes = {}
+        for cls, cs in column_set_of_class.items():
+            sizes[cs] = sizes.get(cs, 0) + 1
+        chart = pack_chart(row_sets, column_set_of_class, sizes, 4, 4)
+        codes = chart.codes(10, [0, 1], [2, 3])
+        return row_sets, chart, codes
+
+    row_sets, chart, codes = run_once(benchmark, experiment)
+
+    print()
+    print("final row sets (paper Figure 7a: {Π7,Π8} {Π5,Π6} {Π2,Π4} "
+          "{Π1,Π3,Π0,Π9}):")
+    for row in row_sets:
+        print("  {" + ",".join(f"Π{i}" for i in row) + "}")
+    print("\nencoding chart:")
+    print(chart.render(labels=[f"Π{i}" for i in range(10)]))
+    print("\ncodes (α1α0 column bits | α3α2 row bits):")
+    for i, code in enumerate(codes):
+        bits = "".join(str(code[a]) for a in sorted(code))
+        print(f"  Π{i}: {bits}")
+
+    assert len(row_sets) <= 4
+    assert all(len(r) <= 4 for r in row_sets)
+    assert sorted(c for r in row_sets for c in r) == list(range(10))
+    assert len({tuple(sorted(c.items())) for c in codes}) == 10

@@ -1,0 +1,47 @@
+"""Extension — LUT-input-count sweep (k = 4, 5, 6).
+
+The paper targets k = 5 (XC3000-class LUTs); the machinery is generic in
+k.  This bench maps a circuit pool for several k values, showing the
+expected monotone trend (bigger LUTs, fewer of them) and checking the
+flow stays correct away from its default operating point.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.circuits import build
+from repro.harness import render_table
+from repro.mapping import hyde_map
+
+CIRCUITS = ["9sym", "rd73", "rd84", "z4ml", "5xp1"]
+K_VALUES = [4, 5, 6]
+
+
+@pytest.mark.benchmark(group="k-sweep")
+def test_k_sweep(benchmark):
+    def experiment():
+        rows = []
+        totals = {k: 0 for k in K_VALUES}
+        for name in CIRCUITS:
+            row = [name]
+            for k in K_VALUES:
+                result = hyde_map(
+                    build(name), k, verify="bdd", pack_clbs=False
+                )
+                row.append(result.lut_count)
+                totals[k] += result.lut_count
+            rows.append(row)
+        return rows, totals
+
+    rows, totals = run_once(benchmark, experiment)
+
+    print()
+    print(render_table(
+        "HYDE LUT count vs LUT input count k",
+        ["circuit"] + [f"k={k}" for k in K_VALUES],
+        rows + [["TOTAL"] + [totals[k] for k in K_VALUES]],
+    ))
+    # Bigger LUTs can only help in total.
+    assert totals[6] <= totals[5] <= totals[4]

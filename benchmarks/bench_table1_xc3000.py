@@ -1,0 +1,88 @@
+"""Table 1 — XC3000 CLB counts: IMODEC-like vs FGSyn-like vs HYDE.
+
+Regenerates the paper's Table 1 on the reconstructed benchmark suite.
+The three columns map to our flows as follows (see DESIGN.md):
+
+* IMODEC [5]  -> per-output decomposition, strict rigid (random-draft)
+  encoding — single-output decomposition without hyper-function sharing;
+* FGSyn [4]   -> column encoding: hyper-function with the pseudo primary
+  inputs pinned to the free set (the paper's Section 4.3 equivalence);
+* HYDE        -> the full flow (chart encoding + hyper-function).
+
+Absolute CLB counts differ from 1998 (different benchmark materialisation
+and cover/pack heuristics); the claim under test is the *shape*: HYDE's
+total does not lose to the baselines, and per-circuit winners mostly
+match the paper's direction.  The CPU-time column reproduces the paper's
+timing report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import run_once, selected_circuits
+from repro.harness import (
+    TABLE1_CLB,
+    TABLE1_CPU_SECONDS,
+    render_comparison,
+    run_experiment,
+)
+from repro.mapping import hyde_map, map_column_encoding, map_per_output
+
+TABLE1_CIRCUITS = selected_circuits(sorted(TABLE1_CLB))
+
+FLOWS = {
+    "imodec-like": lambda net, k, verify="bdd": map_per_output(
+        net, k, encoding_policy="random", verify=verify
+    ),
+    "fgsyn-like": lambda net, k, verify="bdd": map_column_encoding(
+        net, k, verify=verify
+    ),
+    "hyde": lambda net, k, verify="bdd": hyde_map(net, k, verify=verify),
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_xc3000(benchmark):
+    record = run_once(
+        benchmark,
+        run_experiment,
+        "table1",
+        FLOWS,
+        TABLE1_CIRCUITS,
+        metric="clb_count",
+    )
+    print()
+    print(
+        render_comparison(
+            record,
+            ["imodec-like", "fgsyn-like", "hyde"],
+            TABLE1_CLB,
+            {"imodec-like": "imodec", "fgsyn-like": "fgsyn", "hyde": "hyde"},
+            "Table 1 — XC3000 CLB counts (measured vs paper)",
+        )
+    )
+    cpu_rows = [
+        [c.circuit,
+         round(c.flows["hyde"].seconds, 1),
+         TABLE1_CPU_SECONDS.get(c.circuit)]
+        for c in record.circuits
+    ]
+    from repro.harness import render_table
+    print()
+    print(render_table(
+        "HYDE CPU time (this machine vs paper's SPARC 20)",
+        ["circuit", "seconds", "paper"],
+        cpu_rows,
+    ))
+
+    # Shape assertions: HYDE beats or ties the baselines in total.
+    hyde_total = record.totals("hyde")
+    assert hyde_total is not None and hyde_total > 0
+    for baseline in ("imodec-like", "fgsyn-like"):
+        total = record.totals(baseline)
+        if total is not None:
+            assert hyde_total <= total * 1.05, (
+                f"HYDE total {hyde_total} should not lose to "
+                f"{baseline} ({total}) by more than noise"
+            )

@@ -1,0 +1,35 @@
+"""Shared benchmark helpers.
+
+Benchmarks run with ``pytest benchmarks/ --benchmark-only``.  Mapping
+flows are executed once per benchmark (``pedantic`` with one round) since
+a single run already takes seconds; micro-benchmarks of the substrate use
+normal pytest-benchmark statistics.
+
+Set ``REPRO_FULL=1`` to include the large circuits (minutes each).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List
+
+import pytest
+
+from repro.circuits import CIRCUITS
+
+
+def selected_circuits(table_names: List[str]) -> List[str]:
+    """Filter a table's circuit list by the enabled size classes."""
+    classes = {"small", "medium"}
+    if os.environ.get("REPRO_FULL"):
+        classes.add("large")
+    return [
+        name
+        for name in table_names
+        if name in CIRCUITS and CIRCUITS[name].size_class in classes
+    ]
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run a heavyweight flow exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

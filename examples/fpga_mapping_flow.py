@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""A complete FPGA technology-mapping session, flow by flow.
+
+Maps one benchmark circuit with every flow in the library — HYDE, the
+per-output baselines, FGSyn-style column encoding, resubstitution and the
+Shannon/MUX mapper — verifies each result, and prints the LUT/CLB
+comparison the paper's Tables 1 and 2 are built from.
+
+Run:  python examples/fpga_mapping_flow.py [circuit]
+      (default circuit: z4ml; try rd84, 9sym, clip, alu2, ...)
+"""
+
+import sys
+
+from repro.circuits import CIRCUITS, build
+from repro.harness import render_table
+from repro.mapping import (
+    hyde_map,
+    map_column_encoding,
+    map_per_output,
+    map_per_output_resub,
+    map_shannon,
+)
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "z4ml"
+    spec = CIRCUITS[name]
+    print(f"circuit {name}: {spec.num_inputs} inputs, {spec.num_outputs} "
+          f"outputs ({'exact' if spec.exact else 'stand-in'})")
+    print(f"  provenance: {spec.note}\n")
+
+    flows = [
+        ("HYDE (hyper + chart encoding)",
+         lambda n: hyde_map(n, 5)),
+        ("per-output, chart encoding",
+         lambda n: map_per_output(n, 5, encoding_policy="chart")),
+        ("per-output, random encoding",
+         lambda n: map_per_output(n, 5, encoding_policy="random")),
+        ("per-output + resubstitution",
+         lambda n: map_per_output_resub(n, 5)),
+        ("column encoding (FGSyn-like)",
+         lambda n: map_column_encoding(n, 5)),
+        ("Shannon / BDD-to-MUX",
+         lambda n: map_shannon(n, 5)),
+    ]
+    rows = []
+    for label, flow in flows:
+        result = flow(build(name))  # each flow verifies internally
+        rows.append([label, result.lut_count, result.clb_count,
+                     round(result.seconds, 2)])
+    print(render_table(
+        f"mapping {name} to 5-input LUTs / XC3000 CLBs",
+        ["flow", "LUTs", "CLBs", "seconds"],
+        rows,
+    ))
+    print("\nevery row passed an exact BDD equivalence check "
+          "against the original circuit")
+
+
+if __name__ == "__main__":
+    main()

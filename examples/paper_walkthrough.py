@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""A guided walkthrough of the paper's Example 3.2 (Figures 4-7).
+
+Shows the chart encoder's machinery stage by stage on the ten partitions
+printed in the paper: Psc analysis, the column-graph b-matching, row-set
+combination, and the final encoding chart with binary codes.  A good
+starting point for understanding `repro.decompose.encoding`.
+
+Run:  python examples/paper_walkthrough.py
+"""
+
+from repro.circuits import example_3_2_partitions
+from repro.decompose import (
+    combine_column_sets,
+    combine_row_sets,
+    pack_chart,
+    same_content_position_groups,
+)
+
+
+def fmt_set(s):
+    return "{" + ",".join(f"Π{i}" for i in s) + "}"
+
+
+def main() -> None:
+    partitions = example_3_2_partitions()
+    print("The ten partitions of Example 3.2:")
+    for i, p in enumerate(partitions):
+        print(f"  Π{i} = {p}")
+
+    print("\n--- Figure 4(a): positions with the same content ---")
+    for i, p in enumerate(partitions):
+        groups = same_content_position_groups(p)
+        text = ", ".join("".join(f"p{j}" for j in g) for g in groups)
+        print(f"  Π{i}: {text or '(all positions distinct)'}")
+
+    print("\n--- Figure 4(b)/5: Psc table and column-graph b-matching ---")
+    col_result = combine_column_sets(partitions, num_rows=4)
+    for key, members in sorted(col_result.psc_table.items()):
+        name = "".join(f"p{j}" for j in key)
+        print(f"  Psc_{name}: Partitions = {fmt_set(members)}")
+    print(f"  b-matching weight: {col_result.matching_weight} (optimum 40)")
+    print("  column sets:", " ".join(fmt_set(s) for s in col_result.column_sets))
+
+    print("\n--- Steps 6/7: row-set combination ---")
+    rows = combine_row_sets(partitions, col_result, num_rows=4, num_cols=4)
+    assert rows is not None
+    row_sets, column_set_of_class = rows
+    print("  row sets:", " ".join(fmt_set(r) for r in row_sets))
+
+    print("\n--- Figure 7: the final 4x4 encoding chart ---")
+    sizes = {}
+    for cls, cs in column_set_of_class.items():
+        sizes[cs] = sizes.get(cs, 0) + 1
+    chart = pack_chart(row_sets, column_set_of_class, sizes, 4, 4)
+    print(chart.render(labels=[f"Π{i}" for i in range(10)]))
+    codes = chart.codes(10, [0, 1], [2, 3])
+    print("\n  codes (α0 α1 = column bits, α2 α3 = row bits):")
+    for i, code in enumerate(codes):
+        bits = "".join(str(code[a]) for a in sorted(code))
+        print(f"    Π{i} -> {bits}")
+    print(
+        "\nBy Theorem 3.2 only the row/column grouping matters — these "
+        "codes minimise the compatible classes of the next decomposition."
+    )
+
+
+if __name__ == "__main__":
+    main()

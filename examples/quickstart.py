@@ -1,0 +1,34 @@
+#!/usr/bin/env python
+"""Quickstart: decompose one function into 5-input LUTs with HYDE.
+
+Builds the classic MCNC ``9sym`` benchmark (nine inputs, one output: true
+iff between three and six inputs are high), maps it with the paper's flow,
+and verifies the result — end to end in a dozen lines of API.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.circuits import build
+from repro.mapping import hyde_map
+from repro.network import network_stats, to_blif
+
+def main() -> None:
+    circuit = build("9sym")
+    print(f"input circuit : {network_stats(circuit, k=5)}")
+
+    # The full HYDE flow: global BDDs, bound-set selection, compatible
+    # class encoding, recursive decomposition, cleanup, CLB packing.
+    # Equivalence against the original is checked internally (verify="bdd").
+    result = hyde_map(circuit, k=5)
+
+    print(f"mapped network: {network_stats(result.network, k=5)}")
+    print(f"5-LUT count   : {result.lut_count}   (paper Table 2: 6)")
+    print(f"XC3000 CLBs   : {result.clb_count}   (paper Table 1: 6)")
+    print(f"wall clock    : {result.seconds:.2f}s")
+    print()
+    print("mapped netlist in BLIF:")
+    print(to_blif(result.network))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""From-scratch ROBDD package (Bryant-style, hash-consed, no complement edges).
+
+Public surface:
+
+* :class:`BddManager` — node store and core operations.
+* :mod:`repro.bdd.ops` — derived operations (conjoin, minterms, cofactor
+  counting, renaming).
+* :mod:`repro.bdd.transfer` — cross-manager copies / order changes.
+* :mod:`repro.bdd.io` — DOT / cube-list export.
+"""
+
+from .manager import FALSE, TRUE, BddManager, build_cube
+from .ops import (
+    conjoin,
+    count_distinct_cofactors,
+    cube_of_levels,
+    disjoin,
+    implies,
+    is_contradiction,
+    is_tautology,
+    minterm,
+    swap_rename,
+)
+from .isop import cube_count, cubes_to_bdd, isop, literal_count
+from .reorder import sift_order, size_with_order, window_permute
+from .transfer import copy_into, reorder, transfer
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "BddManager",
+    "build_cube",
+    "conjoin",
+    "disjoin",
+    "minterm",
+    "cube_of_levels",
+    "implies",
+    "is_tautology",
+    "is_contradiction",
+    "swap_rename",
+    "count_distinct_cofactors",
+    "transfer",
+    "copy_into",
+    "reorder",
+    "sift_order",
+    "window_permute",
+    "size_with_order",
+    "isop",
+    "cubes_to_bdd",
+    "cube_count",
+    "literal_count",
+]

@@ -1,0 +1,55 @@
+"""BDD export helpers (DOT graphs, cube lists, compact text dumps)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .manager import FALSE, TRUE, BddManager
+
+__all__ = ["to_dot", "to_cubes", "format_cubes"]
+
+
+def to_dot(manager: BddManager, f: int, name: str = "bdd") -> str:
+    """Render the BDD rooted at ``f`` in Graphviz DOT format.
+
+    Dashed edges are else-branches, solid edges are then-branches.
+    """
+    lines = [f"digraph {name} {{", "  rankdir=TB;"]
+    lines.append('  node0 [label="0", shape=box];')
+    lines.append('  node1 [label="1", shape=box];')
+    seen = set()
+    stack = [f]
+    while stack:
+        node = stack.pop()
+        if node <= TRUE or node in seen:
+            continue
+        seen.add(node)
+        label = manager.name_of(manager.level(node))
+        lines.append(f'  node{node} [label="{label}", shape=circle];')
+        lines.append(f"  node{node} -> node{manager.low(node)} [style=dashed];")
+        lines.append(f"  node{node} -> node{manager.high(node)};")
+        stack.append(manager.low(node))
+        stack.append(manager.high(node))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def to_cubes(manager: BddManager, f: int) -> List[Dict[int, int]]:
+    """All cubes (partial assignments) of the on-set, as level -> 0/1 dicts."""
+    return list(manager.sat_iter(f))
+
+
+def format_cubes(manager: BddManager, f: int) -> str:
+    """Human-readable cube list, e.g. ``a & !b | c``."""
+    if f == FALSE:
+        return "0"
+    if f == TRUE:
+        return "1"
+    terms = []
+    for cube in manager.sat_iter(f):
+        literals = []
+        for level in sorted(cube):
+            name = manager.name_of(level)
+            literals.append(name if cube[level] else f"!{name}")
+        terms.append(" & ".join(literals))
+    return " | ".join(terms)

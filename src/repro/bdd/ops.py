@@ -1,0 +1,108 @@
+"""Derived BDD operations built on top of :class:`repro.bdd.BddManager`.
+
+These helpers keep the manager itself small: anything expressible through
+the manager's public primitives lives here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from .manager import FALSE, TRUE, BddManager, build_cube
+
+__all__ = [
+    "conjoin",
+    "disjoin",
+    "minterm",
+    "equal_functions",
+    "is_tautology",
+    "is_contradiction",
+    "implies",
+    "cube_of_levels",
+    "swap_rename",
+    "count_distinct_cofactors",
+    "essential_variables",
+]
+
+
+def conjoin(manager: BddManager, nodes: Iterable[int]) -> int:
+    """AND of an iterable of BDDs (TRUE for the empty iterable)."""
+    result = TRUE
+    for node in nodes:
+        result = manager.apply_and(result, node)
+        if result == FALSE:
+            return FALSE
+    return result
+
+
+def disjoin(manager: BddManager, nodes: Iterable[int]) -> int:
+    """OR of an iterable of BDDs (FALSE for the empty iterable)."""
+    result = FALSE
+    for node in nodes:
+        result = manager.apply_or(result, node)
+        if result == TRUE:
+            return TRUE
+    return result
+
+
+def minterm(manager: BddManager, levels: Sequence[int], index: int) -> int:
+    """The minterm of ``levels`` whose bits spell ``index``.
+
+    Bit j of ``index`` gives the polarity of ``levels[j]`` (LSB-first, the
+    same convention as :meth:`BddManager.from_truth_table`).
+    """
+    assignment = {level: (index >> j) & 1 for j, level in enumerate(levels)}
+    return build_cube(manager, assignment)
+
+
+def cube_of_levels(manager: BddManager, levels: Iterable[int]) -> int:
+    """Positive cube (AND of positive literals) over the given levels."""
+    return conjoin(manager, (manager.var_at_level(lv) for lv in levels))
+
+
+def equal_functions(manager: BddManager, f: int, g: int) -> bool:
+    """Semantic equality — trivial for hash-consed ROBDDs."""
+    return f == g
+
+
+def is_tautology(f: int) -> bool:
+    """True iff ``f`` is the constant TRUE function."""
+    return f == TRUE
+
+
+def is_contradiction(f: int) -> bool:
+    """True iff ``f`` is the constant FALSE function."""
+    return f == FALSE
+
+
+def implies(manager: BddManager, f: int, g: int) -> bool:
+    """True iff ``f -> g`` is a tautology."""
+    return manager.apply_diff(f, g) == FALSE
+
+
+def swap_rename(manager: BddManager, f: int, renaming: Dict[int, int]) -> int:
+    """Rename variables of ``f`` (level -> level) via vector composition.
+
+    The renaming need not be order preserving; correctness is guaranteed by
+    the ITE-based rebuild in :meth:`BddManager.vector_compose`.
+    """
+    substitution = {
+        old: manager.var_at_level(new) for old, new in renaming.items()
+    }
+    return manager.vector_compose(f, substitution)
+
+
+def count_distinct_cofactors(
+    manager: BddManager, f: int, levels: Sequence[int]
+) -> int:
+    """Number of distinct cofactors of ``f`` over all assignments of ``levels``.
+
+    This is exactly the number of compatible classes of a completely
+    specified function for the bound set ``levels`` (paper Definition 2.1).
+    """
+    return len(set(manager.cofactor_enumerate(f, levels)))
+
+
+def essential_variables(manager: BddManager, f: int) -> List[int]:
+    """Levels whose two cofactors differ (i.e. the true support)."""
+    return manager.support(f)

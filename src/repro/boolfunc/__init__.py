@@ -1,0 +1,25 @@
+"""Boolean function representations: dense truth tables, BDD-backed
+functions with named variables, and incompletely specified functions."""
+
+from .function import BoolFunction, FunctionSpace
+from .incomplete import IncompleteFunction
+from .npn import (
+    apply_transform,
+    npn_canonical,
+    npn_classes,
+    npn_equivalent,
+    npn_transforms,
+)
+from .truthtable import TruthTable
+
+__all__ = [
+    "TruthTable",
+    "BoolFunction",
+    "FunctionSpace",
+    "IncompleteFunction",
+    "npn_canonical",
+    "npn_equivalent",
+    "npn_transforms",
+    "apply_transform",
+    "npn_classes",
+]

@@ -1,0 +1,120 @@
+"""Named-variable wrapper around BDDs plus truth-table bridging.
+
+:class:`BoolFunction` is the convenience layer the examples and the flow
+use: a BDD root plus the manager and an ordered list of named inputs, with
+conversion to/from :class:`repro.boolfunc.TruthTable`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..bdd import FALSE, TRUE, BddManager
+from .truthtable import TruthTable
+
+__all__ = ["BoolFunction", "FunctionSpace"]
+
+
+class FunctionSpace:
+    """A shared variable universe for building related functions.
+
+    Thin sugar over a :class:`BddManager`: declares named variables once and
+    hands out :class:`BoolFunction` objects that share the manager.
+    """
+
+    def __init__(self, names: Sequence[str]):
+        self.manager = BddManager()
+        for name in names:
+            self.manager.add_var(name)
+        self.names = list(names)
+
+    def var(self, name: str) -> "BoolFunction":
+        """The projection function of a named variable."""
+        return BoolFunction(self.manager, self.manager.var(name), list(self.names))
+
+    def vars(self) -> List["BoolFunction"]:
+        """All variable projections, in declaration order."""
+        return [self.var(name) for name in self.names]
+
+    def constant(self, value: int) -> "BoolFunction":
+        """Constant 0/1 function."""
+        return BoolFunction(self.manager, TRUE if value else FALSE, list(self.names))
+
+    def from_truth_table(self, table: TruthTable, inputs: Sequence[str]) -> "BoolFunction":
+        """Lift a truth table over the named inputs into this space."""
+        levels = [self.manager.level_of(n) for n in inputs]
+        root = self.manager.from_truth_table(table.mask, levels)
+        return BoolFunction(self.manager, root, list(self.names))
+
+    def from_callable(self, fn: Callable[..., int], inputs: Sequence[str]) -> "BoolFunction":
+        """Tabulate ``fn`` over the named inputs (inputs must be few)."""
+        table = TruthTable.from_function(len(inputs), fn)
+        return self.from_truth_table(table, inputs)
+
+
+@dataclass
+class BoolFunction:
+    """A single-output Boolean function with named inputs, backed by a BDD."""
+
+    manager: BddManager
+    root: int
+    input_names: List[str]
+
+    # -- algebra ---------------------------------------------------------- #
+
+    def _binary(self, other: "BoolFunction", op) -> "BoolFunction":
+        if self.manager is not other.manager:
+            raise ValueError("operands live in different managers")
+        return BoolFunction(self.manager, op(self.root, other.root), self.input_names)
+
+    def __and__(self, other: "BoolFunction") -> "BoolFunction":
+        return self._binary(other, self.manager.apply_and)
+
+    def __or__(self, other: "BoolFunction") -> "BoolFunction":
+        return self._binary(other, self.manager.apply_or)
+
+    def __xor__(self, other: "BoolFunction") -> "BoolFunction":
+        return self._binary(other, self.manager.apply_xor)
+
+    def __invert__(self) -> "BoolFunction":
+        return BoolFunction(self.manager, self.manager.apply_not(self.root), self.input_names)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BoolFunction):
+            return NotImplemented
+        return self.manager is other.manager and self.root == other.root
+
+    def __hash__(self) -> int:
+        return hash((id(self.manager), self.root))
+
+    # -- inspection -------------------------------------------------------- #
+
+    def eval(self, assignment: Dict[str, int]) -> int:
+        """Evaluate under a named assignment."""
+        by_level = {self.manager.level_of(n): v for n, v in assignment.items()}
+        return self.manager.eval(self.root, by_level)
+
+    def support(self) -> List[str]:
+        """Names of the variables the function depends on, in order."""
+        return [self.manager.name_of(lv) for lv in self.manager.support(self.root)]
+
+    def is_constant(self) -> bool:
+        """True for constant 0 / constant 1."""
+        return self.root in (FALSE, TRUE)
+
+    def to_truth_table(self, inputs: Optional[Sequence[str]] = None) -> TruthTable:
+        """Tabulate over ``inputs`` (defaults to the true support)."""
+        if inputs is None:
+            inputs = self.support()
+        levels = [self.manager.level_of(n) for n in inputs]
+        mask = self.manager.to_truth_table(self.root, levels)
+        return TruthTable(len(levels), mask)
+
+    def cofactor(self, name: str, value: int) -> "BoolFunction":
+        """Shannon cofactor with respect to a named variable."""
+        root = self.manager.restrict(self.root, {self.manager.level_of(name): value})
+        return BoolFunction(self.manager, root, self.input_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"BoolFunction(root={self.root}, support={self.support()})"

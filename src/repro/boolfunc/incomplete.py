@@ -1,0 +1,95 @@
+"""Incompletely specified Boolean functions (on-set / don't-care-set pairs).
+
+The paper's don't-care assignment (Section 3.1) merges compatible classes
+that agree wherever both are *specified*; that requires carrying the DC set
+through decomposition.  Functions are represented as a pair of BDDs in a
+shared manager: the on-set and the dc-set (off = NOT on AND NOT dc).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..bdd import FALSE, TRUE, BddManager
+
+__all__ = ["IncompleteFunction"]
+
+
+@dataclass(frozen=True)
+class IncompleteFunction:
+    """An incompletely specified function ``(on, dc)`` over a BDD manager."""
+
+    manager: BddManager
+    on: int
+    dc: int = FALSE
+
+    def __post_init__(self) -> None:
+        if self.manager.apply_and(self.on, self.dc) != FALSE:
+            raise ValueError("on-set and dc-set must be disjoint")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def off(self) -> int:
+        """BDD of the off-set."""
+        return self.manager.apply_diff(
+            self.manager.apply_not(self.on), self.dc
+        )
+
+    @property
+    def is_completely_specified(self) -> bool:
+        """True iff the dc-set is empty."""
+        return self.dc == FALSE
+
+    def support(self) -> List[int]:
+        """Union of on-set and dc-set supports."""
+        return sorted(set(self.manager.support(self.on)) | set(self.manager.support(self.dc)))
+
+    def restrict(self, assignment: dict) -> "IncompleteFunction":
+        """Cofactor both sets simultaneously."""
+        return IncompleteFunction(
+            self.manager,
+            self.manager.restrict(self.on, assignment),
+            self.manager.restrict(self.dc, assignment),
+        )
+
+    def compatible_with(self, other: "IncompleteFunction") -> bool:
+        """Paper Definition 2.1 generalised to incompletely specified columns.
+
+        Two columns are compatible iff no minterm is ON in one and OFF in
+        the other — i.e. a single completely specified function can realise
+        both by suitable don't-care assignment.
+        """
+        if self.manager is not other.manager:
+            raise ValueError("functions live in different managers")
+        conflict = self.manager.apply_or(
+            self.manager.apply_and(self.on, other.off),
+            self.manager.apply_and(other.on, self.off),
+        )
+        return conflict == FALSE
+
+    def merge(self, other: "IncompleteFunction") -> "IncompleteFunction":
+        """Intersection of the two specifications (must be compatible).
+
+        The merged on-set contains everything either function requires ON;
+        the dc-set only what both leave unspecified.
+        """
+        if not self.compatible_with(other):
+            raise ValueError("cannot merge incompatible functions")
+        on = self.manager.apply_or(self.on, other.on)
+        dc = self.manager.apply_and(self.dc, other.dc)
+        return IncompleteFunction(self.manager, on, dc)
+
+    def cover(self) -> int:
+        """A completely specified cover (don't cares resolved to 0)."""
+        return self.on
+
+    def equals_on_care_set(self, completely_specified: int) -> bool:
+        """Does ``completely_specified`` agree with us wherever we care?"""
+        m = self.manager
+        bad = m.apply_or(
+            m.apply_and(self.on, m.apply_not(completely_specified)),
+            m.apply_and(self.off, completely_specified),
+        )
+        return bad == FALSE

@@ -1,0 +1,86 @@
+"""NPN-class utilities for small truth tables.
+
+Two functions are NPN-equivalent when one becomes the other under input
+negation (N), input permutation (P), and output negation (N).  LUT-based
+tooling uses NPN canonical forms to recognise that two LUT configurations
+implement "the same" function up to wiring — useful for library
+de-duplication, reporting, and the test suite's structural analyses.
+
+The canonicaliser is exhaustive over the ``n! * 2^n * 2`` transform group
+(fine for n <= 5, the LUT sizes in this reproduction).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, List, Tuple
+
+from .truthtable import TruthTable
+
+__all__ = [
+    "npn_canonical",
+    "npn_equivalent",
+    "npn_transforms",
+    "apply_transform",
+    "npn_classes",
+]
+
+Transform = Tuple[Tuple[int, ...], int, int]  # (permutation, input flips, output flip)
+
+
+def npn_transforms(num_inputs: int) -> Iterator[Transform]:
+    """All NPN transforms for ``num_inputs`` inputs."""
+    for perm in permutations(range(num_inputs)):
+        for flips in range(1 << num_inputs):
+            for out_flip in (0, 1):
+                yield (perm, flips, out_flip)
+
+
+def apply_transform(table: TruthTable, transform: Transform) -> TruthTable:
+    """Apply an NPN transform: permute inputs, flip inputs, flip output.
+
+    ``perm[j]`` is the new position of old input j (matching
+    :meth:`TruthTable.remap_inputs`); flips are applied before the
+    permutation.
+    """
+    perm, flips, out_flip = transform
+    result = table
+    for j in range(table.num_inputs):
+        if (flips >> j) & 1:
+            result = result.flip_input(j)
+    result = result.remap_inputs(table.num_inputs, list(perm))
+    if out_flip:
+        result = ~result
+    return result
+
+
+def npn_canonical(table: TruthTable) -> Tuple[TruthTable, Transform]:
+    """The NPN-minimal representative (smallest mask) and a transform
+    producing it."""
+    if table.num_inputs > 5:
+        raise ValueError("exhaustive NPN canonicalisation limited to 5 inputs")
+    best: TruthTable | None = None
+    best_transform: Transform | None = None
+    for transform in npn_transforms(table.num_inputs):
+        candidate = apply_transform(table, transform)
+        if best is None or candidate.mask < best.mask:
+            best = candidate
+            best_transform = transform
+    assert best is not None and best_transform is not None
+    return best, best_transform
+
+
+def npn_equivalent(a: TruthTable, b: TruthTable) -> bool:
+    """Are two tables NPN-equivalent?"""
+    if a.num_inputs != b.num_inputs:
+        return False
+    return npn_canonical(a)[0].mask == npn_canonical(b)[0].mask
+
+
+def npn_classes(tables: List[TruthTable]) -> List[List[int]]:
+    """Group table indices by NPN class."""
+    groups: dict = {}
+    for index, table in enumerate(tables):
+        key = (table.num_inputs, npn_canonical(table)[0].mask)
+        groups.setdefault(key, []).append(index)
+    return list(groups.values())

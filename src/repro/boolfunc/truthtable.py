@@ -1,0 +1,258 @@
+"""Dense truth tables packed into Python integers.
+
+Local node functions in the Boolean network (and every LUT produced by the
+mapper) are small — at most the LUT input count plus a few bits — so a
+bigint bitmask is the fastest and simplest representation.  Bit ``i`` of the
+mask is the function value on the minterm whose j-th input equals bit j of
+``i`` (input 0 is the least significant index bit, matching
+:meth:`repro.bdd.BddManager.from_truth_table`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence, Tuple
+
+__all__ = ["TruthTable"]
+
+
+@dataclass(frozen=True)
+class TruthTable:
+    """An ``n``-input single-output Boolean function as a bitmask.
+
+    Examples
+    --------
+    >>> f = TruthTable.from_function(2, lambda a, b: a & b)
+    >>> f.mask
+    8
+    >>> f.eval((1, 1))
+    1
+    """
+
+    num_inputs: int
+    mask: int
+
+    def __post_init__(self) -> None:
+        size = 1 << self.num_inputs
+        if not 0 <= self.mask < (1 << size):
+            raise ValueError(
+                f"mask {self.mask:#x} out of range for {self.num_inputs} inputs"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def constant(cls, num_inputs: int, value: int) -> "TruthTable":
+        """The constant 0 or constant 1 function of ``num_inputs`` inputs."""
+        size = 1 << num_inputs
+        return cls(num_inputs, ((1 << size) - 1) if value else 0)
+
+    @classmethod
+    def projection(cls, num_inputs: int, index: int) -> "TruthTable":
+        """The function returning its ``index``-th input."""
+        if not 0 <= index < num_inputs:
+            raise ValueError(f"input index {index} out of range")
+        size = 1 << num_inputs
+        mask = 0
+        for minterm in range(size):
+            if (minterm >> index) & 1:
+                mask |= 1 << minterm
+        return cls(num_inputs, mask)
+
+    @classmethod
+    def from_function(
+        cls, num_inputs: int, fn: Callable[..., int]
+    ) -> "TruthTable":
+        """Tabulate a Python callable of ``num_inputs`` 0/1 arguments."""
+        mask = 0
+        for minterm in range(1 << num_inputs):
+            bits = [(minterm >> j) & 1 for j in range(num_inputs)]
+            if fn(*bits):
+                mask |= 1 << minterm
+        return cls(num_inputs, mask)
+
+    @classmethod
+    def from_minterms(cls, num_inputs: int, minterms: Iterable[int]) -> "TruthTable":
+        """Build from an iterable of on-set minterm indices."""
+        mask = 0
+        size = 1 << num_inputs
+        for m in minterms:
+            if not 0 <= m < size:
+                raise ValueError(f"minterm {m} out of range")
+            mask |= 1 << m
+        return cls(num_inputs, mask)
+
+    @classmethod
+    def from_string(cls, bits: str) -> "TruthTable":
+        """Build from a bit string, most significant minterm first.
+
+        ``TruthTable.from_string("1000")`` is 2-input AND.
+        """
+        size = len(bits)
+        num_inputs = size.bit_length() - 1
+        if 1 << num_inputs != size:
+            raise ValueError("bit-string length must be a power of two")
+        mask = 0
+        for i, ch in enumerate(reversed(bits)):
+            if ch == "1":
+                mask |= 1 << i
+            elif ch != "0":
+                raise ValueError(f"invalid character {ch!r} in bit string")
+        return cls(num_inputs, mask)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation / inspection
+    # ------------------------------------------------------------------ #
+
+    def eval(self, inputs: Sequence[int]) -> int:
+        """Evaluate on a 0/1 input vector (``inputs[0]`` = input 0)."""
+        index = 0
+        for j, bit in enumerate(inputs):
+            if bit:
+                index |= 1 << j
+        return (self.mask >> index) & 1
+
+    def eval_index(self, index: int) -> int:
+        """Evaluate on a packed minterm index."""
+        return (self.mask >> index) & 1
+
+    @property
+    def size(self) -> int:
+        """Number of rows (2**num_inputs)."""
+        return 1 << self.num_inputs
+
+    def on_set(self) -> List[int]:
+        """Sorted list of on-set minterm indices."""
+        return [m for m in range(self.size) if (self.mask >> m) & 1]
+
+    def count_ones(self) -> int:
+        """On-set size."""
+        return self.mask.bit_count()
+
+    def is_constant(self) -> bool:
+        """True for constant 0 / constant 1."""
+        return self.mask == 0 or self.mask == (1 << self.size) - 1
+
+    def depends_on(self, index: int) -> bool:
+        """True iff the function actually depends on input ``index``."""
+        return self.cofactor(index, 0).mask != self.cofactor(index, 1).mask
+
+    def support(self) -> List[int]:
+        """Indices of inputs the function truly depends on."""
+        return [j for j in range(self.num_inputs) if self.depends_on(j)]
+
+    def to_string(self) -> str:
+        """Bit string, most significant minterm first (from_string inverse)."""
+        return format(self.mask, f"0{self.size}b")
+
+    # ------------------------------------------------------------------ #
+    # Boolean algebra
+    # ------------------------------------------------------------------ #
+
+    def _check_arity(self, other: "TruthTable") -> None:
+        if self.num_inputs != other.num_inputs:
+            raise ValueError("arity mismatch")
+
+    def __invert__(self) -> "TruthTable":
+        return TruthTable(self.num_inputs, self.mask ^ ((1 << self.size) - 1))
+
+    def __and__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_inputs, self.mask & other.mask)
+
+    def __or__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_inputs, self.mask | other.mask)
+
+    def __xor__(self, other: "TruthTable") -> "TruthTable":
+        self._check_arity(other)
+        return TruthTable(self.num_inputs, self.mask ^ other.mask)
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+
+    def cofactor(self, index: int, value: int) -> "TruthTable":
+        """Fix input ``index`` to ``value``; arity stays the same.
+
+        The freed input becomes vacuous (use :meth:`drop_input` to remove).
+        """
+        mask = 0
+        bit = 1 << index
+        for m in range(self.size):
+            source = (m | bit) if value else (m & ~bit)
+            if (self.mask >> source) & 1:
+                mask |= 1 << m
+        return TruthTable(self.num_inputs, mask)
+
+    def drop_input(self, index: int) -> "TruthTable":
+        """Remove a vacuous input (must not be in the support)."""
+        if self.depends_on(index):
+            raise ValueError(f"input {index} is not vacuous")
+        mask = 0
+        for m in range(1 << (self.num_inputs - 1)):
+            low = m & ((1 << index) - 1)
+            high = m >> index
+            source = low | (high << (index + 1))
+            if (self.mask >> source) & 1:
+                mask |= 1 << m
+        return TruthTable(self.num_inputs - 1, mask)
+
+    def remap_inputs(self, new_num_inputs: int, mapping: Sequence[int]) -> "TruthTable":
+        """Re-express over a new input space.
+
+        ``mapping[j]`` gives the new index of old input ``j``.  Useful for
+        permutation, padding (new arity larger) and fan-in merging (two old
+        inputs mapped to the same new index).
+        """
+        if len(mapping) != self.num_inputs:
+            raise ValueError("mapping must cover every old input")
+        mask = 0
+        for m in range(1 << new_num_inputs):
+            old_index = 0
+            for j, new_j in enumerate(mapping):
+                if (m >> new_j) & 1:
+                    old_index |= 1 << j
+            if (self.mask >> old_index) & 1:
+                mask |= 1 << m
+        return TruthTable(new_num_inputs, mask)
+
+    def flip_input(self, index: int) -> "TruthTable":
+        """Complement one input (absorbing an inverter on that pin)."""
+        mask = 0
+        bit = 1 << index
+        for m in range(self.size):
+            if (self.mask >> (m ^ bit)) & 1:
+                mask |= 1 << m
+        return TruthTable(self.num_inputs, mask)
+
+    def compose(self, index: int, inner: "TruthTable") -> "TruthTable":
+        """Substitute ``inner`` (same arity as self) for input ``index``."""
+        self._check_arity(inner)
+        mask = 0
+        bit = 1 << index
+        for m in range(self.size):
+            value = inner.eval_index(m)
+            source = (m | bit) if value else (m & ~bit)
+            if (self.mask >> source) & 1:
+                mask |= 1 << m
+        return TruthTable(self.num_inputs, mask)
+
+    def minimize_support(self) -> Tuple["TruthTable", List[int]]:
+        """Drop all vacuous inputs.
+
+        Returns ``(reduced_table, kept_indices)`` where ``kept_indices[j]``
+        is the old index of the reduced table's input ``j``.
+        """
+        kept = self.support()
+        table = self
+        # Drop from the highest index so lower indices stay valid.
+        for index in reversed(range(self.num_inputs)):
+            if index not in kept:
+                table = table.drop_input(index)
+        return table, kept
+
+    def __str__(self) -> str:  # pragma: no cover - debug aid
+        return f"TruthTable({self.num_inputs} in, 0b{self.to_string()})"

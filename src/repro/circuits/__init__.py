@@ -1,0 +1,68 @@
+"""Benchmark circuits: parametric generators, the MCNC registry (exact
+reconstructions + documented stand-ins) and the paper's worked examples."""
+
+from .datapath import (
+    barrel_shifter,
+    bin_to_bcd,
+    crc_step,
+    lfsr_next,
+    priority_encoder,
+    saturating_adder,
+)
+from .generators import (
+    alu,
+    comparator,
+    decoder,
+    gray_encoder,
+    incrementer,
+    majority,
+    multiplier,
+    mux_tree,
+    parity,
+    popcount,
+    ripple_adder,
+    saturating_abs,
+    symmetric_function,
+)
+from .mcnc import CIRCUITS, CircuitSpec, build, names, names_by_class
+from .paper_examples import (
+    example_3_1_function,
+    example_3_2_partitions,
+    example_4_1_ingredients,
+    example_4_2_partitions,
+)
+from .synthetic import layered_network, sbox_network, windowed_network
+
+__all__ = [
+    "priority_encoder",
+    "barrel_shifter",
+    "crc_step",
+    "lfsr_next",
+    "bin_to_bcd",
+    "saturating_adder",
+    "symmetric_function",
+    "parity",
+    "majority",
+    "popcount",
+    "ripple_adder",
+    "incrementer",
+    "comparator",
+    "alu",
+    "multiplier",
+    "decoder",
+    "mux_tree",
+    "gray_encoder",
+    "saturating_abs",
+    "windowed_network",
+    "layered_network",
+    "sbox_network",
+    "CIRCUITS",
+    "CircuitSpec",
+    "build",
+    "names",
+    "names_by_class",
+    "example_3_1_function",
+    "example_3_2_partitions",
+    "example_4_1_ingredients",
+    "example_4_2_partitions",
+]

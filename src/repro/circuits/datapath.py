@@ -1,0 +1,202 @@
+"""Additional datapath/control generators (beyond the MCNC profiles).
+
+These widen the benchmark net for users of the library: priority
+encoders, barrel shifters, CRC/LFSR next-state logic, BCD conversion and
+saturating arithmetic — the kinds of blocks LUT mappers meet in practice.
+All are structural (small nodes), so they scale to wide words.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..boolfunc import TruthTable
+from ..network import Network
+
+__all__ = [
+    "priority_encoder",
+    "barrel_shifter",
+    "crc_step",
+    "lfsr_next",
+    "bin_to_bcd",
+    "saturating_adder",
+]
+
+_AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+_OR2 = TruthTable.from_function(2, lambda a, b: a | b)
+_XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+_MUX = TruthTable.from_function(3, lambda s, a, b: b if s else a)
+_NOT = TruthTable.from_function(1, lambda a: 1 - a)
+
+
+def priority_encoder(width: int, name: str = "prio") -> Network:
+    """Highest-set-bit encoder: ``ceil(log2 width)`` index bits + valid.
+
+    Input ``r{width-1}`` has the highest priority.
+    """
+    net = Network(name)
+    req = [net.add_input(f"r{j}") for j in range(width)]
+    # valid = OR of all requests (chain).
+    acc = req[0]
+    for j, r in enumerate(req[1:]):
+        net.add_node(f"v{j}", [acc, r], _OR2)
+        acc = f"v{j}"
+    net.add_output(acc, "valid")
+    # grant[j] = r[j] & none of the higher requests.
+    higher: List[Optional[str]] = [None] * width
+    above = None
+    for j in range(width - 1, -1, -1):
+        higher[j] = above
+        if above is None:
+            above = req[j]
+        else:
+            net.add_node(f"hi{j}", [above, req[j]], _OR2)
+            above = f"hi{j}"
+    grants: List[str] = []
+    for j in range(width):
+        if higher[j] is None:
+            grants.append(req[j])
+            continue
+        net.add_node(
+            f"g{j}", [req[j], higher[j]],
+            TruthTable.from_function(2, lambda r, h: r & (1 - h)),
+        )
+        grants.append(f"g{j}")
+    # index bits = OR of grants whose position has that bit set.
+    bits = max(1, (width - 1).bit_length())
+    for b in range(bits):
+        members = [grants[j] for j in range(width) if (j >> b) & 1]
+        if not members:
+            zero = net.fresh_name("zero")
+            net.add_constant(zero, 0)
+            net.add_output(zero, f"idx{b}")
+            continue
+        acc = members[0]
+        for i, g in enumerate(members[1:]):
+            node = f"ix{b}_{i}"
+            net.add_node(node, [acc, g], _OR2)
+            acc = node
+        net.add_output(acc, f"idx{b}")
+    return net
+
+
+def barrel_shifter(width: int, name: str = "barrel") -> Network:
+    """Logarithmic left-rotate: data word rotated by a binary amount."""
+    net = Network(name)
+    data = [net.add_input(f"d{j}") for j in range(width)]
+    stages = max(1, (width - 1).bit_length())
+    sel = [net.add_input(f"s{b}") for b in range(stages)]
+    layer = data
+    for b in range(stages):
+        shift = 1 << b
+        nxt: List[str] = []
+        for j in range(width):
+            src_rot = layer[(j - shift) % width]
+            node = f"m{b}_{j}"
+            net.add_node(node, [sel[b], layer[j], src_rot], _MUX)
+            nxt.append(node)
+        layer = nxt
+    for j in range(width):
+        net.add_output(layer[j], f"q{j}")
+    return net
+
+
+def crc_step(
+    width: int, polynomial: int, name: str = "crc"
+) -> Network:
+    """One serial CRC step: next state of a ``width``-bit CRC register.
+
+    ``polynomial`` gives the feedback taps (bit j set -> state bit j is
+    XORed with the feedback).  Inputs: state bits + one data bit.
+    """
+    net = Network(name)
+    state = [net.add_input(f"c{j}") for j in range(width)]
+    din = net.add_input("din")
+    net.add_node("fb", [state[width - 1], din], _XOR2)
+    for j in range(width):
+        below = state[j - 1] if j > 0 else None
+        if (polynomial >> j) & 1:
+            if below is None:
+                net.add_node(f"n{j}", ["fb"], TruthTable.from_function(1, lambda x: x))
+            else:
+                net.add_node(f"n{j}", [below, "fb"], _XOR2)
+        else:
+            source = below if below is not None else None
+            if source is None:
+                zero = net.fresh_name("zero")
+                net.add_constant(zero, 0)
+                source = zero
+            net.add_node(f"n{j}", [source], TruthTable.from_function(1, lambda x: x))
+        net.add_output(f"n{j}", f"q{j}")
+    return net
+
+
+def lfsr_next(width: int, taps: Sequence[int], name: str = "lfsr") -> Network:
+    """Next state of a Fibonacci LFSR with the given tap positions."""
+    net = Network(name)
+    state = [net.add_input(f"s{j}") for j in range(width)]
+    if not taps:
+        raise ValueError("need at least one tap")
+    acc = state[taps[0]]
+    for i, t in enumerate(taps[1:]):
+        net.add_node(f"fb{i}", [acc, state[t]], _XOR2)
+        acc = f"fb{i}"
+    # Shift: q[0] = feedback, q[j] = s[j-1].
+    net.add_output(acc, "q0")
+    for j in range(1, width):
+        net.add_output(state[j - 1], f"q{j}")
+    return net
+
+
+def bin_to_bcd(bits: int, name: str = "bcd") -> Network:
+    """Binary to BCD (double-dabble unrolled; flat per-digit tables).
+
+    Limited to ``bits <= 10`` so the flat tables stay small.
+    """
+    if bits > 10:
+        raise ValueError("flat bin_to_bcd limited to 10 bits")
+    net = Network(name)
+    inputs = [net.add_input(f"b{j}") for j in range(bits)]
+    max_value = (1 << bits) - 1
+    digits = len(str(max_value))
+    for d in range(digits):
+        for bit in range(4):
+            mask = 0
+            for v in range(1 << bits):
+                digit = (v // (10 ** d)) % 10
+                if (digit >> bit) & 1:
+                    mask |= 1 << v
+            table = TruthTable(bits, mask)
+            reduced, kept = table.minimize_support()
+            node = f"d{d}_{bit}"
+            if reduced.num_inputs == 0:
+                net.add_constant(node, 1 if reduced.mask else 0)
+            else:
+                net.add_node(node, [inputs[i] for i in kept], reduced)
+            net.add_output(node, f"bcd{d}_{bit}")
+    return net
+
+
+def saturating_adder(width: int, name: str = "sadd") -> Network:
+    """Unsigned a + b with saturation at 2**width - 1."""
+    net = Network(name)
+    a = [net.add_input(f"a{j}") for j in range(width)]
+    b = [net.add_input(f"b{j}") for j in range(width)]
+    maj3 = TruthTable.from_function(3, lambda x, y, z: 1 if x + y + z >= 2 else 0)
+    xor3 = TruthTable.from_function(3, lambda x, y, z: x ^ y ^ z)
+    carry = None
+    sums: List[str] = []
+    for j in range(width):
+        if carry is None:
+            net.add_node(f"s{j}", [a[j], b[j]], _XOR2)
+            net.add_node(f"c{j}", [a[j], b[j]], _AND2)
+        else:
+            net.add_node(f"s{j}", [a[j], b[j], carry], xor3)
+            net.add_node(f"c{j}", [a[j], b[j], carry], maj3)
+        sums.append(f"s{j}")
+        carry = f"c{j}"
+    for j in range(width):
+        net.add_node(f"o{j}_n", [sums[j], carry], _OR2)  # saturate on ovf
+        net.add_output(f"o{j}_n", f"o{j}")
+    net.add_output(carry, "sat")
+    return net

@@ -1,0 +1,393 @@
+"""MCNC'91 benchmark registry: exact reconstructions and documented stand-ins.
+
+The paper evaluates on MCNC benchmark circuits, which are not available in
+this offline environment.  Each entry below either reconstructs the
+benchmark's *known* function exactly (``exact=True``) or substitutes a
+deterministic circuit with the same PI/PO profile and a comparable
+decomposition workload (``exact=False``; the ``note`` documents the
+substitution).  Either way the evaluation compares mapping *flows* on
+identical inputs, so the relative results remain meaningful; absolute CLB
+and LUT counts are not expected to match the 1998 tables.
+
+``size_class`` drives the benchmark harness: ``small`` circuits run by
+default, ``medium`` adds a few seconds each, ``large`` runs only with
+``REPRO_FULL=1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..boolfunc import TruthTable
+from ..network import Network
+from . import generators as gen
+from . import synthetic as syn
+
+__all__ = ["CircuitSpec", "CIRCUITS", "build", "names", "names_by_class"]
+
+
+@dataclass(frozen=True)
+class CircuitSpec:
+    """One benchmark circuit: profile, provenance and builder."""
+
+    name: str
+    num_inputs: int
+    num_outputs: int
+    exact: bool
+    size_class: str  # "small" | "medium" | "large"
+    note: str
+    builder: Callable[[], Network]
+
+
+def _arith_flat(
+    name: str, in_bits: int, out_bits: int, fn: Callable[[int], int]
+) -> Network:
+    """Flat network: out = fn(v) over an ``in_bits``-bit input word."""
+    net = Network(name)
+    inputs = [net.add_input(f"i{j}") for j in range(in_bits)]
+    for bit in range(out_bits):
+        mask = 0
+        for idx in range(1 << in_bits):
+            if (fn(idx) >> bit) & 1:
+                mask |= 1 << idx
+        net.add_node(f"b{bit}", inputs, TruthTable(in_bits, mask))
+        net.add_output(f"b{bit}", f"o{bit}")
+    return net
+
+
+def _count_circuit() -> Network:
+    """``count`` stand-in: 16-bit maskable incrementer (35 in / 16 out).
+
+    Inputs: 16 data bits, 16 enable-mask bits, carry-in, two mode bits.
+    out = mode ? (data + cin) & mask-gated ripple : data XOR mask.
+    """
+    net = Network("count")
+    data = [net.add_input(f"d{j}") for j in range(16)]
+    mask = [net.add_input(f"m{j}") for j in range(16)]
+    cin = net.add_input("cin")
+    m0 = net.add_input("mode0")
+    m1 = net.add_input("mode1")
+    xor2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+    and2 = TruthTable.from_function(2, lambda a, b: a & b)
+    carry = cin
+    for j in range(16):
+        # Gated ripple increment: bit toggles when carry & mask allow.
+        net.add_node(f"g{j}", [carry, mask[j]], and2)
+        net.add_node(f"s{j}", [data[j], f"g{j}"], xor2)
+        net.add_node(f"c{j}", [data[j], f"g{j}"], and2)
+        net.add_node(f"x{j}", [data[j], mask[j]], xor2)
+        sel = TruthTable.from_function(
+            4, lambda s, x, a, b: (s if a and not b else x if b and not a else s ^ x)
+        )
+        net.add_node(f"o{j}_n", [f"s{j}", f"x{j}", m0, m1], sel)
+        net.add_output(f"o{j}_n", f"o{j}")
+        carry = f"c{j}"
+    return net
+
+
+def _c499_circuit() -> Network:
+    """``C499`` stand-in: a 32-bit single-error-correction style circuit.
+
+    The real C499 is a (41, 32) SEC decoder: XOR-heavy syndrome logic.
+    This reconstruction computes a 5-bit syndrome from 32 data + 8 check
+    inputs (+1 enable) and conditionally flips the addressed data bit —
+    the same XOR-dominated, wide structure.
+    """
+    net = Network("C499")
+    data = [net.add_input(f"d{j}") for j in range(32)]
+    check = [net.add_input(f"c{j}") for j in range(8)]
+    enable = net.add_input("en")
+    xor2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+    # Five syndrome bits: parities of deterministic data subsets + checks.
+    syndromes: List[str] = []
+    for s in range(5):
+        members = [data[j] for j in range(32) if (j >> s) & 1 or j % (s + 2) == 0]
+        members.append(check[s % 8])
+        acc = members[0]
+        for idx, sig in enumerate(members[1:]):
+            node = f"sy{s}_{idx}"
+            net.add_node(node, [acc, sig], xor2)
+            acc = node
+        syndromes.append(acc)
+    flip = TruthTable.from_function(
+        7,
+        lambda d, en, s0, s1, s2, s3, s4: d ^ (en & s0 & s1 & (s2 ^ s3 ^ s4)),
+    )
+    for j in range(32):
+        net.add_node(f"o{j}_n", [data[j], enable] + syndromes, flip)
+        net.add_output(f"o{j}_n", f"o{j}")
+    return net
+
+
+def _c880_circuit() -> Network:
+    """``C880`` stand-in: 8-bit ALU slice network (60 in / 26 out).
+
+    The real C880 is an 8-bit ALU.  This reconstruction: an 8-bit
+    add/logic unit plus a comparator and mux-selected pass-through banks
+    to reach the 60/26 profile.
+    """
+    net = Network("C880")
+    a = [net.add_input(f"a{j}") for j in range(8)]
+    b = [net.add_input(f"b{j}") for j in range(8)]
+    c = [net.add_input(f"c{j}") for j in range(8)]
+    d = [net.add_input(f"d{j}") for j in range(8)]
+    e = [net.add_input(f"e{j}") for j in range(8)]
+    f = [net.add_input(f"f{j}") for j in range(8)]
+    ctl = [net.add_input(f"k{j}") for j in range(12)]
+    xor3 = TruthTable.from_function(3, lambda x, y, z: x ^ y ^ z)
+    maj3 = TruthTable.from_function(3, lambda x, y, z: 1 if x + y + z >= 2 else 0)
+    mux2 = TruthTable.from_function(3, lambda s, x, y: y if s else x)
+    carry = ctl[0]
+    sums: List[str] = []
+    for j in range(8):
+        net.add_node(f"sum{j}", [a[j], b[j], carry], xor3)
+        net.add_node(f"car{j}", [a[j], b[j], carry], maj3)
+        carry = f"car{j}"
+        sums.append(f"sum{j}")
+    for j in range(8):
+        net.add_node(f"mx{j}", [ctl[1 + (j % 4)], sums[j], c[j]], mux2)
+        net.add_node(f"my{j}", [ctl[5 + (j % 4)], d[j], e[j]], mux2)
+        net.add_node(
+            f"out{j}_n", [ctl[9], f"mx{j}", f"my{j}"], mux2
+        )
+        net.add_output(f"out{j}_n", f"out{j}")
+        net.add_node(
+            f"aux{j}_n", [f[j], f"mx{j}", ctl[10]], xor3
+        )
+        net.add_output(f"aux{j}_n", f"aux{j}")
+    net.add_output(carry, "cout")
+    # Wide AND-reduce and parity flags over mixed operands.
+    and2 = TruthTable.from_function(2, lambda x, y: x & y)
+    xor2 = TruthTable.from_function(2, lambda x, y: x ^ y)
+    acc_and, acc_xor = a[0], b[0]
+    for j in range(1, 8):
+        net.add_node(f"ra{j}", [acc_and, c[j]], and2)
+        net.add_node(f"rx{j}", [acc_xor, d[j]], xor2)
+        acc_and, acc_xor = f"ra{j}", f"rx{j}"
+    net.add_output(acc_and, "allc")
+    net.add_output(acc_xor, "pard")
+    # Comparator flags on (e, f) complete the 26 outputs.
+    gt_tab = TruthTable.from_function(2, lambda x, y: x & (1 - y))
+    eq_tab = TruthTable.from_function(2, lambda x, y: 1 - (x ^ y))
+    gt: Optional[str] = None
+    eq: Optional[str] = None
+    for j in range(7, -1, -1):
+        net.add_node(f"cg{j}", [e[j], f[j]], gt_tab)
+        net.add_node(f"ce{j}", [e[j], f[j]], eq_tab)
+        if gt is None:
+            gt, eq = f"cg{j}", f"ce{j}"
+        else:
+            net.add_node(
+                f"cgt{j}", [gt, eq, f"cg{j}"],
+                TruthTable.from_function(3, lambda G, E, g: G | (E & g)),
+            )
+            net.add_node(f"ceq{j}", [eq, f"ce{j}"], and2)
+            gt, eq = f"cgt{j}", f"ceq{j}"
+    net.add_output(gt, "gt")
+    net.add_output(eq, "eq")
+    # Mode-qualified zero flag plus raw high sum bits round out the 26
+    # outputs.
+    net.add_node("zf", [acc_and, ctl[11]], and2)
+    net.add_output("zf", "zflag")
+    for j in range(4, 8):
+        net.add_output(f"sum{j}", f"rawsum{j}")
+    return net
+
+
+def _spec_list() -> List[CircuitSpec]:
+    return [
+        CircuitSpec(
+            "5xp1", 7, 10, False, "small",
+            "substitute: out = v*5 + 1 over a 7-bit word (profile-matched "
+            "arithmetic; the MCNC PLA is unavailable)",
+            lambda: _arith_flat("5xp1", 7, 10, lambda v: v * 5 + 1),
+        ),
+        CircuitSpec(
+            "9sym", 9, 1, True, "small",
+            "exact: 1 iff popcount in {3,4,5,6}",
+            lambda: gen.symmetric_function(9, {3, 4, 5, 6}, "9sym"),
+        ),
+        CircuitSpec(
+            "alu2", 10, 6, False, "medium",
+            "substitute: 4-bit ALU (add/and/or/xor + carry + zero), same "
+            "10/6 profile as the MCNC alu2",
+            lambda: gen.alu(4, "alu2"),
+        ),
+        CircuitSpec(
+            "alu4", 14, 8, False, "medium",
+            "substitute: 6-bit ALU, same 14/8 profile as the MCNC alu4",
+            lambda: gen.alu(6, "alu4"),
+        ),
+        CircuitSpec(
+            "apex4", 9, 19, False, "medium",
+            "substitute: 19 seeded random 9-input functions (apex4 is a "
+            "dense 9/19 PLA)",
+            lambda: syn.windowed_network("apex4", 9, 19, window=9, seed=4),
+        ),
+        CircuitSpec(
+            "apex6", 135, 99, False, "medium",
+            "substitute: seeded two-level random logic with the 135/99 "
+            "profile",
+            lambda: syn.layered_network(
+                "apex6", 135, 99, nodes_per_layer=90, num_layers=2, seed=6
+            ),
+        ),
+        CircuitSpec(
+            "apex7", 49, 37, False, "medium",
+            "substitute: seeded layered random logic, 49/37 profile",
+            lambda: syn.layered_network(
+                "apex7", 49, 37, nodes_per_layer=40, num_layers=2, seed=7
+            ),
+        ),
+        CircuitSpec(
+            "b9", 41, 21, False, "medium",
+            "substitute: seeded layered random logic, 41/21 profile",
+            lambda: syn.layered_network(
+                "b9", 41, 21, nodes_per_layer=30, num_layers=2, seed=9
+            ),
+        ),
+        CircuitSpec(
+            "clip", 9, 5, False, "small",
+            "substitute: saturating |v| of a 9-bit two's-complement word "
+            "clipped to 5 bits (clip's published role is signal clipping)",
+            lambda: gen.saturating_abs(9, 5, "clip"),
+        ),
+        CircuitSpec(
+            "count", 35, 16, False, "medium",
+            "substitute: 16-bit maskable incrementer, 35/16 profile "
+            "(count is a counter-style circuit)",
+            _count_circuit,
+        ),
+        CircuitSpec(
+            "des", 256, 245, False, "large",
+            "substitute: S-box/XOR round structure (6->4 seeded S-boxes), "
+            "256/245 profile",
+            lambda: syn.sbox_network("des", 256, 245, seed=56),
+        ),
+        CircuitSpec(
+            "duke2", 22, 29, False, "medium",
+            "substitute: seeded layered random logic, 22/29 profile",
+            lambda: syn.layered_network(
+                "duke2", 22, 29, nodes_per_layer=35, num_layers=2, seed=2
+            ),
+        ),
+        CircuitSpec(
+            "e64", 65, 65, False, "large",
+            "substitute: seeded windowed random logic (8-input windows), "
+            "65/65 profile",
+            lambda: syn.windowed_network("e64", 65, 65, window=8, seed=64),
+        ),
+        CircuitSpec(
+            "f51m", 8, 8, False, "small",
+            "substitute: out = v*51 mod 256 over an 8-bit word "
+            "(profile-matched arithmetic)",
+            lambda: _arith_flat("f51m", 8, 8, lambda v: (v * 51) & 0xFF),
+        ),
+        CircuitSpec(
+            "misex1", 8, 7, False, "small",
+            "substitute: seeded two-level random logic, 8/7 profile "
+            "(layered structure decomposes like the original PLA, unlike "
+            "flat random tables)",
+            lambda: syn.layered_network(
+                "misex1", 8, 7, nodes_per_layer=10, num_layers=2, seed=1
+            ),
+        ),
+        CircuitSpec(
+            "misex2", 25, 18, False, "medium",
+            "substitute: seeded two-level random logic, 25/18 profile "
+            "(misex2 outputs have small supports)",
+            lambda: syn.layered_network(
+                "misex2", 25, 18, nodes_per_layer=24, num_layers=2, seed=2
+            ),
+        ),
+        CircuitSpec(
+            "misex3", 14, 14, False, "medium",
+            "substitute: seeded layered random logic, 14/14 profile",
+            lambda: syn.layered_network(
+                "misex3", 14, 14, nodes_per_layer=20, num_layers=2, seed=3
+            ),
+        ),
+        CircuitSpec(
+            "rd73", 7, 3, True, "small",
+            "exact: 7-input popcount (3 sum bits)",
+            lambda: gen.popcount(7, "rd73"),
+        ),
+        CircuitSpec(
+            "rd84", 8, 4, True, "small",
+            "exact: 8-input popcount (4 sum bits)",
+            lambda: gen.popcount(8, "rd84"),
+        ),
+        CircuitSpec(
+            "rot", 135, 107, False, "medium",
+            "substitute: seeded layered random logic, 135/107 profile",
+            lambda: syn.layered_network(
+                "rot", 135, 107, nodes_per_layer=100, num_layers=2, seed=8
+            ),
+        ),
+        CircuitSpec(
+            "sao2", 10, 4, False, "small",
+            "substitute: seeded two-level random logic, 10/4 profile",
+            lambda: syn.layered_network(
+                "sao2", 10, 4, nodes_per_layer=12, num_layers=2, seed=10
+            ),
+        ),
+        CircuitSpec(
+            "vg2", 25, 8, False, "medium",
+            "substitute: seeded two-level random logic, 25/8 profile",
+            lambda: syn.layered_network(
+                "vg2", 25, 8, nodes_per_layer=20, num_layers=2, seed=22
+            ),
+        ),
+        CircuitSpec(
+            "z4ml", 7, 4, True, "small",
+            "exact: 3-bit + 3-bit + carry-in ripple adder (4-bit sum)",
+            lambda: gen.ripple_adder(3, carry_in=True, name="z4ml"),
+        ),
+        CircuitSpec(
+            "C499", 41, 32, False, "medium",
+            "substitute: 32-bit SEC-style syndrome/correct circuit, 41/32 "
+            "profile (C499 is an error-correction circuit)",
+            _c499_circuit,
+        ),
+        CircuitSpec(
+            "C880", 60, 26, False, "medium",
+            "substitute: 8-bit ALU-style datapath, 60/26 profile (C880 is "
+            "an 8-bit ALU)",
+            _c880_circuit,
+        ),
+    ]
+
+
+CIRCUITS: Dict[str, CircuitSpec] = {spec.name: spec for spec in _spec_list()}
+
+
+def build(name: str) -> Network:
+    """Instantiate a registered benchmark circuit by name."""
+    spec = CIRCUITS.get(name)
+    if spec is None:
+        raise KeyError(f"unknown circuit {name!r}; known: {sorted(CIRCUITS)}")
+    net = spec.builder()
+    if len(net.inputs) != spec.num_inputs or len(net.outputs) != spec.num_outputs:
+        raise AssertionError(
+            f"{name}: built {len(net.inputs)}/{len(net.outputs)}, "
+            f"spec says {spec.num_inputs}/{spec.num_outputs}"
+        )
+    return net
+
+
+def names(size_classes: Optional[List[str]] = None) -> List[str]:
+    """Registered circuit names, optionally filtered by size class."""
+    if size_classes is None:
+        return sorted(CIRCUITS)
+    return sorted(
+        n for n, spec in CIRCUITS.items() if spec.size_class in size_classes
+    )
+
+
+def names_by_class() -> Dict[str, List[str]]:
+    """Circuit names grouped by size class."""
+    out: Dict[str, List[str]] = {}
+    for name, spec in sorted(CIRCUITS.items()):
+        out.setdefault(spec.size_class, []).append(name)
+    return out

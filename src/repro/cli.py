@@ -1,0 +1,187 @@
+"""Command-line interface for the HYDE reproduction.
+
+Usage examples::
+
+    python -m repro.cli circuits                 # list benchmark circuits
+    python -m repro.cli map 9sym --flow hyde     # map one circuit
+    python -m repro.cli map rd84 --flow all      # compare every flow
+    python -m repro.cli table1 --classes small   # regenerate Table 1
+    python -m repro.cli table2 --classes small
+    python -m repro.cli blif my_circuit.blif --flow hyde -o mapped.blif
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from .circuits import CIRCUITS, build
+from .harness import (
+    TABLE1_CLB,
+    TABLE2_LUT,
+    render_comparison,
+    render_table,
+    run_experiment,
+)
+from .mapping import (
+    MapResult,
+    hyde_map,
+    map_column_encoding,
+    map_per_output,
+    map_per_output_resub,
+    map_shannon,
+    map_structural,
+)
+from .network import read_blif, write_blif
+
+FLOWS: Dict[str, Callable] = {
+    "hyde": lambda net, k, verify="bdd": hyde_map(net, k, verify=verify),
+    "per-output": lambda net, k, verify="bdd": map_per_output(
+        net, k, encoding_policy="chart", verify=verify
+    ),
+    "random": lambda net, k, verify="bdd": map_per_output(
+        net, k, encoding_policy="random", verify=verify
+    ),
+    "resub": lambda net, k, verify="bdd": map_per_output_resub(
+        net, k, verify=verify
+    ),
+    "column": lambda net, k, verify="bdd": map_column_encoding(
+        net, k, verify=verify
+    ),
+    "shannon": lambda net, k, verify="bdd": map_shannon(net, k, verify=verify),
+    "structural": lambda net, k, verify="bdd": map_structural(
+        net, k, verify=verify
+    ),
+}
+
+
+def _cmd_circuits(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.num_inputs, spec.num_outputs,
+         "exact" if spec.exact else "stand-in", spec.size_class]
+        for spec in sorted(CIRCUITS.values(), key=lambda s: s.name)
+    ]
+    print(render_table(
+        "registered benchmark circuits",
+        ["name", "PI", "PO", "provenance", "class"],
+        rows,
+    ))
+    return 0
+
+
+def _run_flows(net, args) -> int:
+    labels = list(FLOWS) if args.flow == "all" else [args.flow]
+    rows = []
+    last: MapResult | None = None
+    for label in labels:
+        result = FLOWS[label](net.copy(), args.k, verify=args.verify)
+        rows.append(
+            [label, result.lut_count, result.clb_count,
+             round(result.seconds, 2)]
+        )
+        last = result
+    print(render_table(
+        f"mapping {net.name} (k={args.k})",
+        ["flow", "LUTs", "CLBs", "seconds"],
+        rows,
+    ))
+    if args.output and last is not None:
+        write_blif(last.network, args.output)
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_map(args: argparse.Namespace) -> int:
+    return _run_flows(build(args.circuit), args)
+
+
+def _cmd_blif(args: argparse.Namespace) -> int:
+    return _run_flows(read_blif(args.path), args)
+
+
+def _cmd_table(args: argparse.Namespace, table: int) -> int:
+    classes = {"small": ["small"], "medium": ["small", "medium"],
+               "all": ["small", "medium", "large"]}[args.classes]
+    from .circuits import names
+
+    if table == 1:
+        paper, metric = TABLE1_CLB, "clb_count"
+        flows = {
+            "imodec-like": FLOWS["random"],
+            "fgsyn-like": FLOWS["column"],
+            "hyde": FLOWS["hyde"],
+        }
+        columns = {"imodec-like": "imodec", "fgsyn-like": "fgsyn",
+                   "hyde": "hyde"}
+    else:
+        paper, metric = TABLE2_LUT, "lut_count"
+        flows = {
+            "no-resub": FLOWS["random"],
+            "resub": FLOWS["resub"],
+            "hyde": FLOWS["hyde"],
+        }
+        columns = {"no-resub": "no_resub", "resub": "resub", "hyde": "hyde"}
+
+    selected = [
+        n for n in sorted(paper)
+        if n in CIRCUITS and CIRCUITS[n].size_class in classes
+    ]
+    record = run_experiment(
+        f"table{table}", flows, selected, metric=metric, verbose=args.verbose
+    )
+    print(render_comparison(
+        record, list(flows), paper, columns,
+        f"Table {table} (measured vs paper)",
+    ))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HYDE (DAC 1998) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("circuits", help="list benchmark circuits")
+
+    for name, help_text in [
+        ("map", "map a registered benchmark circuit"),
+        ("blif", "map a BLIF file"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        if name == "map":
+            p.add_argument("circuit", choices=sorted(CIRCUITS))
+        else:
+            p.add_argument("path")
+        p.add_argument("--flow", default="hyde",
+                       choices=list(FLOWS) + ["all"])
+        p.add_argument("-k", type=int, default=5, help="LUT input count")
+        p.add_argument("--verify", default="bdd",
+                       choices=["bdd", "sim", "none"])
+        p.add_argument("-o", "--output", help="write mapped BLIF here")
+
+    for table in (1, 2):
+        p = sub.add_parser(f"table{table}",
+                           help=f"regenerate the paper's Table {table}")
+        p.add_argument("--classes", default="medium",
+                       choices=["small", "medium", "all"])
+        p.add_argument("--verbose", action="store_true")
+
+    args = parser.parse_args(argv)
+    if args.command == "circuits":
+        return _cmd_circuits(args)
+    if args.command == "map":
+        return _cmd_map(args)
+    if args.command == "blif":
+        return _cmd_blif(args)
+    if args.command == "table1":
+        return _cmd_table(args, 1)
+    if args.command == "table2":
+        return _cmd_table(args, 2)
+    parser.error(f"unknown command {args.command!r}")
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,167 @@
+"""The encoding chart: an #R x #C grid of compatible classes.
+
+After the image function's next bound set λ' is known, the code of a
+compatible class splits into *column bits* (the α variables that fell into
+λ') and *row bits* (the α variables left in the free set).  Theorem 3.2
+says only the grid *placement* matters — which classes share a column and
+which share a row — not the exact binary codes of rows and columns, so the
+chart is the natural output of the encoder: codes are read off cell
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["EncodingChart", "pack_chart"]
+
+
+@dataclass
+class EncodingChart:
+    """A filled encoding chart.
+
+    ``cells[r][c]`` holds a class index or ``None`` (an unused code — a
+    don't care of the image function).
+    """
+
+    num_rows: int
+    num_cols: int
+    cells: List[List[Optional[int]]]
+
+    @classmethod
+    def empty(cls, num_rows: int, num_cols: int) -> "EncodingChart":
+        """An all-unused chart."""
+        return cls(
+            num_rows, num_cols, [[None] * num_cols for _ in range(num_rows)]
+        )
+
+    def place(self, class_index: int, row: int, col: int) -> None:
+        """Put a class into a cell (strict encoding: one cell per class)."""
+        if self.cells[row][col] is not None:
+            raise ValueError(f"cell ({row},{col}) already occupied")
+        self.cells[row][col] = class_index
+
+    def position_of(self, class_index: int) -> Tuple[int, int]:
+        """(row, col) of a placed class."""
+        for r in range(self.num_rows):
+            for c in range(self.num_cols):
+                if self.cells[r][c] == class_index:
+                    return (r, c)
+        raise KeyError(class_index)
+
+    def placed_classes(self) -> List[int]:
+        """All class indices present in the chart."""
+        return [
+            cell
+            for row in self.cells
+            for cell in row
+            if cell is not None
+        ]
+
+    def codes(
+        self,
+        num_classes: int,
+        col_alpha_indices: Sequence[int],
+        row_alpha_indices: Sequence[int],
+    ) -> List[Dict[int, int]]:
+        """Binary codes per class: α index -> bit.
+
+        ``col_alpha_indices[j]`` carries bit ``j`` of the column number and
+        ``row_alpha_indices[j]`` bit ``j`` of the row number.
+        """
+        if (1 << len(col_alpha_indices)) < self.num_cols:
+            raise ValueError("not enough column bits")
+        if (1 << len(row_alpha_indices)) < self.num_rows:
+            raise ValueError("not enough row bits")
+        codes: List[Optional[Dict[int, int]]] = [None] * num_classes
+        for r in range(self.num_rows):
+            for c in range(self.num_cols):
+                cls = self.cells[r][c]
+                if cls is None:
+                    continue
+                code: Dict[int, int] = {}
+                for j, a in enumerate(col_alpha_indices):
+                    code[a] = (c >> j) & 1
+                for j, a in enumerate(row_alpha_indices):
+                    code[a] = (r >> j) & 1
+                codes[cls] = code
+        missing = [i for i, code in enumerate(codes) if code is None]
+        if missing:
+            raise ValueError(f"classes without a cell: {missing}")
+        return codes  # type: ignore[return-value]
+
+    def render(self, labels: Optional[Sequence[str]] = None) -> str:
+        """ASCII rendering (for the figure benchmarks)."""
+        def label(cell: Optional[int]) -> str:
+            if cell is None:
+                return "-"
+            return labels[cell] if labels else str(cell)
+
+        width = max(
+            [len(label(c)) for row in self.cells for c in row] + [1]
+        )
+        lines = []
+        for row in self.cells:
+            lines.append(" ".join(label(c).rjust(width) for c in row))
+        return "\n".join(lines)
+
+
+def pack_chart(
+    row_sets: Sequence[Sequence[int]],
+    column_set_of_class: Dict[int, int],
+    column_set_sizes: Dict[int, int],
+    num_rows: int,
+    num_cols: int,
+) -> Optional[EncodingChart]:
+    """Place classes into a chart honouring row sets and column sets.
+
+    Each row set occupies one chart row.  Classes belonging to a
+    multi-member column set are pinned to that set's column when free;
+    everything else packs greedily into the lowest free column of its row
+    (this is how the paper's Example 3.2 absorbs the singleton column sets
+    Π1 and Π5 into Π2/Π7's column).  Returns ``None`` when the packing
+    does not fit the ``num_rows`` x ``num_cols`` grid.
+    """
+    if len(row_sets) > num_rows:
+        return None
+    # Deterministic column index per multi-member column set, big sets first.
+    multi_sets = sorted(
+        (cs for cs, size in column_set_sizes.items() if size >= 2),
+        key=lambda cs: (-column_set_sizes[cs], cs),
+    )
+    col_of_set: Dict[int, int] = {}
+    for i, cs in enumerate(multi_sets):
+        if i >= num_cols:
+            break  # surplus sets lose their pinning and pack greedily
+        col_of_set[cs] = i
+
+    chart = EncodingChart.empty(num_rows, num_cols)
+    for r, row in enumerate(row_sets):
+        if len(row) > num_cols:
+            return None
+        used: set = set()
+        pinned: List[int] = []
+        floating: List[int] = []
+        for cls in row:
+            cs = column_set_of_class.get(cls)
+            if cs is not None and cs in col_of_set:
+                pinned.append(cls)
+            else:
+                floating.append(cls)
+        for cls in sorted(pinned):
+            c = col_of_set[column_set_of_class[cls]]
+            if c in used:
+                floating.append(cls)
+                continue
+            chart.place(cls, r, c)
+            used.add(c)
+        for cls in sorted(floating):
+            c = next(
+                (x for x in range(num_cols) if x not in used), None
+            )
+            if c is None:
+                return None
+            chart.place(cls, r, c)
+            used.add(c)
+    return chart

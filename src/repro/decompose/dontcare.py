@@ -1,0 +1,173 @@
+"""Don't care assignment as clique partitioning (paper Section 3.1).
+
+Columns of an incompletely specified function can be *merged* when they
+never disagree on a specified minterm.  The paper builds a compatibility
+graph over the λ-set vertices and covers it with the fewest cliques, each
+clique becoming one compatible class; since clique partitioning is
+NP-complete it uses the polynomial heuristic from Gajski et al.'s
+*High-Level Synthesis* text (reference [9]) — the classic
+Tseng/Siewiorek-style "merge the pair with the most common neighbours"
+procedure implemented here.
+
+The same machinery is reused by the chart encoder to count the compatible
+classes of an image function whose unused codes are don't cares.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Sequence, Set, Tuple
+
+from ..bdd import FALSE, TRUE, BddManager
+from .compatible import Column
+
+__all__ = ["clique_partition", "assign_dontcares", "compatibility_graph"]
+
+
+def clique_partition(
+    num_vertices: int, compatible: Callable[[int, int], bool]
+) -> List[List[int]]:
+    """Partition vertices into cliques of the compatibility graph.
+
+    ``compatible(i, j)`` must be symmetric.  Returns a list of cliques
+    (lists of vertex ids), each vertex in exactly one clique.  The
+    heuristic repeatedly merges the pair of super-vertices with the most
+    common compatible neighbours (ties: oldest pair), which is Gajski's
+    recommended clique-partitioning procedure.
+    """
+    # adjacency over super-vertices; a super-vertex is a clique-in-progress.
+    cliques: List[List[int]] = [[v] for v in range(num_vertices)]
+    adjacency: List[Set[int]] = [set() for _ in range(num_vertices)]
+    for i in range(num_vertices):
+        for j in range(i + 1, num_vertices):
+            if compatible(i, j):
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+
+    alive: Set[int] = set(range(num_vertices))
+    while True:
+        best: Tuple[int, int, int] | None = None  # (common, -i, -j) maximised
+        best_pair: Tuple[int, int] | None = None
+        alive_sorted = sorted(alive)
+        for a_pos, i in enumerate(alive_sorted):
+            for j in alive_sorted[a_pos + 1 :]:
+                if j not in adjacency[i]:
+                    continue
+                common = len(adjacency[i] & adjacency[j] & alive)
+                key = (common, -i, -j)
+                if best is None or key > best:
+                    best = key
+                    best_pair = (i, j)
+        if best_pair is None:
+            break
+        i, j = best_pair
+        # Merge j into i: the merged vertex is compatible with the
+        # intersection of the neighbourhoods (clique property).
+        cliques[i].extend(cliques[j])
+        merged_adj = adjacency[i] & adjacency[j]
+        merged_adj.discard(i)
+        merged_adj.discard(j)
+        adjacency[i] = merged_adj
+        for k in alive:
+            if k in (i, j):
+                continue
+            adjacency[k].discard(j)
+            if k not in merged_adj:
+                adjacency[k].discard(i)
+        alive.discard(j)
+
+    return [sorted(cliques[i]) for i in sorted(alive)]
+
+
+def compatibility_graph(
+    manager: BddManager, columns: Sequence[Column]
+) -> List[Set[int]]:
+    """Adjacency sets of the column-compatibility graph (Section 3.1)."""
+    num = len(columns)
+    offs = [
+        manager.apply_diff(manager.apply_not(c.on), c.dc) for c in columns
+    ]
+    adjacency: List[Set[int]] = [set() for _ in range(num)]
+    for i in range(num):
+        for j in range(i + 1, num):
+            conflict = manager.apply_or(
+                manager.apply_and(columns[i].on, offs[j]),
+                manager.apply_and(columns[j].on, offs[i]),
+            )
+            if conflict == FALSE:
+                adjacency[i].add(j)
+                adjacency[j].add(i)
+    return adjacency
+
+
+def assign_dontcares(
+    manager: BddManager, columns: Sequence[Column]
+) -> Tuple[List[int], List[Column]]:
+    """Merge compatible columns into the fewest classes the heuristic finds.
+
+    Returns ``(class_of_position, class_functions)`` where the class
+    function of a clique is the pairwise merge of its member columns
+    (on = union of on-sets, dc = intersection of dc-sets).
+
+    Note: pairwise compatibility inside a clique does *not* by itself
+    guarantee the merged column is consistent — pairwise-compatible columns
+    can conflict jointly (a's on overlaps the union of others' offs only
+    after merging).  The standard fix, used here, is to merge greedily and
+    verify: a member that conflicts with the running merge is split off
+    into a fresh class.
+    """
+    # Deduplicate identical columns first; the clique heuristic is
+    # quadratic and identical columns are always mergeable.
+    interned: Dict[Tuple[int, int], int] = {}
+    rep_columns: List[Column] = []
+    rep_of_position: List[int] = []
+    for col in columns:
+        index = interned.get(col.key)
+        if index is None:
+            index = len(rep_columns)
+            interned[col.key] = index
+            rep_columns.append(col)
+        rep_of_position.append(index)
+
+    adjacency = compatibility_graph(manager, rep_columns)
+    cliques = clique_partition(
+        len(rep_columns), lambda i, j: j in adjacency[i]
+    )
+
+    class_functions: List[Column] = []
+    class_of_rep: Dict[int, int] = {}
+    off_of = [
+        manager.apply_diff(manager.apply_not(c.on), c.dc) for c in rep_columns
+    ]
+    for clique in cliques:
+        pending = list(clique)
+        while pending:
+            # The merged class must be ON wherever any member is ON and OFF
+            # wherever any member is OFF; it is consistent iff those sets
+            # stay disjoint.  Members that would break disjointness are
+            # deferred to a fresh class.
+            merged_on = FALSE
+            merged_off = FALSE
+            members: List[int] = []
+            rest: List[int] = []
+            for rep in pending:
+                col_on, col_off = rep_columns[rep].on, off_of[rep]
+                if (
+                    manager.apply_and(merged_on, col_off) != FALSE
+                    or manager.apply_and(merged_off, col_on) != FALSE
+                ):
+                    rest.append(rep)
+                    continue
+                merged_on = manager.apply_or(merged_on, col_on)
+                merged_off = manager.apply_or(merged_off, col_off)
+                members.append(rep)
+            merged_dc = manager.apply_diff(
+                manager.apply_not(merged_on), merged_off
+            )
+            class_index = len(class_functions)
+            class_functions.append(Column(merged_on, merged_dc))
+            for rep in members:
+                class_of_rep[rep] = class_index
+            pending = rest
+
+    class_of_position = [class_of_rep[rep] for rep in rep_of_position]
+    return class_of_position, class_functions

@@ -1,0 +1,164 @@
+"""Partition algebra over column patterns (paper Definitions 3.1 and 4.6).
+
+A *partition* Π = <s0, ..., s_{n-1}> is the symbolic notation of ``n``
+column patterns: position ``i`` carries a symbol and two positions carry
+the same symbol iff their column patterns are equal.  In the decomposition
+machinery the positions are the assignments of the image function's next
+bound set (Y1) and the symbols are (globally interned ids of) the residual
+sub-functions of the remaining free variables — so symbols are comparable
+*across* partitions, which the paper's Step-7 benefit Bc relies on.
+
+The module implements:
+
+* conjunction partition Πc — stacking partitions vertically in one chart
+  column (position-wise symbol tuples),
+* disjunction partition Πd — stacking horizontally in one chart row
+  (position concatenation),
+* multiplicity — number of distinct symbols,
+* containment (Definition 4.6) — A contained by B iff multiplicity(B)
+  equals multiplicity(Πc{A, B}),
+* Psc analysis (Figure 4) — the groups of positions holding identical
+  content, the raw material of the column-graph construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Hashable, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "Partition",
+    "conjunction",
+    "disjunction",
+    "contains",
+    "same_content_position_groups",
+    "psc_key",
+]
+
+Symbol = Hashable
+
+
+@dataclass(frozen=True)
+class Partition:
+    """An immutable partition <s0, ..., s_{n-1}> of column patterns."""
+
+    symbols: Tuple[Symbol, ...]
+
+    @classmethod
+    def of(cls, symbols: Iterable[Symbol]) -> "Partition":
+        """Build from any iterable of hashable symbols."""
+        return cls(tuple(symbols))
+
+    @property
+    def num_positions(self) -> int:
+        """Number of positions (column-pattern slots)."""
+        return len(self.symbols)
+
+    @property
+    def multiplicity(self) -> int:
+        """Number of distinct symbols (paper Section 3.2)."""
+        return len(set(self.symbols))
+
+    def symbol_set(self) -> FrozenSet[Symbol]:
+        """The distinct symbols as a frozenset."""
+        return frozenset(self.symbols)
+
+    def symbol_counts(self) -> Dict[Symbol, int]:
+        """Occurrences of each symbol."""
+        counts: Dict[Symbol, int] = {}
+        for s in self.symbols:
+            counts[s] = counts.get(s, 0) + 1
+        return counts
+
+    def positions_of(self, symbol: Symbol) -> Tuple[int, ...]:
+        """Positions carrying ``symbol``."""
+        return tuple(i for i, s in enumerate(self.symbols) if s == symbol)
+
+    def blocks(self) -> List[Tuple[int, ...]]:
+        """Position groups per symbol, ordered by first occurrence."""
+        seen: Dict[Symbol, List[int]] = {}
+        order: List[Symbol] = []
+        for i, s in enumerate(self.symbols):
+            if s not in seen:
+                seen[s] = []
+                order.append(s)
+            seen[s].append(i)
+        return [tuple(seen[s]) for s in order]
+
+    def canonical(self) -> "Partition":
+        """Rename symbols to 0, 1, ... in order of first occurrence.
+
+        Two partitions describe the same *structure* iff their canonical
+        forms are equal — but note this deliberately destroys the global
+        symbol identities used by Step 7's Bc benefit.
+        """
+        mapping: Dict[Symbol, int] = {}
+        out: List[int] = []
+        for s in self.symbols:
+            if s not in mapping:
+                mapping[s] = len(mapping)
+            out.append(mapping[s])
+        return Partition(tuple(out))
+
+    def refines(self, other: "Partition") -> bool:
+        """True iff equal symbols here imply equal symbols in ``other``."""
+        if self.num_positions != other.num_positions:
+            raise ValueError("position-count mismatch")
+        rep: Dict[Symbol, Symbol] = {}
+        for s, t in zip(self.symbols, other.symbols):
+            if s in rep and rep[s] != t:
+                return False
+            rep[s] = t
+        return True
+
+    def __str__(self) -> str:
+        return "<" + ",".join(str(s) for s in self.symbols) + ">"
+
+
+def conjunction(partitions: Sequence[Partition]) -> Partition:
+    """Conjunction partition Πc: stack vertically in one chart column.
+
+    Position ``i`` of the result carries the tuple of member symbols at
+    ``i`` — two positions of Πc agree iff they agree in *every* member.
+    """
+    if not partitions:
+        raise ValueError("conjunction of an empty set is undefined")
+    n = partitions[0].num_positions
+    if any(p.num_positions != n for p in partitions):
+        raise ValueError("all partitions must share the position count")
+    return Partition(
+        tuple(tuple(p.symbols[i] for p in partitions) for i in range(n))
+    )
+
+
+def disjunction(partitions: Sequence[Partition]) -> Partition:
+    """Disjunction partition Πd: stack horizontally in one chart row.
+
+    Positions are concatenated; symbols keep their global identity, so a
+    symbol shared between members collapses the corresponding patterns.
+    """
+    if not partitions:
+        raise ValueError("disjunction of an empty set is undefined")
+    out: List[Symbol] = []
+    for p in partitions:
+        out.extend(p.symbols)
+    return Partition(tuple(out))
+
+
+def contains(container: Partition, contained: Partition) -> bool:
+    """Definition 4.6: ``contained`` is contained by ``container`` iff
+    multiplicity(container) == multiplicity(Πc{contained, container})."""
+    return (
+        container.multiplicity
+        == conjunction([contained, container]).multiplicity
+    )
+
+
+def same_content_position_groups(partition: Partition) -> List[Tuple[int, ...]]:
+    """Figure 4(a): maximal groups (size >= 2) of positions with equal content."""
+    return [block for block in partition.blocks() if len(block) >= 2]
+
+
+def psc_key(positions: Sequence[int]) -> Tuple[int, ...]:
+    """Canonical key of a Psc (a sorted position tuple), e.g. Psc_03 = (0, 3)."""
+    return tuple(sorted(positions))

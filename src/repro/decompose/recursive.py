@@ -1,0 +1,186 @@
+"""Recursive decomposition of a function into a k-feasible network.
+
+Repeats :func:`repro.decompose.rothkarp.decompose_step` on the image
+function until every produced node has at most ``k`` inputs, emitting LUT
+nodes into a :class:`~repro.network.Network`.  The same driver serves the
+single-output flow and the hyper-function flow (the latter passes pseudo
+primary inputs through ``options``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import FALSE, BddManager
+from ..boolfunc import TruthTable
+from ..network import Network
+from .compatible import Column
+from .rothkarp import DecompositionOptions, DecompositionStep, decompose_step
+
+__all__ = ["decompose_to_network", "DecompositionTrace"]
+
+
+@dataclass
+class DecompositionTrace:
+    """Record of the steps taken while decomposing one root function."""
+
+    steps: List[DecompositionStep] = field(default_factory=list)
+    emitted_nodes: List[str] = field(default_factory=list)
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.steps)
+
+
+def decompose_to_network(
+    manager: BddManager,
+    on: int,
+    net: Network,
+    signal_of_level: Dict[int, str],
+    options: DecompositionOptions,
+    dc: int = FALSE,
+    prefix: str = "d",
+    trace: Optional[DecompositionTrace] = None,
+) -> str:
+    """Decompose ``(on, dc)`` into k-feasible nodes of ``net``.
+
+    ``signal_of_level`` maps manager variable levels to existing network
+    signal names; new α signals are appended to it as they are created.
+    Returns the name of the signal computing the root function (don't
+    cares resolved by the recursion; the final node covers the on-set of
+    whatever completely specified function the steps settled on).
+    """
+    if trace is None:
+        trace = DecompositionTrace()
+
+    support = sorted(
+        set(manager.support(on)) | set(manager.support(dc))
+    )
+    # Don't cares at the root are resolved toward the on-set cover so the
+    # emitted node is completely specified.
+    if len(support) <= options.k:
+        return _emit_node(manager, on, support, net, signal_of_level, prefix, trace)
+
+    step = decompose_step(manager, on, support, options, dc=dc)
+
+    if step.alpha_levels and len(step.alpha_levels) >= len(step.bound_levels):
+        # No progress: as many alpha functions as bound variables (the
+        # function is essentially undecomposable for this bound set).
+        # Fall back to a Shannon split, which always shrinks the support.
+        return _shannon_split(
+            manager, on, dc, support, net, signal_of_level, options, prefix, trace
+        )
+    trace.steps.append(step)
+
+    if step.num_classes < 2:
+        # f is (by don't-care assignment) independent of the bound set.
+        fc = step.image
+        return decompose_to_network(
+            manager, fc.on, net, signal_of_level, options,
+            dc=fc.dc, prefix=prefix, trace=trace,
+        )
+
+    # Emit the α functions as LUT nodes over the bound-set signals.
+    for j, (alpha_level, table) in enumerate(
+        zip(step.alpha_levels, step.alpha_tables)
+    ):
+        fanins = [signal_of_level[lv] for lv in step.bound_levels]
+        reduced, kept = table.minimize_support()
+        name = net.fresh_name(f"{prefix}_a")
+        if reduced.num_inputs == 0:
+            net.add_constant(name, 1 if reduced.mask else 0)
+        else:
+            net.add_node(name, [fanins[i] for i in kept], reduced)
+        signal_of_level[alpha_level] = name
+        trace.emitted_nodes.append(name)
+
+    # Recurse on the image function.
+    return decompose_to_network(
+        manager,
+        step.image.on,
+        net,
+        signal_of_level,
+        options,
+        dc=step.image.dc,
+        prefix=prefix,
+        trace=trace,
+    )
+
+
+def _shannon_split(
+    manager: BddManager,
+    on: int,
+    dc: int,
+    support: Sequence[int],
+    net: Network,
+    signal_of_level: Dict[int, str],
+    options: DecompositionOptions,
+    prefix: str,
+    trace: DecompositionTrace,
+) -> str:
+    """f = ite(x, f1, f0) on the support variable whose split is cheapest."""
+    best_level = min(
+        support,
+        key=lambda lv: manager.size(manager.restrict(on, {lv: 0}))
+        + manager.size(manager.restrict(on, {lv: 1})),
+    )
+    cofactors = []
+    for value in (0, 1):
+        cofactors.append(
+            decompose_to_network(
+                manager,
+                manager.restrict(on, {best_level: value}),
+                net,
+                signal_of_level,
+                options,
+                dc=manager.restrict(dc, {best_level: value}),
+                prefix=prefix,
+                trace=trace,
+            )
+        )
+    mux = TruthTable.from_function(3, lambda s, f0, f1: f1 if s else f0)
+    fanins = [signal_of_level[best_level], cofactors[0], cofactors[1]]
+    if len(set(fanins)) != len(fanins):
+        # Degenerate (equal cofactor signals): just reuse one cofactor.
+        if cofactors[0] == cofactors[1]:
+            return cofactors[0]
+        position = {sig: j for j, sig in enumerate(dict.fromkeys(fanins))}
+        mapping = [position[sig] for sig in fanins]
+        mux = mux.remap_inputs(len(position), mapping)
+        fanins = list(dict.fromkeys(fanins))
+    name = net.fresh_name(f"{prefix}_sh")
+    net.add_node(name, fanins, mux)
+    trace.emitted_nodes.append(name)
+    return name
+
+
+def _emit_node(
+    manager: BddManager,
+    on: int,
+    support: Sequence[int],
+    net: Network,
+    signal_of_level: Dict[int, str],
+    prefix: str,
+    trace: DecompositionTrace,
+) -> str:
+    if not support:
+        name = net.fresh_name(f"{prefix}_const")
+        net.add_constant(name, 1 if on != FALSE else 0)
+        trace.emitted_nodes.append(name)
+        return name
+    mask = manager.to_truth_table(on, list(support))
+    table = TruthTable(len(support), mask)
+    reduced, kept = table.minimize_support()
+    fanins = [signal_of_level[support[i]] for i in kept]
+    if reduced.num_inputs == 0:
+        name = net.fresh_name(f"{prefix}_const")
+        net.add_constant(name, 1 if reduced.mask else 0)
+    elif reduced.num_inputs == 1 and reduced.mask == 0b10:
+        # A buffer: reuse the driving signal directly.
+        return fanins[0]
+    else:
+        name = net.fresh_name(f"{prefix}_g")
+        net.add_node(name, fanins, reduced)
+    trace.emitted_nodes.append(name)
+    return name

@@ -1,0 +1,266 @@
+"""Bound-set (λ set) selection — the role of the paper's reference [2].
+
+Jiang et al. (ASP-DAC'97) select the λ set by counting, on the BDD, the
+number of distinct sub-functions below the cut for candidate bound sets.
+This module implements the same cost function (the compatible class count,
+computed by cofactor enumeration, which is exactly the BDD cut count) with
+a search strategy sized to pure Python:
+
+* exhaustive search over all bound sets when the binomial is small,
+* otherwise greedy growth plus a swap-improvement pass.
+
+Two performance notes:
+
+* During the *search*, class counts are syntactic — distinct (on, dc)
+  cofactor pairs, no clique-partitioned don't-care merging — because the
+  merge is expensive and rarely changes the ranking.  The final
+  ``num_classes`` reported for the chosen bound set is exact.
+* Greedy candidate evaluation is incremental: the distinct cofactors of
+  the current bound set are kept, and adding variable ``x`` only restricts
+  those (small) residual functions on ``x`` instead of re-enumerating all
+  ``2**b`` cofactors of the root.
+
+Ties are broken toward lexicographically smallest level tuples so results
+are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..bdd import FALSE, BddManager
+from .compatible import count_classes
+
+__all__ = ["VariablePartition", "select_bound_set"]
+
+
+@dataclass(frozen=True)
+class VariablePartition:
+    """A chosen (bound set, free set) pair with its class count."""
+
+    bound_levels: Tuple[int, ...]
+    free_levels: Tuple[int, ...]
+    num_classes: int
+
+
+def _syntactic_count(
+    manager: BddManager, on: int, dc: int, bound: Sequence[int]
+) -> int:
+    """Distinct (on, dc) column pairs — the cheap search cost."""
+    on_parts = manager.cofactor_enumerate(on, list(bound))
+    if dc == FALSE:
+        return len(set(on_parts))
+    dc_parts = manager.cofactor_enumerate(dc, list(bound))
+    return len(set(zip(on_parts, dc_parts)))
+
+
+def select_bound_set(
+    manager: BddManager,
+    on: int,
+    support: Sequence[int],
+    bound_size: int,
+    dc: int = FALSE,
+    use_dontcares: bool = True,
+    exhaustive_limit: int = 512,
+    forbidden: Iterable[int] = (),
+    preferred_free: Iterable[int] = (),
+) -> VariablePartition:
+    """Pick the bound set of ``bound_size`` variables minimising classes.
+
+    Parameters
+    ----------
+    support:
+        Candidate variable levels (normally the function's true support).
+    forbidden:
+        Levels that must stay in the free set (the hyper-function flow uses
+        this to pin pseudo primary inputs per the column-encoding baseline).
+        Demoted to a preference when too few other candidates remain.
+    preferred_free:
+        Levels to keep free when the cost ties (HYDE's "keep PPIs close to
+        the output" preference from Section 4.3).
+    exhaustive_limit:
+        Exhaustive search is used when C(|support|, bound_size) does not
+        exceed this; greedy + swap otherwise.
+    """
+    forbidden_set = set(forbidden)
+    preferred_free_set = set(preferred_free)
+    candidates = [lv for lv in support if lv not in forbidden_set]
+    if bound_size >= len(candidates):
+        # Not enough unforbidden variables (possible late in a force-free
+        # PPI decomposition): demote the exclusion to a preference.
+        preferred_free_set |= forbidden_set
+        candidates = list(support)
+    if bound_size >= len(candidates):
+        raise ValueError(
+            f"bound size {bound_size} must be smaller than the candidate "
+            f"support ({len(candidates)} variables)"
+        )
+
+    def key_of(bound: Tuple[int, ...]) -> Tuple:
+        classes = _syntactic_count(manager, on, dc, bound)
+        penalty = sum(1 for lv in bound if lv in preferred_free_set)
+        return (classes, penalty, bound)
+
+    # Very wide supports: restrict the search to the topmost-in-order
+    # support variables (cheap to cofactor and, as in reference [2]'s
+    # BDD-cut selection, the natural candidates for the bound set).
+    # Preferred-free variables are pruned first.
+    max_candidates = 20
+    if len(candidates) > max_candidates:
+        candidates = sorted(
+            candidates,
+            key=lambda lv: (lv in preferred_free_set, lv),
+        )[:max_candidates]
+
+    total = math.comb(len(candidates), bound_size)
+    if total <= exhaustive_limit:
+        best = _exhaustive_bound_set(
+            manager, on, dc, candidates, bound_size, preferred_free_set
+        )
+    else:
+        best = _greedy_bound_set(
+            manager, on, dc, candidates, bound_size, preferred_free_set
+        )
+        best = _swap_improve(
+            manager, on, dc, candidates, best, key_of
+        )
+
+    free = tuple(lv for lv in support if lv not in set(best))
+    return VariablePartition(
+        bound_levels=tuple(sorted(best)),
+        free_levels=free,
+        num_classes=count_classes(
+            manager, on, list(best), dc, use_dontcares
+        ),
+    )
+
+
+def _exhaustive_bound_set(
+    manager: BddManager,
+    on: int,
+    dc: int,
+    candidates: Sequence[int],
+    bound_size: int,
+    preferred_free: Set[int],
+) -> Tuple[int, ...]:
+    """Exact search over all bound sets via shared-prefix DFS.
+
+    The DFS carries the distinct residual set for the chosen prefix and
+    extends it one variable at a time (two persistent-cached single-var
+    cofactors per residual), so common prefixes are never re-evaluated.
+    No count-based pruning is applied: the distinct-residual count is NOT
+    monotone in the bound set (columns that differ only in a variable
+    added later can collapse), so any such prune would be unsound.
+    """
+    ordered = sorted(candidates)
+    best: Optional[Tuple] = None  # (classes, penalty, bound)
+
+    def penalty_of(bound: Tuple[int, ...]) -> int:
+        return sum(1 for lv in bound if lv in preferred_free)
+
+    def dfs(start: int, chosen: List[int], distinct) -> None:
+        nonlocal best
+        if len(chosen) == bound_size:
+            key = (len(distinct), penalty_of(tuple(chosen)), tuple(chosen))
+            if best is None or key < best:
+                best = key
+            return
+        need = bound_size - len(chosen)
+        for i in range(start, len(ordered) - need + 1):
+            lv = ordered[i]
+            extended = set()
+            for res_on, res_dc in distinct:
+                for value in (0, 1):
+                    extended.add(
+                        (
+                            manager.cofactor(res_on, lv, value),
+                            manager.cofactor(res_dc, lv, value)
+                            if res_dc != FALSE
+                            else FALSE,
+                        )
+                    )
+            chosen.append(lv)
+            dfs(i + 1, chosen, extended)
+            chosen.pop()
+
+    dfs(0, [], {(on, dc)})
+    assert best is not None
+    return best[2]
+
+
+def _greedy_bound_set(
+    manager: BddManager,
+    on: int,
+    dc: int,
+    candidates: Sequence[int],
+    bound_size: int,
+    preferred_free: Set[int],
+) -> Tuple[int, ...]:
+    """Greedy growth with incremental cofactor sets.
+
+    The state is the set of distinct (on, dc) residual pairs for the
+    current bound; adding a candidate only cofactors those residuals.
+    """
+    chosen: List[int] = []
+    remaining = list(candidates)
+    distinct: List[Tuple[int, int]] = [(on, dc)]
+    while len(chosen) < bound_size:
+        best_lv = None
+        best_key: Optional[Tuple] = None
+        best_distinct: Optional[List[Tuple[int, int]]] = None
+        for lv in remaining:
+            new_set = set()
+            for res_on, res_dc in distinct:
+                for value in (0, 1):
+                    new_set.add(
+                        (
+                            manager.cofactor(res_on, lv, value),
+                            manager.cofactor(res_dc, lv, value)
+                            if res_dc != FALSE
+                            else FALSE,
+                        )
+                    )
+            key = (
+                len(new_set),
+                1 if lv in preferred_free else 0,
+                lv,
+            )
+            if best_key is None or key < best_key:
+                best_key = key
+                best_lv = lv
+                best_distinct = sorted(new_set)
+        chosen.append(best_lv)  # type: ignore[arg-type]
+        remaining.remove(best_lv)
+        distinct = list(best_distinct or [])
+    return tuple(sorted(chosen))
+
+
+def _swap_improve(
+    manager: BddManager,
+    on: int,
+    dc: int,
+    candidates: Sequence[int],
+    bound: Tuple[int, ...],
+    key_of,
+    max_rounds: int = 3,
+) -> Tuple[int, ...]:
+    current = tuple(sorted(bound))
+    current_key = key_of(current)
+    for _ in range(max_rounds):
+        improved = False
+        outside = [lv for lv in candidates if lv not in current]
+        for inside in current:
+            for lv in outside:
+                trial = tuple(sorted([x for x in current if x != inside] + [lv]))
+                trial_key = key_of(trial)
+                if trial_key < current_key:
+                    current, current_key = trial, trial_key
+                    improved = True
+                    break
+            if improved:
+                break
+        if not improved:
+            break
+    return current

@@ -1,0 +1,29 @@
+"""Experiment harness: runners, result records, the paper's published
+numbers and ASCII comparison reports."""
+
+from .archive import RecordDiff, compare_records, load_record, save_record
+from .paper_data import TABLE1_CLB, TABLE1_CPU_SECONDS, TABLE2_LUT
+from .records import CircuitRecord, ExperimentRecord, FlowRecord
+from .report import format_cell, render_comparison, render_table
+from .runner import default_size_classes, run_experiment
+from .timing import Stopwatch, timed
+
+__all__ = [
+    "TABLE1_CLB",
+    "TABLE1_CPU_SECONDS",
+    "TABLE2_LUT",
+    "FlowRecord",
+    "CircuitRecord",
+    "ExperimentRecord",
+    "run_experiment",
+    "default_size_classes",
+    "render_table",
+    "render_comparison",
+    "format_cell",
+    "Stopwatch",
+    "timed",
+    "save_record",
+    "load_record",
+    "compare_records",
+    "RecordDiff",
+]

@@ -1,0 +1,90 @@
+"""Archiving and regression comparison of experiment runs.
+
+``save_record``/``load_record`` persist :class:`ExperimentRecord`s as
+JSON; :func:`compare_records` diffs two runs of the same experiment —
+useful for tracking whether a change to the flow regressed any circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from .records import ExperimentRecord
+
+__all__ = ["save_record", "load_record", "compare_records", "RecordDiff"]
+
+
+def save_record(record: ExperimentRecord, path: Union[str, Path]) -> None:
+    """Write a record to a JSON file."""
+    Path(path).write_text(record.to_json())
+
+
+def load_record(path: Union[str, Path]) -> ExperimentRecord:
+    """Read a record back from a JSON file."""
+    return ExperimentRecord.from_json(Path(path).read_text())
+
+
+@dataclass
+class RecordDiff:
+    """Differences between two runs of one experiment."""
+
+    metric: str
+    improved: List[Tuple[str, str, int, int]] = field(default_factory=list)
+    regressed: List[Tuple[str, str, int, int]] = field(default_factory=list)
+    unchanged: int = 0
+    only_in_old: List[Tuple[str, str]] = field(default_factory=list)
+    only_in_new: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def has_regressions(self) -> bool:
+        return bool(self.regressed)
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.unchanged} unchanged, {len(self.improved)} improved, "
+            f"{len(self.regressed)} regressed"
+        ]
+        for circuit, flow, old, new in self.regressed:
+            lines.append(f"  REGRESSED {circuit}/{flow}: {old} -> {new}")
+        for circuit, flow, old, new in self.improved:
+            lines.append(f"  improved  {circuit}/{flow}: {old} -> {new}")
+        return "\n".join(lines)
+
+
+def compare_records(
+    old: ExperimentRecord, new: ExperimentRecord
+) -> RecordDiff:
+    """Diff two runs (lower metric values are better)."""
+    if old.metric != new.metric:
+        raise ValueError(
+            f"metric mismatch: {old.metric!r} vs {new.metric!r}"
+        )
+    diff = RecordDiff(metric=old.metric)
+    old_values: Dict[Tuple[str, str], Optional[int]] = {}
+    for crec in old.circuits:
+        for flow in crec.flows:
+            old_values[(crec.circuit, flow)] = crec.value(flow, old.metric)
+    seen = set()
+    for crec in new.circuits:
+        for flow in crec.flows:
+            key = (crec.circuit, flow)
+            seen.add(key)
+            new_value = crec.value(flow, new.metric)
+            if key not in old_values:
+                diff.only_in_new.append(key)
+                continue
+            old_value = old_values[key]
+            if old_value is None or new_value is None:
+                diff.unchanged += 1
+            elif new_value < old_value:
+                diff.improved.append((key[0], key[1], old_value, new_value))
+            elif new_value > old_value:
+                diff.regressed.append((key[0], key[1], old_value, new_value))
+            else:
+                diff.unchanged += 1
+    for key in old_values:
+        if key not in seen:
+            diff.only_in_old.append(key)
+    return diff

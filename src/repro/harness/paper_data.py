@@ -1,0 +1,77 @@
+"""The paper's published numbers (Tables 1 and 2), embedded verbatim.
+
+Used by the benchmark harness to print paper-vs-measured comparisons.
+``None`` marks a '-' in the original table (result not reported).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["TABLE1_CLB", "TABLE1_CPU_SECONDS", "TABLE2_LUT"]
+
+# Table 1: XC3000 CLB counts. circuit -> {"imodec": ..., "fgsyn": ..., "hyde": ...}
+TABLE1_CLB: Dict[str, Dict[str, Optional[int]]] = {
+    "5xp1": {"imodec": 9, "fgsyn": 9, "hyde": 10},
+    "9sym": {"imodec": 7, "fgsyn": 7, "hyde": 6},
+    "alu2": {"imodec": 46, "fgsyn": 55, "hyde": 43},
+    "alu4": {"imodec": 168, "fgsyn": 56, "hyde": 140},
+    "apex6": {"imodec": 129, "fgsyn": 181, "hyde": 135},
+    "apex7": {"imodec": 41, "fgsyn": 43, "hyde": 39},
+    "clip": {"imodec": 12, "fgsyn": 18, "hyde": 11},
+    "count": {"imodec": 26, "fgsyn": 23, "hyde": 24},
+    "des": {"imodec": 489, "fgsyn": None, "hyde": 408},
+    "duke2": {"imodec": 122, "fgsyn": 85, "hyde": 75},
+    "e64": {"imodec": 55, "fgsyn": 44, "hyde": 48},
+    "f51m": {"imodec": 8, "fgsyn": 8, "hyde": 8},
+    "misex1": {"imodec": 9, "fgsyn": 8, "hyde": 9},
+    "misex2": {"imodec": 21, "fgsyn": 22, "hyde": 22},
+    "rd73": {"imodec": 5, "fgsyn": 5, "hyde": 5},
+    "rd84": {"imodec": 8, "fgsyn": 8, "hyde": 7},
+    "rot": {"imodec": 127, "fgsyn": 136, "hyde": 125},
+    "sao2": {"imodec": 17, "fgsyn": 25, "hyde": 17},
+    "vg2": {"imodec": 19, "fgsyn": 17, "hyde": 18},
+    "z4ml": {"imodec": 4, "fgsyn": 4, "hyde": 4},
+    "C499": {"imodec": 50, "fgsyn": 54, "hyde": 50},
+    "C880": {"imodec": 81, "fgsyn": 87, "hyde": 68},
+}
+
+# Table 1's CPU-time column (SUN SPARC 20 seconds) for the HYDE runs.
+TABLE1_CPU_SECONDS: Dict[str, float] = {
+    "5xp1": 1.3, "9sym": 22.8, "alu2": 554.4, "alu4": 911.7, "apex6": 108.7,
+    "apex7": 9.6, "clip": 407.2, "count": 1.6, "des": 236.6, "duke2": 28.0,
+    "e64": 0.0, "f51m": 10.4, "misex1": 11.8, "misex2": 3.3, "rd73": 3.0,
+    "rd84": 16.0, "rot": 132.7, "sao2": 117.5, "vg2": 3.6, "z4ml": 2.7,
+    "C499": 2.9, "C880": 69.8,
+}
+
+# Table 2: 5-input 1-output LUT counts.
+# circuit -> {"no_resub": [8] w/o resub, "resub": [8] w/ resub,
+#             "po": PO[8], "hyde": HYDE}
+TABLE2_LUT: Dict[str, Dict[str, Optional[int]]] = {
+    "5xp1": {"no_resub": 15, "resub": 11, "po": 10, "hyde": 13},
+    "9sym": {"no_resub": 7, "resub": 7, "po": 7, "hyde": 6},
+    "alu2": {"no_resub": 48, "resub": 48, "po": 48, "hyde": 50},
+    "alu4": {"no_resub": 172, "resub": 90, "po": 56, "hyde": 206},
+    "apex4": {"no_resub": 374, "resub": 374, "po": 374, "hyde": 354},
+    "apex6": {"no_resub": 192, "resub": 161, "po": 155, "hyde": 186},
+    "apex7": {"no_resub": 120, "resub": 61, "po": 54, "hyde": 54},
+    "b9": {"no_resub": 53, "resub": 39, "po": 37, "hyde": 36},
+    "clip": {"no_resub": 18, "resub": 11, "po": 14, "hyde": 14},
+    "count": {"no_resub": 52, "resub": 31, "po": 31, "hyde": 31},
+    "des": {"no_resub": None, "resub": None, "po": None, "hyde": 561},
+    "duke2": {"no_resub": 175, "resub": 155, "po": 150, "hyde": 116},
+    "e64": {"no_resub": None, "resub": None, "po": None, "hyde": 80},
+    "f51m": {"no_resub": 12, "resub": 10, "po": 8, "hyde": 12},
+    "misex1": {"no_resub": 12, "resub": 10, "po": 10, "hyde": 13},
+    "misex2": {"no_resub": 40, "resub": 36, "po": 36, "hyde": 29},
+    "misex3": {"no_resub": 195, "resub": 213, "po": 120, "hyde": 131},
+    "rd73": {"no_resub": 8, "resub": 6, "po": 6, "hyde": 6},
+    "rd84": {"no_resub": 12, "resub": 7, "po": 8, "hyde": 9},
+    "rot": {"no_resub": None, "resub": None, "po": None, "hyde": 185},
+    "sao2": {"no_resub": 23, "resub": 21, "po": 21, "hyde": 22},
+    "vg2": {"no_resub": 44, "resub": 21, "po": 17, "hyde": 18},
+    "z4ml": {"no_resub": 6, "resub": 5, "po": 4, "hyde": 5},
+    "C499": {"no_resub": None, "resub": None, "po": None, "hyde": 70},
+    "C880": {"no_resub": None, "resub": None, "po": None, "hyde": 81},
+}

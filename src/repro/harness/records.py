@@ -1,0 +1,90 @@
+"""Result records for experiment runs (with JSON round-tripping so runs
+can be archived and re-rendered without re-running the flows)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["FlowRecord", "CircuitRecord", "ExperimentRecord"]
+
+
+@dataclass
+class FlowRecord:
+    """One flow's result on one circuit."""
+
+    flow: str
+    lut_count: Optional[int] = None
+    clb_count: Optional[int] = None
+    seconds: float = 0.0
+    error: Optional[str] = None
+
+
+@dataclass
+class CircuitRecord:
+    """All flows' results on one circuit."""
+
+    circuit: str
+    num_inputs: int
+    num_outputs: int
+    exact: bool
+    flows: Dict[str, FlowRecord] = field(default_factory=dict)
+
+    def value(self, flow: str, metric: str) -> Optional[int]:
+        rec = self.flows.get(flow)
+        if rec is None or rec.error:
+            return None
+        return getattr(rec, metric)
+
+
+@dataclass
+class ExperimentRecord:
+    """A full experiment: many circuits x many flows."""
+
+    experiment: str
+    metric: str  # "lut_count" | "clb_count"
+    circuits: List[CircuitRecord] = field(default_factory=list)
+
+    def totals(self, flow: str) -> Optional[int]:
+        """Sum of the metric over circuits where the flow succeeded."""
+        total = 0
+        for rec in self.circuits:
+            value = rec.value(flow, self.metric)
+            if value is None:
+                return None
+            total += value
+        return total
+
+    def subtotal(self, flow: str, circuit_names: List[str]) -> Optional[int]:
+        """Sum over a subset of circuits (skips missing entries)."""
+        total = 0
+        for rec in self.circuits:
+            if rec.circuit not in circuit_names:
+                continue
+            value = rec.value(flow, self.metric)
+            if value is None:
+                return None
+            total += value
+        return total
+
+    def to_json(self) -> str:
+        """Serialise the whole record (pretty-printed JSON)."""
+        return json.dumps(asdict(self), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentRecord":
+        """Rebuild a record previously produced by :meth:`to_json`."""
+        data = json.loads(text)
+        record = cls(experiment=data["experiment"], metric=data["metric"])
+        for cdata in data["circuits"]:
+            crec = CircuitRecord(
+                circuit=cdata["circuit"],
+                num_inputs=cdata["num_inputs"],
+                num_outputs=cdata["num_outputs"],
+                exact=cdata["exact"],
+            )
+            for label, fdata in cdata["flows"].items():
+                crec.flows[label] = FlowRecord(**fdata)
+            record.circuits.append(crec)
+        return record

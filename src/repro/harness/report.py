@@ -1,0 +1,85 @@
+"""ASCII report rendering: measured results side by side with the paper."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from .records import ExperimentRecord
+
+__all__ = ["render_table", "render_comparison", "format_cell"]
+
+
+def format_cell(value: Optional[object], width: int = 6) -> str:
+    """Right-justified cell; '-' for missing values."""
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.1f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Simple fixed-width ASCII table."""
+    widths = [
+        max(len(str(h)), max((len(format_cell(r[i]).strip()) for r in rows), default=1), 4)
+        for i, h in enumerate(headers)
+    ]
+    lines = [title]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(format_cell(c, w) for c, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def render_comparison(
+    record: ExperimentRecord,
+    flow_order: Sequence[str],
+    paper: Dict[str, Dict[str, Optional[int]]],
+    paper_columns: Dict[str, str],
+    title: str,
+) -> str:
+    """Render measured columns next to the paper's published columns.
+
+    ``paper_columns`` maps our flow label -> the paper-table key whose
+    numbers it reproduces.
+    """
+    headers: List[str] = ["circuit"]
+    for flow in flow_order:
+        headers.append(flow)
+        paper_key = paper_columns.get(flow)
+        if paper_key:
+            headers.append(f"paper:{paper_key}")
+    rows: List[List[object]] = []
+    for crec in record.circuits:
+        row: List[object] = [crec.circuit + ("" if crec.exact else "*")]
+        published = paper.get(crec.circuit, {})
+        for flow in flow_order:
+            row.append(crec.value(flow, record.metric))
+            paper_key = paper_columns.get(flow)
+            if paper_key:
+                row.append(published.get(paper_key))
+        rows.append(row)
+    total_row: List[object] = ["TOTAL"]
+    for flow in flow_order:
+        total_row.append(record.totals(flow))
+        paper_key = paper_columns.get(flow)
+        if paper_key:
+            values = [
+                paper.get(c.circuit, {}).get(paper_key)
+                for c in record.circuits
+            ]
+            total_row.append(
+                sum(v for v in values if v is not None)
+                if any(v is not None for v in values)
+                else None
+            )
+    rows.append(total_row)
+    note = "(* = profile-matched stand-in circuit, see DESIGN.md)"
+    return render_table(title, headers, rows) + "\n" + note

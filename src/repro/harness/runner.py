@@ -1,0 +1,81 @@
+"""Experiment runner: map benchmark circuits with several flows.
+
+The verification mode scales with circuit size: exact BDD equivalence on
+small/medium circuits, random-simulation screening on large ones (the
+global-BDD check would dominate the runtime there).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..circuits import CIRCUITS, build
+from ..mapping import MapResult
+from .records import CircuitRecord, ExperimentRecord, FlowRecord
+
+__all__ = ["run_experiment", "default_size_classes", "FlowSpec"]
+
+FlowSpec = Dict[str, Callable[..., MapResult]]
+
+
+def default_size_classes() -> List[str]:
+    """Size classes to run: small+medium, plus large when REPRO_FULL=1."""
+    classes = ["small", "medium"]
+    if os.environ.get("REPRO_FULL"):
+        classes.append("large")
+    return classes
+
+
+def run_experiment(
+    experiment: str,
+    flows: Dict[str, Callable],
+    circuit_names: Sequence[str],
+    metric: str = "lut_count",
+    k: int = 5,
+    verbose: bool = False,
+) -> ExperimentRecord:
+    """Run every flow on every circuit; failures are recorded, not raised.
+
+    ``flows`` maps a flow label to a callable ``fn(net, k, verify=...)``
+    returning a :class:`~repro.mapping.MapResult`.
+    """
+    record = ExperimentRecord(experiment=experiment, metric=metric)
+    for name in circuit_names:
+        spec = CIRCUITS[name]
+        crec = CircuitRecord(
+            circuit=name,
+            num_inputs=spec.num_inputs,
+            num_outputs=spec.num_outputs,
+            exact=spec.exact,
+        )
+        verify = "bdd" if spec.size_class != "large" else "sim"
+        for label, flow in flows.items():
+            net = build(name)
+            start = time.time()
+            try:
+                result = flow(net, k, verify=verify)
+                crec.flows[label] = FlowRecord(
+                    flow=label,
+                    lut_count=result.lut_count,
+                    clb_count=result.clb_count,
+                    seconds=time.time() - start,
+                )
+            except Exception as exc:  # record and move on
+                crec.flows[label] = FlowRecord(
+                    flow=label,
+                    seconds=time.time() - start,
+                    error=f"{type(exc).__name__}: {exc}",
+                )
+                if verbose:
+                    traceback.print_exc()
+            if verbose:
+                rec = crec.flows[label]
+                status = rec.error or (
+                    f"lut={rec.lut_count} clb={rec.clb_count}"
+                )
+                print(f"  {name:8s} {label:24s} {status} ({rec.seconds:.1f}s)")
+        record.circuits.append(crec)
+    return record

@@ -1,0 +1,45 @@
+"""Lightweight timing helpers for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+__all__ = ["Stopwatch", "timed"]
+
+
+class Stopwatch:
+    """Accumulates named wall-clock durations."""
+
+    def __init__(self) -> None:
+        self.durations: Dict[str, float] = {}
+
+    @contextmanager
+    def measure(self, label: str) -> Iterator[None]:
+        start = time.time()
+        try:
+            yield
+        finally:
+            self.durations[label] = (
+                self.durations.get(label, 0.0) + time.time() - start
+            )
+
+    def report(self) -> str:
+        lines = [
+            f"{label:30s} {seconds:8.2f}s"
+            for label, seconds in sorted(
+                self.durations.items(), key=lambda kv: -kv[1]
+            )
+        ]
+        return "\n".join(lines)
+
+
+@contextmanager
+def timed(label: str) -> Iterator[None]:
+    """Print the wall-clock time of a block."""
+    start = time.time()
+    try:
+        yield
+    finally:
+        print(f"{label}: {time.time() - start:.2f}s")

@@ -1,0 +1,20 @@
+"""Hyper-function decomposition: ingredient encoding, PPI folding,
+duplication-cone analysis and ingredient recovery (paper Section 4)."""
+
+from .decompose import HyperDecompositionResult, decompose_hyper_function
+from .duplication import DuplicationInfo, analyze_duplication, recover_ingredients
+from .hyperfunction import HyperFunction, build_hyper_function
+from .sharing import SharingPlan, partition_of_function, pliable_sharing_plan
+
+__all__ = [
+    "HyperFunction",
+    "build_hyper_function",
+    "DuplicationInfo",
+    "analyze_duplication",
+    "recover_ingredients",
+    "HyperDecompositionResult",
+    "decompose_hyper_function",
+    "SharingPlan",
+    "pliable_sharing_plan",
+    "partition_of_function",
+]

@@ -1,0 +1,40 @@
+"""Technology-mapping flows: HYDE, baselines, LUT costing, XC3000 CLB
+packing and support-minimising resubstitution."""
+
+from .baselines import (
+    map_column_encoding,
+    map_per_output,
+    map_per_output_resub,
+    map_shannon,
+)
+from .clb import ClbPacking, can_pair, pack_xc3000
+from .hyde import MapResult, cluster_outputs, hyde_map
+from .lut import absorb_inverters, cleanup_for_lut_count, count_luts, dedup_nodes
+from .resub import functionally_dependent, resubstitute
+from .structural import map_structural
+from .time_multiplex import TimeMultiplexResult, map_time_multiplexed
+from .ti_extract import ExtractionReport, extract_common_sublogic
+
+__all__ = [
+    "MapResult",
+    "hyde_map",
+    "cluster_outputs",
+    "map_per_output",
+    "map_per_output_resub",
+    "map_column_encoding",
+    "map_shannon",
+    "count_luts",
+    "absorb_inverters",
+    "dedup_nodes",
+    "cleanup_for_lut_count",
+    "ClbPacking",
+    "pack_xc3000",
+    "can_pair",
+    "resubstitute",
+    "functionally_dependent",
+    "ExtractionReport",
+    "extract_common_sublogic",
+    "map_structural",
+    "TimeMultiplexResult",
+    "map_time_multiplexed",
+]

@@ -1,0 +1,193 @@
+"""Baseline mapping flows — the other columns of Tables 1 and 2.
+
+All baselines share HYDE's substrate (same BDDs, same recursive
+decomposition, same cleanup and CLB packer) and differ only in the policy
+under test, so each comparison isolates one of the paper's claims:
+
+* :func:`map_per_output` with ``encoding_policy="random"`` — per-output
+  decomposition with a strict rigid random-draft encoding and no
+  multiple-output sharing (the "[8] without resubstitution" column and
+  the IMODEC-like single-output reference);
+* :func:`map_per_output` + :func:`repro.mapping.resub.resubstitute` —
+  the "[8] with resubstitution" column (support minimisation across
+  outputs);
+* :func:`map_column_encoding` — hyper-function with PPIs *pinned to the
+  free set*, which Section 4.3 proves is exactly FGSyn's column encoding;
+* :func:`map_shannon` — a Shannon-cofactor (BDD-to-MUX) mapper as a
+  decomposition-free sanity baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from ..bdd import FALSE, TRUE
+from ..decompose import DecompositionOptions, decompose_to_network
+from ..network import GlobalBdds, Network
+from .clb import pack_xc3000
+from .hyde import MapResult, _check, hyde_map
+from .lut import cleanup_for_lut_count, count_luts
+from .resub import resubstitute
+
+__all__ = [
+    "map_per_output",
+    "map_per_output_resub",
+    "map_column_encoding",
+    "map_shannon",
+]
+
+
+def map_per_output(
+    net: Network,
+    k: int = 5,
+    encoding_policy: str = "random",
+    use_dontcares: bool = True,
+    verify: str = "bdd",
+    pack_clbs: bool = True,
+) -> MapResult:
+    """Decompose every output independently (no hyper-function)."""
+    start = time.time()
+    gb = GlobalBdds(net)
+    manager = gb.manager
+    options = DecompositionOptions(
+        k=k, encoding_policy=encoding_policy, use_dontcares=use_dontcares
+    )
+    result = Network(f"{net.name}_po_{encoding_policy}")
+    for pi in net.inputs:
+        result.add_input(pi)
+    driver_of: Dict[str, str] = {}
+    seen: Dict[int, str] = {}
+    for oi, out in enumerate(net.output_names):
+        bdd = gb.of_output(out)
+        if bdd in (FALSE, TRUE):
+            name = result.fresh_name(f"{out}_const")
+            result.add_constant(name, 1 if bdd == TRUE else 0)
+            driver_of[out] = name
+            continue
+        rep = seen.get(bdd)
+        if rep is not None:
+            driver_of[out] = driver_of[rep]
+            continue
+        seen[bdd] = out
+        signal_of_level = {manager.level_of(pi): pi for pi in net.inputs}
+        driver_of[out] = decompose_to_network(
+            manager, bdd, result, signal_of_level, options, prefix=f"o{oi}"
+        )
+    for out in net.output_names:
+        result.add_output(driver_of[out], out)
+    cleanup_for_lut_count(result)
+    _check(net, result, verify)
+    return MapResult(
+        network=result,
+        k=k,
+        lut_count=count_luts(result, k),
+        clb_count=pack_xc3000(result).num_clbs if pack_clbs else None,
+        seconds=time.time() - start,
+        groups=[[out] for out in net.output_names],
+        flow=f"per-output/{encoding_policy}",
+    )
+
+
+def map_per_output_resub(
+    net: Network,
+    k: int = 5,
+    encoding_policy: str = "random",
+    use_dontcares: bool = True,
+    verify: str = "bdd",
+    pack_clbs: bool = True,
+    max_pis: int = 14,
+) -> MapResult:
+    """Per-output decomposition followed by support-minimising resub."""
+    start = time.time()
+    base = map_per_output(
+        net,
+        k,
+        encoding_policy=encoding_policy,
+        use_dontcares=use_dontcares,
+        verify="none",
+        pack_clbs=False,
+    )
+    result = base.network
+    rewrites = resubstitute(result, k, max_pis=max_pis)
+    cleanup_for_lut_count(result)
+    _check(net, result, verify)
+    return MapResult(
+        network=result,
+        k=k,
+        lut_count=count_luts(result, k),
+        clb_count=pack_xc3000(result).num_clbs if pack_clbs else None,
+        seconds=time.time() - start,
+        groups=base.groups,
+        flow=f"per-output+resub/{encoding_policy}",
+        details={"rewrites": rewrites},
+    )
+
+
+def map_column_encoding(
+    net: Network,
+    k: int = 5,
+    max_group: int = 4,
+    verify: str = "bdd",
+    pack_clbs: bool = True,
+) -> MapResult:
+    """FGSyn-like column encoding: PPIs never enter a bound set."""
+    result = hyde_map(
+        net,
+        k=k,
+        max_group=max_group,
+        ppi_placement="force_free",
+        verify=verify,
+        pack_clbs=pack_clbs,
+    )
+    result.flow = "column-encoding"
+    return result
+
+
+def map_shannon(
+    net: Network,
+    k: int = 5,
+    verify: str = "bdd",
+    pack_clbs: bool = True,
+) -> MapResult:
+    """BDD-to-MUX mapping: one 3-input mux LUT per shared BDD node."""
+    from ..boolfunc import TruthTable
+
+    start = time.time()
+    gb = GlobalBdds(net)
+    manager = gb.manager
+    result = Network(f"{net.name}_shannon")
+    for pi in net.inputs:
+        result.add_input(pi)
+    mux = TruthTable.from_function(3, lambda s, a, b: b if s else a)
+    signal_of: Dict[int, str] = {}
+
+    def build(bdd: int) -> str:
+        cached = signal_of.get(bdd)
+        if cached is not None:
+            return cached
+        if bdd in (FALSE, TRUE):
+            name = result.fresh_name("const")
+            result.add_constant(name, 1 if bdd == TRUE else 0)
+            signal_of[bdd] = name
+            return name
+        var = manager.name_of(manager.level(bdd))
+        lo = build(manager.low(bdd))
+        hi = build(manager.high(bdd))
+        name = result.fresh_name("mux")
+        result.add_node(name, [var, lo, hi], mux)
+        signal_of[bdd] = name
+        return name
+
+    for out in net.output_names:
+        result.add_output(build(gb.of_output(out)), out)
+    cleanup_for_lut_count(result)
+    _check(net, result, verify)
+    return MapResult(
+        network=result,
+        k=k,
+        lut_count=count_luts(result, k),
+        clb_count=pack_xc3000(result).num_clbs if pack_clbs else None,
+        seconds=time.time() - start,
+        flow="shannon",
+    )

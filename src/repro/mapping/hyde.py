@@ -1,0 +1,298 @@
+"""HYDE — the paper's complete technology-mapping flow.
+
+Pipeline (mirroring Section 5's experimental setup):
+
+1. build global BDDs of every primary output,
+2. deduplicate functionally identical outputs,
+3. cluster the remaining outputs into ingredient groups by support
+   similarity,
+4. fold each group into a hyper-function (chart-encoded PPI codes),
+   decompose it recursively with compatible class encoding, and recover
+   the ingredients by duplicating only the duplication cone,
+5. splice the per-group fragments into one network, clean it up
+   (sweep / dedup / inverter absorption — the xl_cover role) and cost it
+   in k-LUTs and XC3000 CLBs.
+
+Baselines (Tables 1 and 2's other columns) live in
+:mod:`repro.mapping.baselines` and reuse the same machinery with
+different policies.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import FALSE, TRUE
+from ..decompose import DecompositionOptions, decompose_to_network
+from ..hyper import decompose_hyper_function
+from ..network import GlobalBdds, Network, check_equivalence, simulate_equivalence
+from .clb import pack_xc3000
+from .lut import cleanup_for_lut_count, count_luts
+
+__all__ = ["MapResult", "hyde_map", "cluster_outputs"]
+
+
+@dataclass
+class MapResult:
+    """Outcome of a mapping flow run."""
+
+    network: Network
+    k: int
+    lut_count: int
+    clb_count: Optional[int]
+    seconds: float
+    groups: List[List[str]] = field(default_factory=list)
+    flow: str = "hyde"
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def depth(self) -> int:
+        """LUT levels from inputs to the deepest output."""
+        from ..network import node_depths
+
+        depths = node_depths(self.network)
+        return max(
+            (depths[driver] for _, driver in self.network.outputs),
+            default=0,
+        )
+
+    def __str__(self) -> str:
+        clb = f", {self.clb_count} CLBs" if self.clb_count is not None else ""
+        return (
+            f"{self.flow}: {self.lut_count} LUTs{clb}, depth {self.depth}, "
+            f"{self.seconds:.2f}s"
+        )
+
+
+def cluster_outputs(
+    supports: Dict[str, List[str]], max_group: int
+) -> List[List[str]]:
+    """Greedy support-similarity clustering of output names.
+
+    Seeds each group with the widest unclustered output, then absorbs the
+    most-similar outputs (Jaccard on supports, requiring a non-empty
+    intersection) up to ``max_group`` members.
+    """
+    remaining = sorted(
+        supports, key=lambda o: (-len(supports[o]), o)
+    )
+    groups: List[List[str]] = []
+    while remaining:
+        seed = remaining.pop(0)
+        group = [seed]
+        seed_support = set(supports[seed])
+        while len(group) < max_group and remaining:
+            best = None
+            best_score = 0.0
+            for cand in remaining:
+                cs = set(supports[cand])
+                inter = len(seed_support & cs)
+                if inter == 0:
+                    continue
+                score = inter / len(seed_support | cs)
+                if score > best_score:
+                    best_score = score
+                    best = cand
+            if best is None:
+                break
+            group.append(best)
+            remaining.remove(best)
+            seed_support |= set(supports[best])
+        groups.append(group)
+    return groups
+
+
+def hyde_map(
+    net: Network,
+    k: int = 5,
+    max_group: int = 4,
+    encoding_policy: str = "chart",
+    ingredient_policy: str = "chart",
+    ppi_placement: str = "prefer_free",
+    use_dontcares: bool = True,
+    verify: str = "bdd",
+    pack_clbs: bool = True,
+    fallback_per_output: bool = True,
+) -> MapResult:
+    """Map ``net`` to k-LUTs with the full HYDE flow.
+
+    ``verify`` is ``"bdd"`` (exact equivalence check), ``"sim"`` (random
+    simulation screen) or ``"none"``.  Raises ``AssertionError`` when
+    verification fails.  With ``fallback_per_output`` each ingredient
+    group is also decomposed output-by-output and the cheaper variant is
+    kept — extracting common sub-expressions only where sharing actually
+    pays for the duplication cone.
+    """
+    start = time.time()
+    gb = GlobalBdds(net)
+    manager = gb.manager
+    output_bdds = {out: gb.of_output(out) for out in net.output_names}
+
+    # Deduplicate identical output functions; constants are split off.
+    canonical: Dict[int, str] = {}
+    alias_of: Dict[str, str] = {}
+    const_outputs: Dict[str, int] = {}
+    unique_outputs: List[str] = []
+    for out, bdd in output_bdds.items():
+        if bdd in (FALSE, TRUE):
+            const_outputs[out] = 1 if bdd == TRUE else 0
+            continue
+        rep = canonical.get(bdd)
+        if rep is None:
+            canonical[bdd] = out
+            unique_outputs.append(out)
+        else:
+            alias_of[out] = rep
+
+    supports = {
+        out: [manager.name_of(lv) for lv in manager.support(output_bdds[out])]
+        for out in unique_outputs
+    }
+    groups = cluster_outputs(supports, max_group)
+
+    result = Network(f"{net.name}_hyde")
+    for pi in net.inputs:
+        result.add_input(pi)
+
+    options = DecompositionOptions(
+        k=k, encoding_policy=encoding_policy, use_dontcares=use_dontcares
+    )
+    driver_of: Dict[str, str] = {}
+    group_infos: List[Dict[str, object]] = []
+
+    for gi, group in enumerate(groups):
+        if len(group) == 1:
+            out = group[0]
+            signal_of_level = {
+                manager.level_of(pi): pi for pi in net.inputs
+            }
+            root = decompose_to_network(
+                manager,
+                output_bdds[out],
+                result,
+                signal_of_level,
+                options,
+                prefix=f"g{gi}",
+            )
+            driver_of[out] = root
+            group_infos.append({"outputs": group, "hyper": False})
+            continue
+
+        group_inputs = sorted(
+            {pi for out in group for pi in supports[out]},
+            key=net.inputs.index,
+        )
+        ingredients = [(out, output_bdds[out]) for out in group]
+        hres = decompose_hyper_function(
+            manager,
+            ingredients,
+            group_inputs,
+            options,
+            ingredient_policy=ingredient_policy,
+            ppi_placement=ppi_placement,
+            network_name=f"{net.name}_g{gi}",
+        )
+        fragment = hres.recovered
+        cleanup_for_lut_count(fragment)
+        info: Dict[str, object] = {
+            "outputs": group,
+            "hyper": True,
+            "ppi_count": hres.hyper.num_ppis,
+            "shared_nodes": hres.shared_nodes,
+            "cone_nodes": len(hres.duplication.duplication_cone),
+        }
+        if fallback_per_output:
+            alt = _per_output_fragment(
+                manager, ingredients, group_inputs, options,
+                f"{net.name}_g{gi}_po",
+            )
+            cleanup_for_lut_count(alt)
+            info["hyper_luts"] = count_luts(fragment, k)
+            info["per_output_luts"] = count_luts(alt, k)
+            if count_luts(alt, k) < count_luts(fragment, k):
+                fragment = alt
+                info["hyper"] = False
+        rename = _splice(result, fragment, f"g{gi}_")
+        for out in group:
+            driver_of[out] = rename[fragment.output_driver(out)]
+        group_infos.append(info)
+
+    for out, value in const_outputs.items():
+        name = result.fresh_name(f"{out}_const")
+        result.add_constant(name, value)
+        driver_of[out] = name
+    for out in net.output_names:
+        driver = driver_of.get(out)
+        if driver is None:
+            driver = driver_of[alias_of[out]]
+        result.add_output(driver, out)
+
+    cleanup_for_lut_count(result)
+    _check(net, result, verify)
+
+    luts = count_luts(result, k)
+    clbs = pack_xc3000(result).num_clbs if pack_clbs else None
+    return MapResult(
+        network=result,
+        k=k,
+        lut_count=luts,
+        clb_count=clbs,
+        seconds=time.time() - start,
+        groups=groups,
+        flow="hyde",
+        details={"group_infos": group_infos, "aliases": alias_of},
+    )
+
+
+def _per_output_fragment(
+    manager,
+    ingredients,
+    group_inputs,
+    options: DecompositionOptions,
+    name: str,
+) -> Network:
+    """Decompose a group output-by-output into a standalone fragment."""
+    frag = Network(name)
+    for pi in group_inputs:
+        frag.add_input(pi)
+    for oi, (out, bdd) in enumerate(ingredients):
+        signal_of_level = {manager.level_of(pi): pi for pi in group_inputs}
+        root = decompose_to_network(
+            manager, bdd, frag, signal_of_level, options, prefix=f"p{oi}"
+        )
+        frag.add_output(root, out)
+    return frag
+
+
+def _splice(dest: Network, fragment: Network, prefix: str) -> Dict[str, str]:
+    """Copy a fragment's internal nodes into ``dest`` with renaming.
+
+    Fragment PIs must already exist in ``dest`` under the same names.
+    Returns the old-name -> new-name map (identity for PIs).
+    """
+    rename: Dict[str, str] = {pi: pi for pi in fragment.inputs}
+    for name in fragment.topological_order():
+        node = fragment.node(name)
+        new_name = prefix + name
+        while dest.has_signal(new_name):
+            new_name += "_"
+        dest.add_node(
+            new_name, [rename[fi] for fi in node.fanins], node.table
+        )
+        rename[name] = new_name
+    return rename
+
+
+def _check(original: Network, mapped: Network, verify: str) -> None:
+    if verify == "none":
+        return
+    if verify == "sim":
+        bad = simulate_equivalence(original, mapped)
+    else:
+        bad = check_equivalence(original, mapped)
+    if bad is not None:
+        raise AssertionError(
+            f"mapping broke output {bad!r} of {original.name}"
+        )

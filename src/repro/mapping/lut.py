@@ -1,0 +1,143 @@
+"""k-LUT costing and post-mapping cleanups.
+
+After decomposition every node is k-feasible, so the LUT count is the
+internal node count — once buffers, constants, inverters and structural
+duplicates are cleaned away (the role xl_cover plays in the paper's SIS
+script).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..boolfunc import TruthTable
+from ..network import Network, sweep
+
+__all__ = ["count_luts", "absorb_inverters", "dedup_nodes", "cleanup_for_lut_count"]
+
+
+def absorb_inverters(net: Network) -> int:
+    """Fold single-input inverter nodes into their readers.
+
+    Inverters that directly drive a primary output are kept (the paper's
+    LUT model has no free output inversion).  Returns inverters removed.
+    """
+    removed = 0
+    changed = True
+    while changed:
+        changed = False
+        inverters = {
+            node.name: node.fanins[0]
+            for node in net.nodes()
+            if node.table.num_inputs == 1 and node.table.mask == 0b01
+        }
+        if not inverters:
+            break
+        output_drivers = {driver for _, driver in net.outputs}
+        for name in net.node_names():
+            node = net.node(name)
+            if name in inverters:
+                continue
+            table = node.table
+            fanins = list(node.fanins)
+            touched = False
+            for j, fi in enumerate(fanins):
+                src = inverters.get(fi)
+                if src is None or src == name:
+                    continue
+                if src in fanins:
+                    continue  # would duplicate a fanin; leave to dedup
+                fanins[j] = src
+                table = table.flip_input(j)
+                touched = True
+            if touched:
+                net.replace_node(name, fanins, table)
+                changed = True
+        # Drop inverters that became dead and do not drive outputs.
+        for name in list(inverters):
+            if name in output_drivers:
+                continue
+            if not net.fanouts().get(name):
+                net.remove_node(name)
+                removed += 1
+                changed = True
+    return removed
+
+
+def dedup_nodes(net: Network) -> int:
+    """Merge structurally identical nodes (same fanins, same function).
+
+    Fan-ins are canonically sorted (with the table remapped) before
+    comparison, so commutatively-equal nodes merge too.  Iterates to a
+    fixed point; returns the number of nodes merged away.
+    """
+    merged_total = 0
+    while True:
+        canon: Dict[Tuple, str] = {}
+        alias: Dict[str, str] = {}
+        for name in net.topological_order():
+            node = net.node(name)
+            fanins = [alias.get(fi, fi) for fi in node.fanins]
+            # Canonical form: duplicates merged, remaining fanins sorted.
+            uniq = sorted(set(fanins))
+            position = {sig: j for j, sig in enumerate(uniq)}
+            mapping = [position[fi] for fi in fanins]
+            table = node.table.remap_inputs(len(uniq), mapping)
+            sorted_fanins = tuple(uniq)
+            key = (sorted_fanins, table.num_inputs, table.mask)
+            existing = canon.get(key)
+            if existing is not None:
+                alias[name] = existing
+            else:
+                canon[key] = name
+                if list(sorted_fanins) != node.fanins:
+                    net.replace_node(name, list(sorted_fanins), table)
+        if not alias:
+            return merged_total
+        merged_total += len(alias)
+        # Redirect readers and outputs, then drop the duplicates.
+        for name in net.node_names():
+            if name in alias:
+                continue
+            node = net.node(name)
+            if any(fi in alias for fi in node.fanins):
+                new_fanins = [alias.get(fi, fi) for fi in node.fanins]
+                if len(set(new_fanins)) != len(new_fanins):
+                    # Two fanins collapsed onto one signal: merge them.
+                    uniq: List[str] = []
+                    for fi in new_fanins:
+                        if fi not in uniq:
+                            uniq.append(fi)
+                    position = {sig: i for i, sig in enumerate(uniq)}
+                    mapping = [position[fi] for fi in new_fanins]
+                    table = node.table.remap_inputs(len(uniq), mapping)
+                    net.replace_node(name, uniq, table)
+                else:
+                    net.replace_node(name, new_fanins, node.table)
+        for out in net.output_names:
+            driver = net.output_driver(out)
+            if driver in alias:
+                net.reroute_output(out, alias[driver])
+        for name in reversed(net.topological_order()):
+            if name in alias and not net.fanouts().get(name):
+                net.remove_node(name)
+
+
+def cleanup_for_lut_count(net: Network) -> None:
+    """Run the full cleanup pipeline: sweep, dedup, absorb inverters."""
+    sweep(net)
+    dedup_nodes(net)
+    absorb_inverters(net)
+    sweep(net)
+    dedup_nodes(net)
+
+
+def count_luts(net: Network, k: int) -> int:
+    """Number of k-LUTs (all nodes must already be k-feasible)."""
+    for node in net.nodes():
+        if len(node.fanins) > k:
+            raise ValueError(
+                f"node {node.name} has {len(node.fanins)} > {k} inputs"
+            )
+    # Constants cost no LUT; everything else does.
+    return sum(1 for node in net.nodes() if node.table.num_inputs > 0)

@@ -1,0 +1,52 @@
+"""Boolean network substrate: netlist, I/O formats, simulation,
+equivalence checking, restructuring and statistics."""
+
+from .blif import parse_blif, read_blif, to_blif, write_blif
+from .equiv import EquivalenceError, check_equivalence, simulate_equivalence
+from .dot import network_to_dot
+from .equiv import assert_equivalent
+from .globalbdd import GlobalBdds, build_global_bdds
+from .netlist import Network, Node
+from .pla import parse_pla, read_pla, to_pla, write_pla
+from .simulate import exhaustive_vectors, random_vectors, simulate, simulate_vectors
+from .stats import NetworkStats, is_k_feasible, network_stats, node_depths
+from .transform import (
+    collapse_network,
+    collapse_node,
+    propagate_constant_inputs,
+    simplify_local,
+    sweep,
+)
+
+__all__ = [
+    "Network",
+    "Node",
+    "parse_blif",
+    "read_blif",
+    "to_blif",
+    "write_blif",
+    "parse_pla",
+    "read_pla",
+    "to_pla",
+    "write_pla",
+    "simulate",
+    "simulate_vectors",
+    "random_vectors",
+    "exhaustive_vectors",
+    "GlobalBdds",
+    "build_global_bdds",
+    "check_equivalence",
+    "simulate_equivalence",
+    "assert_equivalent",
+    "EquivalenceError",
+    "sweep",
+    "collapse_node",
+    "collapse_network",
+    "propagate_constant_inputs",
+    "simplify_local",
+    "NetworkStats",
+    "network_stats",
+    "node_depths",
+    "is_k_feasible",
+    "network_to_dot",
+]

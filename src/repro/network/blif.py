@@ -1,0 +1,180 @@
+"""BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+The MCNC benchmarks the paper uses are distributed as BLIF; this module
+lets the reproduction exchange circuits with any classical logic-synthesis
+tool (SIS, ABC, ...).  Only the combinational subset is supported:
+``.model``, ``.inputs``, ``.outputs``, ``.names``, ``.end``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, TextIO, Tuple
+
+from ..boolfunc import TruthTable
+from .netlist import Network
+
+__all__ = ["parse_blif", "read_blif", "write_blif", "to_blif"]
+
+
+def _tokenize(text: str) -> List[List[str]]:
+    """Split into logical lines (continuations joined, comments stripped)."""
+    logical: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line and not pending:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        logical.append(pending + line)
+        pending = ""
+    if pending:
+        logical.append(pending)
+    return [line.split() for line in logical if line.split()]
+
+
+def parse_blif(text: str) -> Network:
+    """Parse BLIF text into a :class:`Network`.
+
+    Single-output cover semantics: rows are input cubes (``0``, ``1``,
+    ``-``) followed by the output value; an all-``1`` output polarity is
+    assumed (``0``-polarity covers are complemented, as in SIS).
+    """
+    lines = _tokenize(text)
+    model_name = "blif"
+    inputs: List[str] = []
+    outputs: List[str] = []
+    covers: List[Tuple[List[str], str, List[Tuple[str, str]]]] = []
+
+    i = 0
+    current: Optional[Tuple[List[str], str, List[Tuple[str, str]]]] = None
+    while i < len(lines):
+        tokens = lines[i]
+        i += 1
+        keyword = tokens[0]
+        if keyword == ".model":
+            model_name = tokens[1] if len(tokens) > 1 else model_name
+        elif keyword == ".inputs":
+            inputs.extend(tokens[1:])
+        elif keyword == ".outputs":
+            outputs.extend(tokens[1:])
+        elif keyword == ".names":
+            signals = tokens[1:]
+            current = (signals[:-1], signals[-1], [])
+            covers.append(current)
+        elif keyword == ".end":
+            current = None
+        elif keyword.startswith("."):
+            raise ValueError(f"unsupported BLIF construct {keyword!r}")
+        else:
+            if current is None:
+                raise ValueError(f"cube line outside .names: {' '.join(tokens)}")
+            if len(current[0]) == 0:
+                # Constant: single token '1' or '0'.
+                current[2].append(("", tokens[0]))
+            else:
+                if len(tokens) != 2:
+                    raise ValueError(f"malformed cube line: {' '.join(tokens)}")
+                current[2].append((tokens[0], tokens[1]))
+
+    net = Network(model_name)
+    for pi in inputs:
+        net.add_input(pi)
+
+    # .names sections may reference signals defined later: add nodes with a
+    # worklist that defers covers until all their fanins exist.
+    pending = list(covers)
+    while pending:
+        progressed = False
+        deferred = []
+        for fanins, target, rows in pending:
+            if all(net.has_signal(fi) for fi in fanins):
+                net.add_node(target, fanins, _cover_to_table(fanins, rows))
+                progressed = True
+            else:
+                deferred.append((fanins, target, rows))
+        if not progressed:
+            missing = sorted(
+                {fi for fanins, _, _ in deferred for fi in fanins if not net.has_signal(fi)}
+            )
+            raise ValueError(f"undefined signals in BLIF: {missing}")
+        pending = deferred
+
+    for out in outputs:
+        if not net.has_signal(out):
+            raise ValueError(f"output {out!r} has no driver")
+        net.add_output(out)
+    return net
+
+
+def _cover_to_table(fanins: List[str], rows: List[Tuple[str, str]]) -> TruthTable:
+    n = len(fanins)
+    if n == 0:
+        value = any(out == "1" for _, out in rows)
+        return TruthTable.constant(0, 1 if value else 0)
+    on = 0
+    polarity = rows[0][1] if rows else "1"
+    for cube, out in rows:
+        if out != polarity:
+            raise ValueError("mixed output polarity in one cover")
+        if len(cube) != n:
+            raise ValueError(f"cube {cube!r} arity mismatch (expect {n})")
+        # Expand the cube over don't-care positions.
+        free = [j for j, ch in enumerate(cube) if ch == "-"]
+        base = 0
+        for j, ch in enumerate(cube):
+            if ch == "1":
+                base |= 1 << j
+            elif ch not in "0-":
+                raise ValueError(f"invalid cube character {ch!r}")
+        for k in range(1 << len(free)):
+            m = base
+            for b, j in enumerate(free):
+                if (k >> b) & 1:
+                    m |= 1 << j
+            on |= 1 << m
+    table = TruthTable(n, on)
+    if polarity == "0":
+        table = ~table
+    return table
+
+
+def read_blif(path: str) -> Network:
+    """Parse a BLIF file from disk."""
+    with open(path) as handle:
+        return parse_blif(handle.read())
+
+
+def to_blif(net: Network) -> str:
+    """Serialise a network to BLIF text (on-set cover per node)."""
+    lines = [f".model {net.name}"]
+    lines.append(".inputs " + " ".join(net.inputs))
+    lines.append(".outputs " + " ".join(net.output_names))
+    # Outputs that alias PIs or share drivers need buffer nodes in BLIF.
+    emitted_buffer = set()
+    for out, driver in net.outputs:
+        if out != driver and out not in emitted_buffer:
+            lines.append(f".names {driver} {out}")
+            lines.append("1 1")
+            emitted_buffer.add(out)
+    for node in net.nodes():
+        lines.append(".names " + " ".join(node.fanins + [node.name]))
+        if node.table.num_inputs == 0:
+            if node.table.mask:
+                lines.append("1")
+            continue
+        for minterm in node.table.on_set():
+            cube = "".join(
+                "1" if (minterm >> j) & 1 else "0"
+                for j in range(node.table.num_inputs)
+            )
+            lines.append(f"{cube} 1")
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def write_blif(net: Network, path: str) -> None:
+    """Write a network to a BLIF file."""
+    with open(path, "w") as handle:
+        handle.write(to_blif(net))

@@ -1,0 +1,50 @@
+"""Graphviz DOT export of networks (for inspecting mapped results)."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from .netlist import Network
+
+__all__ = ["network_to_dot"]
+
+
+def network_to_dot(
+    net: Network,
+    highlight: Optional[Sequence[str]] = None,
+    max_nodes: int = 500,
+) -> str:
+    """Render a network as a DOT digraph.
+
+    PIs are boxes, internal nodes are ellipses labelled with their fan-in
+    counts, POs are double circles; ``highlight`` names are filled (used
+    to visualise e.g. the duplication cone).  Refuses beyond
+    ``max_nodes`` nodes.
+    """
+    if net.num_nodes > max_nodes:
+        raise ValueError(
+            f"network has {net.num_nodes} nodes; raise max_nodes to force"
+        )
+    marked: Set[str] = set(highlight or [])
+    lines = [f"digraph {_ident(net.name)} {{", "  rankdir=LR;"]
+    for pi in net.inputs:
+        style = ' style=filled fillcolor="#ffd27f"' if pi in marked else ""
+        lines.append(f'  {_ident(pi)} [label="{pi}", shape=box{style}];')
+    for node in net.nodes():
+        label = f"{node.name}\\n{node.table.num_inputs} in"
+        style = ' style=filled fillcolor="#ffd27f"' if node.name in marked else ""
+        lines.append(
+            f'  {_ident(node.name)} [label="{label}", shape=ellipse{style}];'
+        )
+        for fi in node.fanins:
+            lines.append(f"  {_ident(fi)} -> {_ident(node.name)};")
+    for out, driver in net.outputs:
+        oid = _ident(f"__out_{out}")
+        lines.append(f'  {oid} [label="{out}", shape=doublecircle];')
+        lines.append(f"  {_ident(driver)} -> {oid};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _ident(name: str) -> str:
+    return '"' + name.replace('"', "'") + '"'

@@ -1,0 +1,136 @@
+"""Espresso-style PLA reader/writer (two-level benchmark format).
+
+Many of the paper's benchmark circuits (``5xp1``, ``misex1``, ``rd84``,
+...) are two-level PLA descriptions.  Supported directives: ``.i``, ``.o``,
+``.ilb``, ``.ob``, ``.p``, ``.type fr|f``, ``.e``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..boolfunc import TruthTable
+from .netlist import Network
+
+__all__ = ["parse_pla", "read_pla", "to_pla", "write_pla"]
+
+
+def parse_pla(text: str, name: str = "pla") -> Network:
+    """Parse PLA text into a flat two-level :class:`Network`.
+
+    Output characters: ``1`` adds the cube to that output's on-set, ``0``
+    and ``~`` leave it out, ``-`` (type fr) marks a don't-care which this
+    completely-specified network resolves to 0.
+    """
+    num_in: Optional[int] = None
+    num_out: Optional[int] = None
+    in_names: Optional[List[str]] = None
+    out_names: Optional[List[str]] = None
+    cubes: List[Tuple[str, str]] = []
+
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        head = tokens[0]
+        if head == ".i":
+            num_in = int(tokens[1])
+        elif head == ".o":
+            num_out = int(tokens[1])
+        elif head == ".ilb":
+            in_names = tokens[1:]
+        elif head == ".ob":
+            out_names = tokens[1:]
+        elif head in (".p", ".type", ".e", ".end"):
+            continue
+        elif head.startswith("."):
+            raise ValueError(f"unsupported PLA directive {head!r}")
+        else:
+            if len(tokens) == 2:
+                cubes.append((tokens[0], tokens[1]))
+            elif len(tokens) == 1 and num_in is not None:
+                cubes.append((tokens[0][:num_in], tokens[0][num_in:]))
+            else:
+                raise ValueError(f"malformed PLA line: {line}")
+
+    if num_in is None or num_out is None:
+        raise ValueError("PLA is missing .i/.o")
+    if in_names is None:
+        in_names = [f"i{j}" for j in range(num_in)]
+    if out_names is None:
+        out_names = [f"o{j}" for j in range(num_out)]
+
+    on_masks = [0] * num_out
+    for in_cube, out_cube in cubes:
+        if len(in_cube) != num_in or len(out_cube) != num_out:
+            raise ValueError(f"cube width mismatch: {in_cube} {out_cube}")
+        free = [j for j, ch in enumerate(in_cube) if ch == "-"]
+        base = 0
+        for j, ch in enumerate(in_cube):
+            if ch == "1":
+                base |= 1 << j
+            elif ch not in "0-":
+                raise ValueError(f"invalid input-cube character {ch!r}")
+        minterms = []
+        for k in range(1 << len(free)):
+            m = base
+            for b, j in enumerate(free):
+                if (k >> b) & 1:
+                    m |= 1 << j
+            minterms.append(m)
+        for o, ch in enumerate(out_cube):
+            if ch == "1":
+                for m in minterms:
+                    on_masks[o] |= 1 << m
+            elif ch not in "0~-":
+                raise ValueError(f"invalid output-cube character {ch!r}")
+
+    net = Network(name)
+    for pi in in_names:
+        net.add_input(pi)
+    for o, out in enumerate(out_names):
+        node = net.fresh_name(f"{out}_n")
+        net.add_node(node, in_names, TruthTable(num_in, on_masks[o]))
+        net.add_output(node, out)
+    return net
+
+
+def read_pla(path: str, name: Optional[str] = None) -> Network:
+    """Parse a PLA file from disk."""
+    with open(path) as handle:
+        return parse_pla(handle.read(), name or path.rsplit("/", 1)[-1])
+
+
+def to_pla(net: Network) -> str:
+    """Serialise a network as a (minterm-level, type f) PLA.
+
+    Only valid for networks whose outputs all depend on the same PI list;
+    intended for flat two-level networks.
+    """
+    num_in = len(net.inputs)
+    lines = [f".i {num_in}", f".o {len(net.outputs)}"]
+    lines.append(".ilb " + " ".join(net.inputs))
+    lines.append(".ob " + " ".join(net.output_names))
+
+    from .simulate import exhaustive_vectors, simulate_vectors
+
+    patterns = exhaustive_vectors(net)
+    total = 1 << num_in
+    results = simulate_vectors(net, patterns, total)
+    rows = []
+    for index in range(total):
+        out_bits = "".join(str(results[o][index]) for o in net.output_names)
+        if "1" in out_bits:
+            in_bits = "".join(str((index >> j) & 1) for j in range(num_in))
+            rows.append(f"{in_bits} {out_bits}")
+    lines.append(f".p {len(rows)}")
+    lines.extend(rows)
+    lines.append(".e")
+    return "\n".join(lines) + "\n"
+
+
+def write_pla(net: Network, path: str) -> None:
+    """Write a network as a PLA file."""
+    with open(path, "w") as handle:
+        handle.write(to_pla(net))

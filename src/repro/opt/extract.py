@@ -1,0 +1,223 @@
+"""Algebraic multi-level optimisation — the role of SIS's algebraic script.
+
+The paper prepares large benchmark circuits with SIS's algebraic script
+before decomposition.  This module provides the equivalent passes over
+our :class:`~repro.network.Network`:
+
+* :func:`factor_node` — single-node algebraic factoring (split a fat SOP
+  node into divisor/quotient/remainder nodes);
+* :func:`extract_kernels` — network-level common-kernel extraction:
+  find a kernel shared by several node covers (or worth factoring out of
+  one), make it a new node, and divide it out everywhere;
+* :func:`algebraic_script` — the iterate-to-fixpoint driver mirroring
+  what ``script.algebraic`` does in SIS at the fidelity this flow needs.
+
+All passes preserve functionality (cover semantics are exact); tests
+verify equivalence on every transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..boolfunc import TruthTable
+from ..network import Network, sweep
+from .kernels import KernelEntry, kernels, make_cube_free
+from .sop import (
+    Cover,
+    Cube,
+    cover_divide,
+    cover_from_table,
+    cover_literals,
+    table_from_cover,
+)
+
+__all__ = ["factor_node", "extract_kernels", "algebraic_script"]
+
+_MAX_COVER_INPUTS = 12  # beyond this, ISOP covers get too big to chew on
+
+
+def _node_cover(net: Network, name: str) -> Optional[Tuple[Cover, List[str]]]:
+    node = net.node(name)
+    if not 0 < node.table.num_inputs <= _MAX_COVER_INPUTS:
+        return None
+    return cover_from_table(node.table), list(node.fanins)
+
+
+def _install_cover(
+    net: Network, name: str, cover: Cover, fanins: List[str]
+) -> None:
+    table = table_from_cover(cover, len(fanins))
+    reduced, kept = table.minimize_support()
+    net.replace_node(name, [fanins[i] for i in kept], reduced)
+
+
+def factor_node(net: Network, name: str, min_saving: int = 2) -> bool:
+    """Factor one node as quotient * kernel + remainder if it saves
+    literals.  Creates up to two new nodes; returns True when applied."""
+    payload = _node_cover(net, name)
+    if payload is None:
+        return False
+    cover, fanins = payload
+    if len(cover) < 2:
+        return False
+
+    best: Optional[Tuple[int, KernelEntry, Cover, Cover]] = None
+    for entry in kernels(cover):
+        if len(entry.kernel) < 2:
+            continue
+        quotient, remainder = cover_divide(cover, entry.kernel)
+        if not quotient:
+            continue
+        before = cover_literals(cover)
+        after = (
+            cover_literals(entry.kernel)
+            + cover_literals(quotient)
+            + len(quotient)  # each quotient cube gains the divisor literal
+            + cover_literals(remainder)
+        )
+        saving = before - after
+        if saving >= min_saving and (best is None or saving > best[0]):
+            best = (saving, entry, quotient, remainder)
+    if best is None:
+        return False
+
+    _, entry, quotient, remainder = best
+    divisor_name = net.fresh_name(f"{name}_d")
+    divisor_table = table_from_cover(entry.kernel, len(fanins))
+    reduced, kept = divisor_table.minimize_support()
+    net.add_node(divisor_name, [fanins[i] for i in kept], reduced)
+
+    # Rebuild the node as quotient*divisor + remainder over the extended
+    # fan-in list.
+    new_fanins = fanins + [divisor_name]
+    div_literal = (len(fanins), 1)
+    new_cover: Cover = [q | {div_literal} for q in quotient]
+    new_cover.extend(remainder)
+    _install_cover(net, name, new_cover, new_fanins)
+    return True
+
+
+def extract_kernels(
+    net: Network, min_uses: int = 2, max_rounds: int = 4
+) -> int:
+    """Extract kernels shared between node covers into new nodes.
+
+    Each round scores every kernel by
+    ``(uses - 1) * kernel_literals - kernel_cubes`` (an estimate of saved
+    literals), extracts the best one network-wide, and divides it out of
+    every cover it divides.  Returns the number of kernels extracted.
+    """
+    extracted = 0
+    for _ in range(max_rounds):
+        covers: Dict[str, Tuple[Cover, List[str]]] = {}
+        for name in net.node_names():
+            payload = _node_cover(net, name)
+            if payload is not None and len(payload[0]) >= 2:
+                covers[name] = payload
+
+        # Collect kernels keyed by their *semantic* signature over global
+        # signal names so kernels from different nodes can match.
+        candidates: Dict[Tuple, List[Tuple[str, KernelEntry]]] = {}
+        for name, (cover, fanins) in covers.items():
+            for entry in kernels(cover):
+                if len(entry.kernel) < 2:
+                    continue
+                signature = tuple(
+                    tuple(sorted((fanins[idx], pol) for idx, pol in cube))
+                    for cube in entry.kernel
+                )
+                signature = tuple(sorted(signature))
+                candidates.setdefault(signature, []).append((name, entry))
+
+        best_signature = None
+        best_score = 0
+        for signature, users in candidates.items():
+            distinct_users = sorted({name for name, _ in users})
+            if len(distinct_users) < min_uses:
+                continue
+            kernel_lits = sum(len(c) for c in signature)
+            # Exact literal saving: divide the kernel out of each user's
+            # cover and compare costs; the kernel node itself costs its
+            # own literals once.
+            saving = -kernel_lits
+            for name in distinct_users:
+                cover, fanins = covers[name]
+                local_map = {sig: i for i, sig in enumerate(fanins)}
+                if not all(
+                    sig in local_map for cube in signature for sig, _ in cube
+                ):
+                    continue
+                local_kernel: Cover = [
+                    frozenset((local_map[sig], pol) for sig, pol in cube)
+                    for cube in signature
+                ]
+                quotient, remainder = cover_divide(cover, local_kernel)
+                if not quotient:
+                    continue
+                before = cover_literals(cover)
+                after = (
+                    cover_literals(quotient)
+                    + len(quotient)
+                    + cover_literals(remainder)
+                )
+                saving += before - after
+            if saving > best_score:
+                best_score = saving
+                best_signature = signature
+        if best_signature is None:
+            return extracted
+
+        # Materialise the kernel as a node over the union of its signals.
+        signals = sorted({sig for cube in best_signature for sig, _ in cube})
+        index_of = {sig: i for i, sig in enumerate(signals)}
+        kernel_cover: Cover = [
+            frozenset((index_of[sig], pol) for sig, pol in cube)
+            for cube in best_signature
+        ]
+        kernel_table = table_from_cover(kernel_cover, len(signals))
+        kernel_name = net.fresh_name("ker")
+        net.add_node(kernel_name, signals, kernel_table)
+        extracted += 1
+
+        # Divide it out of every cover it (algebraically) divides.
+        for name, (cover, fanins) in covers.items():
+            if kernel_name == name:
+                continue
+            local_map = {sig: i for i, sig in enumerate(fanins)}
+            if not all(sig in local_map for sig in signals):
+                continue
+            local_kernel: Cover = [
+                frozenset((local_map[sig], pol) for sig, pol in cube)
+                for cube in best_signature
+            ]
+            quotient, remainder = cover_divide(cover, local_kernel)
+            if not quotient:
+                continue
+            new_fanins = fanins + [kernel_name]
+            div_literal = (len(fanins), 1)
+            new_cover: Cover = [q | {div_literal} for q in quotient]
+            new_cover.extend(remainder)
+            _install_cover(net, name, new_cover, new_fanins)
+    return extracted
+
+
+def algebraic_script(net: Network, rounds: int = 2) -> Dict[str, int]:
+    """SIS-style algebraic preprocessing: extract + factor to fixpoint.
+
+    Returns a small statistics dict.  The network is modified in place
+    and remains functionally identical (callers can verify with
+    :func:`repro.network.check_equivalence`).
+    """
+    stats = {"kernels_extracted": 0, "nodes_factored": 0}
+    for _ in range(rounds):
+        stats["kernels_extracted"] += extract_kernels(net)
+        factored = 0
+        for name in list(net.node_names()):
+            if factor_node(net, name):
+                factored += 1
+        stats["nodes_factored"] += factored
+        sweep(net)
+        if not factored:
+            break
+    return stats

@@ -1,0 +1,46 @@
+"""Shared test helpers."""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.boolfunc import TruthTable
+from repro.network import Network
+
+
+def bruteforce_equal(net_a: Network, net_b: Network) -> bool:
+    """Exhaustively compare two small networks output-by-output."""
+    from repro.network import simulate
+
+    assert sorted(net_a.inputs) == sorted(net_b.inputs)
+    for bits in itertools.product([0, 1], repeat=len(net_a.inputs)):
+        assignment = dict(zip(net_a.inputs, bits))
+        if simulate(net_a, assignment) != simulate(net_b, assignment):
+            return False
+    return True
+
+
+def random_bdd(manager: BddManager, num_vars: int, rng: random.Random) -> int:
+    """A random function over the first ``num_vars`` manager variables."""
+    mask = rng.getrandbits(1 << num_vars)
+    return manager.from_truth_table(mask, list(range(num_vars)))
+
+
+def table_network(name: str, tables: Dict[str, TruthTable], num_inputs: int) -> Network:
+    """A flat network: every table reads all ``num_inputs`` PIs."""
+    net = Network(name)
+    inputs = [net.add_input(f"i{j}") for j in range(num_inputs)]
+    for out, table in tables.items():
+        net.add_node(f"{out}_n", inputs[: table.num_inputs], table)
+        net.add_output(f"{out}_n", out)
+    return net
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(12345)

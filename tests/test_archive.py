@@ -1,0 +1,68 @@
+"""Tests for experiment archiving and run comparison."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    CircuitRecord,
+    ExperimentRecord,
+    FlowRecord,
+    RecordDiff,
+    compare_records,
+    load_record,
+    save_record,
+)
+
+
+def make_record(values: dict) -> ExperimentRecord:
+    rec = ExperimentRecord("exp", "lut_count")
+    for circuit, flows in values.items():
+        crec = CircuitRecord(circuit, 4, 1, True)
+        for flow, lut in flows.items():
+            crec.flows[flow] = FlowRecord(flow, lut_count=lut)
+        rec.circuits.append(crec)
+    return rec
+
+
+class TestArchive:
+    def test_save_load_round_trip(self, tmp_path):
+        rec = make_record({"a": {"hyde": 5}})
+        path = tmp_path / "run.json"
+        save_record(rec, path)
+        again = load_record(path)
+        assert again.totals("hyde") == 5
+
+
+class TestCompare:
+    def test_detects_regressions_and_improvements(self):
+        old = make_record({"a": {"hyde": 5, "po": 7}, "b": {"hyde": 9}})
+        new = make_record({"a": {"hyde": 4, "po": 8}, "b": {"hyde": 9}})
+        diff = compare_records(old, new)
+        assert ("a", "hyde", 5, 4) in diff.improved
+        assert ("a", "po", 7, 8) in diff.regressed
+        assert diff.unchanged == 1
+        assert diff.has_regressions
+        assert "REGRESSED a/po" in diff.summary()
+
+    def test_detects_coverage_changes(self):
+        old = make_record({"a": {"hyde": 5}, "gone": {"hyde": 3}})
+        new = make_record({"a": {"hyde": 5}, "fresh": {"hyde": 2}})
+        diff = compare_records(old, new)
+        assert ("gone", "hyde") in diff.only_in_old
+        assert ("fresh", "hyde") in diff.only_in_new
+
+    def test_metric_mismatch_rejected(self):
+        old = make_record({"a": {"hyde": 5}})
+        new = ExperimentRecord("exp", "clb_count")
+        with pytest.raises(ValueError):
+            compare_records(old, new)
+
+    def test_errors_count_as_unchanged(self):
+        old = make_record({"a": {"hyde": 5}})
+        new = ExperimentRecord("exp", "lut_count")
+        crec = CircuitRecord("a", 4, 1, True)
+        crec.flows["hyde"] = FlowRecord("hyde", error="boom")
+        new.circuits.append(crec)
+        diff = compare_records(old, new)
+        assert not diff.has_regressions

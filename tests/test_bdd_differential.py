@@ -1,0 +1,99 @@
+"""Differential stress tests: BDD operations vs reference truth-table
+computation on randomly generated expression trees."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+
+N = 6
+FULL = (1 << (1 << N)) - 1
+
+
+def random_expression(manager: BddManager, rng: random.Random, depth: int):
+    """Build a random expression; returns (bdd, reference mask)."""
+    var_masks = []
+    for lv in range(N):
+        mask = 0
+        for m in range(1 << N):
+            if (m >> lv) & 1:
+                mask |= 1 << m
+        var_masks.append(mask)
+
+    def build(d):
+        if d == 0 or rng.random() < 0.25:
+            lv = rng.randrange(N)
+            return manager.var_at_level(lv), var_masks[lv]
+        op = rng.choice(["and", "or", "xor", "not", "ite"])
+        if op == "not":
+            f, mf = build(d - 1)
+            return manager.apply_not(f), mf ^ FULL
+        if op == "ite":
+            c, mc = build(d - 1)
+            t, mt = build(d - 1)
+            e, me = build(d - 1)
+            return manager.ite(c, t, e), (mc & mt) | ((mc ^ FULL) & me)
+        f, mf = build(d - 1)
+        g, mg = build(d - 1)
+        if op == "and":
+            return manager.apply_and(f, g), mf & mg
+        if op == "or":
+            return manager.apply_or(f, g), mf | mg
+        return manager.apply_xor(f, g), mf ^ mg
+
+    return build(depth)
+
+
+@pytest.mark.parametrize("seed", range(20))
+def test_expression_trees_match_reference(seed):
+    rng = random.Random(seed)
+    manager = BddManager(N)
+    bdd, mask = random_expression(manager, rng, depth=5)
+    assert manager.to_truth_table(bdd, list(range(N))) == mask
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_compose_differential(seed):
+    rng = random.Random(1000 + seed)
+    manager = BddManager(N)
+    f, mf = random_expression(manager, rng, depth=4)
+    g, mg = random_expression(manager, rng, depth=3)
+    level = rng.randrange(N)
+    composed = manager.compose(f, level, g)
+    # Reference: for each minterm, re-evaluate with the bit substituted.
+    expected = 0
+    for m in range(1 << N):
+        sub_bit = (mg >> m) & 1
+        target = (m | (1 << level)) if sub_bit else (m & ~(1 << level))
+        if (mf >> target) & 1:
+            expected |= 1 << m
+    assert manager.to_truth_table(composed, list(range(N))) == expected
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_vector_compose_differential(seed):
+    rng = random.Random(2000 + seed)
+    manager = BddManager(N)
+    f, mf = random_expression(manager, rng, depth=4)
+    subs = {}
+    sub_masks = {}
+    for lv in rng.sample(range(N), 2):
+        g, mg = random_expression(manager, rng, depth=3)
+        subs[lv] = g
+        sub_masks[lv] = mg
+    composed = manager.vector_compose(f, subs)
+    expected = 0
+    for m in range(1 << N):
+        target = m
+        for lv in range(N):
+            if lv in sub_masks:
+                bit = (sub_masks[lv] >> m) & 1
+            else:
+                bit = (m >> lv) & 1
+            target = (target | (1 << lv)) if bit else (target & ~(1 << lv))
+        if (mf >> target) & 1:
+            expected |= 1 << m
+    assert manager.to_truth_table(composed, list(range(N))) == expected

@@ -1,0 +1,263 @@
+"""Unit and property tests for the core ROBDD manager."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager, build_cube
+
+N_VARS = 4
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N_VARS)) - 1)
+
+
+def eval_mask(mask: int, assignment_bits: int) -> int:
+    return (mask >> assignment_bits) & 1
+
+
+def all_assignments(n: int):
+    for bits in range(1 << n):
+        yield bits, {lv: (bits >> lv) & 1 for lv in range(n)}
+
+
+class TestConstruction:
+    def test_terminals(self):
+        m = BddManager(2)
+        assert m.is_terminal(FALSE) and m.is_terminal(TRUE)
+        assert not m.is_terminal(m.var_at_level(0))
+
+    def test_var_literals(self):
+        m = BddManager(3)
+        a = m.var_at_level(0)
+        for bits, assignment in all_assignments(3):
+            assert m.eval(a, assignment) == assignment[0]
+
+    def test_negative_literal(self):
+        m = BddManager(2)
+        na = m.nvar_at_level(0)
+        assert m.eval(na, {0: 0, 1: 0}) == 1
+        assert m.eval(na, {0: 1, 1: 0}) == 0
+
+    def test_named_vars(self):
+        m = BddManager()
+        m.add_var("alpha")
+        m.add_var("beta")
+        assert m.level_of("beta") == 1
+        assert m.name_of(0) == "alpha"
+        assert m.var("alpha") == m.var_at_level(0)
+
+    def test_duplicate_name_rejected(self):
+        m = BddManager()
+        m.add_var("x")
+        with pytest.raises(ValueError):
+            m.add_var("x")
+
+    def test_hash_consing(self):
+        m = BddManager(3)
+        f1 = m.apply_and(m.var_at_level(0), m.var_at_level(1))
+        f2 = m.apply_and(m.var_at_level(1), m.var_at_level(0))
+        assert f1 == f2
+
+    def test_reduction_rule(self):
+        # mk(v, t, t) must not create a node.
+        m = BddManager(2)
+        f = m.ite(m.var_at_level(0), TRUE, TRUE)
+        assert f == TRUE
+
+
+class TestBooleanOps:
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_binary_ops_match_masks(self, bits_f, bits_g):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits_f, levels)
+        g = m.from_truth_table(bits_g, levels)
+        full = (1 << (1 << N_VARS)) - 1
+        assert m.to_truth_table(m.apply_and(f, g), levels) == bits_f & bits_g
+        assert m.to_truth_table(m.apply_or(f, g), levels) == bits_f | bits_g
+        assert m.to_truth_table(m.apply_xor(f, g), levels) == bits_f ^ bits_g
+        assert m.to_truth_table(m.apply_not(f), levels) == bits_f ^ full
+
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_double_negation(self, bits):
+        m = BddManager(N_VARS)
+        f = m.from_truth_table(bits, list(range(N_VARS)))
+        assert m.apply_not(m.apply_not(f)) == f
+
+    @given(TABLE_BITS, TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_ite_semantics(self, bf, bg, bh):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bf, levels)
+        g = m.from_truth_table(bg, levels)
+        h = m.from_truth_table(bh, levels)
+        expected = (bf & bg) | (~bf & bh) & ((1 << (1 << N_VARS)) - 1)
+        expected = (bf & bg) | ((bf ^ ((1 << (1 << N_VARS)) - 1)) & bh)
+        assert m.to_truth_table(m.ite(f, g, h), levels) == expected
+
+    def test_implies_and_diff(self):
+        m = BddManager(2)
+        a, b = m.var_at_level(0), m.var_at_level(1)
+        assert m.apply_implies(m.apply_and(a, b), a) == TRUE
+        assert m.apply_diff(a, a) == FALSE
+
+    def test_xnor(self):
+        m = BddManager(2)
+        a, b = m.var_at_level(0), m.var_at_level(1)
+        f = m.apply_xnor(a, b)
+        assert m.eval(f, {0: 1, 1: 1}) == 1
+        assert m.eval(f, {0: 1, 1: 0}) == 0
+
+
+class TestCofactorsAndQuantifiers:
+    @given(TABLE_BITS, st.integers(min_value=0, max_value=N_VARS - 1),
+           st.integers(min_value=0, max_value=1))
+    @settings(max_examples=40, deadline=None)
+    def test_restrict_semantics(self, bits, level, value):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits, levels)
+        r = m.restrict(f, {level: value})
+        for abits, assignment in all_assignments(N_VARS):
+            fixed = dict(assignment)
+            fixed[level] = value
+            fixed_bits = sum(v << lv for lv, v in fixed.items())
+            assert m.eval(r, assignment) == eval_mask(bits, fixed_bits)
+
+    @given(TABLE_BITS, st.sets(st.integers(0, N_VARS - 1), max_size=N_VARS))
+    @settings(max_examples=40, deadline=None)
+    def test_exists_forall(self, bits, qlevels):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits, levels)
+        ex = m.exists(f, qlevels)
+        fa = m.forall(f, qlevels)
+        free = [lv for lv in levels if lv not in qlevels]
+        for _, assignment in all_assignments(N_VARS):
+            sub_values = []
+            for qbits in range(1 << len(qlevels)):
+                full = dict(assignment)
+                for j, lv in enumerate(sorted(qlevels)):
+                    full[lv] = (qbits >> j) & 1
+                full_bits = sum(v << lv for lv, v in full.items())
+                sub_values.append(eval_mask(bits, full_bits))
+            assert m.eval(ex, assignment) == (1 if any(sub_values) else 0)
+            assert m.eval(fa, assignment) == (1 if all(sub_values) else 0)
+
+    def test_compose(self):
+        m = BddManager(3)
+        a, b, c = (m.var_at_level(i) for i in range(3))
+        f = m.apply_or(a, b)  # a | b
+        g = m.compose(f, 1, m.apply_and(a, c))  # a | (a & c) == a
+        assert g == a
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_vector_compose_identity(self, bits, sub_bits):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits, levels)
+        identity = {lv: m.var_at_level(lv) for lv in levels}
+        assert m.vector_compose(f, identity) == f
+
+    def test_vector_compose_swap(self):
+        m = BddManager(2)
+        a, b = m.var_at_level(0), m.var_at_level(1)
+        f = m.apply_diff(a, b)  # a & !b
+        swapped = m.vector_compose(f, {0: b, 1: a})
+        assert swapped == m.apply_diff(b, a)
+
+
+class TestAnalysis:
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_sat_count(self, bits):
+        m = BddManager(N_VARS)
+        f = m.from_truth_table(bits, list(range(N_VARS)))
+        assert m.sat_count(f, N_VARS) == bin(bits).count("1")
+
+    @given(TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_sat_iter_covers_on_set(self, bits):
+        m = BddManager(N_VARS)
+        f = m.from_truth_table(bits, list(range(N_VARS)))
+        covered = set()
+        for cube in m.sat_iter(f):
+            free = [lv for lv in range(N_VARS) if lv not in cube]
+            for fill in range(1 << len(free)):
+                full = dict(cube)
+                for j, lv in enumerate(free):
+                    full[lv] = (fill >> j) & 1
+                covered.add(sum(v << lv for lv, v in full.items()))
+        expected = {i for i in range(1 << N_VARS) if (bits >> i) & 1}
+        assert covered == expected
+
+    def test_support(self):
+        m = BddManager(4)
+        f = m.apply_and(m.var_at_level(1), m.var_at_level(3))
+        assert m.support(f) == [1, 3]
+        assert m.support(TRUE) == []
+
+    def test_size(self):
+        m = BddManager(3)
+        assert m.size(TRUE) == 0
+        chain = m.apply_and(
+            m.apply_and(m.var_at_level(0), m.var_at_level(1)), m.var_at_level(2)
+        )
+        assert m.size(chain) == 3
+
+    def test_pick_one(self):
+        m = BddManager(2)
+        assert m.pick_one(FALSE) is None
+        cube = m.pick_one(m.apply_and(m.var_at_level(0), m.var_at_level(1)))
+        assert cube == {0: 1, 1: 1}
+
+
+class TestTruthTableBridge:
+    @given(TABLE_BITS)
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip(self, bits):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits, levels)
+        assert m.to_truth_table(f, levels) == bits
+
+    def test_to_truth_table_rejects_extra_support(self):
+        m = BddManager(3)
+        f = m.var_at_level(2)
+        with pytest.raises(ValueError):
+            m.to_truth_table(f, [0, 1])
+
+    def test_level_permutation(self):
+        m = BddManager(2)
+        # bits over [levels[0]=1, levels[1]=0]: index bit0 -> level 1.
+        f = m.from_truth_table(0b0010, [1, 0])  # on minterm index 1: level1=1
+        assert m.eval(f, {0: 0, 1: 1}) == 1
+        assert m.eval(f, {0: 1, 1: 0}) == 0
+
+
+class TestCofactorEnumerate:
+    @given(TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_matches_restrict(self, bits):
+        m = BddManager(N_VARS)
+        levels = list(range(N_VARS))
+        f = m.from_truth_table(bits, levels)
+        cofs = m.cofactor_enumerate(f, [0, 2])
+        for index in range(4):
+            expected = m.restrict(f, {0: index & 1, 2: (index >> 1) & 1})
+            assert cofs[index] == expected
+
+
+def test_build_cube():
+    m = BddManager(3)
+    cube = build_cube(m, {0: 1, 2: 0})
+    assert m.eval(cube, {0: 1, 1: 0, 2: 0}) == 1
+    assert m.eval(cube, {0: 1, 1: 1, 2: 1}) == 0
+    assert build_cube(m, {}) == TRUE

@@ -1,0 +1,65 @@
+"""Fuzz round-trips: random networks through BLIF/PLA serialisation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import (
+    Network,
+    check_equivalence,
+    collapse_network,
+    parse_blif,
+    parse_pla,
+    to_blif,
+    to_pla,
+)
+
+
+def random_network(seed: int) -> Network:
+    rng = random.Random(seed)
+    net = Network(f"fuzz{seed}")
+    signals = [net.add_input(f"in{j}") for j in range(rng.randint(2, 6))]
+    for n in range(rng.randint(1, 12)):
+        arity = rng.randint(1, min(4, len(signals)))
+        fanins = rng.sample(signals, arity)
+        mask = rng.getrandbits(1 << arity)
+        net.add_node(f"node{n}", fanins, TruthTable(arity, mask))
+        signals.append(f"node{n}")
+    candidates = [s for s in signals if not net.is_input(s)]
+    for i, driver in enumerate(
+        rng.sample(candidates, min(3, len(candidates)))
+    ):
+        net.add_output(driver, f"out{i}")
+    return net
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_blif_round_trip_fuzz(seed):
+    net = random_network(seed)
+    again = parse_blif(to_blif(net))
+    assert check_equivalence(net, again) is None
+
+
+@pytest.mark.parametrize("seed", range(10))
+def test_pla_round_trip_fuzz(seed):
+    net = random_network(seed + 50)
+    flat = collapse_network(net)
+    again = parse_pla(to_pla(flat))
+    assert check_equivalence(flat, again) is None
+
+
+def test_manager_stats():
+    from repro.bdd import BddManager
+
+    m = BddManager(4)
+    f = m.apply_and(m.var_at_level(0), m.var_at_level(1))
+    m.cofactor(f, 0, 1)
+    stats = m.stats()
+    assert stats["num_vars"] == 4
+    assert stats["num_nodes"] >= 4
+    assert stats["apply_cache"] >= 1
+    m.clear_caches()
+    assert m.stats()["apply_cache"] == 0

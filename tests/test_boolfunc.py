@@ -1,0 +1,122 @@
+"""Tests for BoolFunction / FunctionSpace / IncompleteFunction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.boolfunc import BoolFunction, FunctionSpace, IncompleteFunction, TruthTable
+
+
+class TestFunctionSpace:
+    def test_vars_and_algebra(self):
+        sp = FunctionSpace(["a", "b", "c"])
+        a, b, c = sp.vars()
+        f = (a & b) | ~c
+        assert f.eval({"a": 0, "b": 0, "c": 0}) == 1
+        assert f.eval({"a": 0, "b": 0, "c": 1}) == 0
+        assert f.eval({"a": 1, "b": 1, "c": 1}) == 1
+
+    def test_constant(self):
+        sp = FunctionSpace(["a"])
+        assert sp.constant(1).is_constant()
+        assert sp.constant(0).eval({"a": 1}) == 0
+
+    def test_from_truth_table_and_back(self):
+        sp = FunctionSpace(["x", "y", "z"])
+        t = TruthTable.from_function(2, lambda x, z: x ^ z)
+        f = sp.from_truth_table(t, ["x", "z"])
+        assert f.support() == ["x", "z"]
+        assert f.to_truth_table(["x", "z"]).mask == t.mask
+
+    def test_from_callable(self):
+        sp = FunctionSpace(["p", "q"])
+        f = sp.from_callable(lambda p, q: p & ~q & 1, ["p", "q"])
+        assert f.eval({"p": 1, "q": 0}) == 1
+
+
+class TestBoolFunction:
+    def test_xor_and_invert(self):
+        sp = FunctionSpace(["a", "b"])
+        a, b = sp.vars()
+        assert ((a ^ b) ^ b) == a
+        assert ~~a == a
+
+    def test_cofactor(self):
+        sp = FunctionSpace(["a", "b"])
+        a, b = sp.vars()
+        f = a & b
+        assert f.cofactor("a", 1) == b
+        assert f.cofactor("a", 0).is_constant()
+
+    def test_cross_manager_rejected(self):
+        f = FunctionSpace(["a"]).var("a")
+        g = FunctionSpace(["a"]).var("a")
+        with pytest.raises(ValueError):
+            _ = f & g
+
+    def test_hash_and_eq(self):
+        sp = FunctionSpace(["a", "b"])
+        a, b = sp.vars()
+        assert len({a & b, b & a}) == 1
+
+
+class TestIncompleteFunction:
+    def _mk(self):
+        m = BddManager(3)
+        a, b, c = (m.var_at_level(i) for i in range(3))
+        return m, a, b, c
+
+    def test_disjointness_enforced(self):
+        m, a, b, c = self._mk()
+        with pytest.raises(ValueError):
+            IncompleteFunction(m, a, a)
+
+    def test_off_set(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, a, m.apply_and(m.apply_not(a), b))
+        # off = !a & !b
+        assert f.off == m.apply_and(m.apply_not(a), m.apply_not(b))
+
+    def test_compatibility_symmetric(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, m.apply_and(a, b), m.apply_not(a))
+        g = IncompleteFunction(m, m.apply_and(a, c), m.apply_not(a))
+        assert f.compatible_with(g) == g.compatible_with(f)
+
+    def test_merge_requires_compatibility(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, a, FALSE)
+        g = IncompleteFunction(m, m.apply_not(a), FALSE)
+        assert not f.compatible_with(g)
+        with pytest.raises(ValueError):
+            f.merge(g)
+
+    def test_merge_narrows_dc(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, m.apply_and(a, b), m.apply_not(a))
+        g = IncompleteFunction(m, m.apply_and(a, b), m.apply_not(b))
+        merged = f.merge(g)
+        assert merged.on == m.apply_and(a, b)
+        assert merged.dc == m.apply_and(m.apply_not(a), m.apply_not(b))
+
+    def test_equals_on_care_set(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, m.apply_and(a, b), m.apply_not(a))
+        # a & b agrees with f wherever f cares (a=1 region), as does a & b & ...
+        assert f.equals_on_care_set(m.apply_and(a, b))
+        assert f.equals_on_care_set(
+            m.apply_or(m.apply_and(a, b), m.apply_not(a))
+        )
+        assert not f.equals_on_care_set(a)
+
+    def test_restrict(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, m.apply_and(a, b), FALSE)
+        r = f.restrict({0: 1})
+        assert r.on == b
+
+    def test_support(self):
+        m, a, b, c = self._mk()
+        f = IncompleteFunction(m, a, m.apply_and(m.apply_not(a), c))
+        assert f.support() == [0, 2]

@@ -1,0 +1,131 @@
+"""Brute-force cross-checks of the heuristic/matching substrate on tiny
+instances, where exact optima are enumerable."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.decompose import (
+    WeightedEdge,
+    clique_partition,
+    max_weight_b_matching,
+    max_weight_matching,
+)
+
+
+def brute_force_min_clique_cover(n, compat):
+    """Exact minimum clique partition by trying all set partitions."""
+
+    def partitions(elements):
+        if not elements:
+            yield []
+            return
+        first, rest = elements[0], elements[1:]
+        for sub in partitions(rest):
+            for i in range(len(sub)):
+                yield sub[:i] + [[first] + sub[i]] + sub[i + 1 :]
+            yield [[first]] + sub
+
+    best = None
+    for candidate in partitions(list(range(n))):
+        ok = all(
+            compat(a, b)
+            for group in candidate
+            for a, b in itertools.combinations(group, 2)
+        )
+        if ok and (best is None or len(candidate) < len(best)):
+            best = candidate
+    return best
+
+
+def brute_force_matching_weight(edges):
+    """Exact maximum-weight matching weight by subset enumeration."""
+    best = 0.0
+    for size in range(1, len(edges) + 1):
+        for subset in itertools.combinations(edges, size):
+            used = set()
+            ok = True
+            for e in subset:
+                if e.u in used or e.v in used:
+                    ok = False
+                    break
+                used.add(e.u)
+                used.add(e.v)
+            if ok:
+                best = max(best, sum(e.weight for e in subset))
+    return best
+
+
+class TestCliquePartitionQuality:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_close_to_optimum_on_tiny_graphs(self, seed):
+        rng = random.Random(seed)
+        n = 7
+        edges = {
+            (i, j)
+            for i in range(n)
+            for j in range(i + 1, n)
+            if rng.random() < 0.5
+        }
+        compat = lambda i, j: tuple(sorted((i, j))) in edges
+        heuristic = clique_partition(n, compat)
+        optimum = brute_force_min_clique_cover(n, compat)
+        # The Tseng/Siewiorek-style heuristic is not exact, but on these
+        # tiny graphs it should stay within one clique of optimal.
+        assert len(heuristic) <= len(optimum) + 1
+
+    def test_exact_on_cluster_graphs(self):
+        # Disjoint cliques: the heuristic must find them exactly.
+        groups = [[0, 1, 2], [3, 4], [5, 6, 7, 8]]
+        membership = {}
+        for gi, g in enumerate(groups):
+            for v in g:
+                membership[v] = gi
+        compat = lambda i, j: membership[i] == membership[j]
+        assert len(clique_partition(9, compat)) == 3
+
+
+class TestMatchingExactness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_bruteforce(self, seed):
+        rng = random.Random(100 + seed)
+        vertices = [f"v{i}" for i in range(6)]
+        edges = [
+            WeightedEdge(a, b, rng.randint(1, 9))
+            for a, b in itertools.combinations(vertices, 2)
+            if rng.random() < 0.6
+        ]
+        if not edges:
+            return
+        ours = sum(e.weight for e in max_weight_matching(edges))
+        exact = brute_force_matching_weight(edges)
+        assert ours == exact
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_b_matching_via_cloned_bruteforce(self, seed):
+        rng = random.Random(200 + seed)
+        # Star-ish bipartite instance with one capacity-2 hub.
+        edges = [
+            WeightedEdge(f"p{i}", "hub", rng.randint(1, 9)) for i in range(4)
+        ] + [
+            WeightedEdge(f"p{i}", f"q{i}", rng.randint(1, 9)) for i in range(4)
+        ]
+        ours = sum(
+            e.weight for e in max_weight_b_matching(edges, {"hub": 2})
+        )
+        # Brute force: pick at most 2 hub edges + a matching on the rest.
+        best = 0
+        hub_edges = edges[:4]
+        leaf_edges = edges[4:]
+        for hub_count in range(3):
+            for hub_subset in itertools.combinations(hub_edges, hub_count):
+                used = {e.u for e in hub_subset}
+                weight = sum(e.weight for e in hub_subset)
+                extra = sum(
+                    e.weight for e in leaf_edges if e.u not in used
+                )
+                best = max(best, weight + extra)
+        assert ours == best

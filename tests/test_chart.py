@@ -1,0 +1,100 @@
+"""Tests for the encoding chart and packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decompose import EncodingChart, pack_chart
+
+
+class TestEncodingChart:
+    def test_place_and_lookup(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 1)
+        chart.place(1, 1, 0)
+        assert chart.position_of(0) == (0, 1)
+        assert chart.position_of(1) == (1, 0)
+        assert sorted(chart.placed_classes()) == [0, 1]
+
+    def test_double_placement_rejected(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 0)
+        with pytest.raises(ValueError):
+            chart.place(1, 0, 0)
+
+    def test_missing_class_rejected(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 0)
+        with pytest.raises(KeyError):
+            chart.position_of(3)
+
+    def test_codes(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 0)
+        chart.place(1, 0, 1)
+        chart.place(2, 1, 0)
+        # alpha 0 carries the column bit, alpha 1 the row bit.
+        codes = chart.codes(3, [0], [1])
+        assert codes[0] == {0: 0, 1: 0}
+        assert codes[1] == {0: 1, 1: 0}
+        assert codes[2] == {0: 0, 1: 1}
+
+    def test_codes_injective(self):
+        chart = EncodingChart.empty(2, 4)
+        for i in range(6):
+            chart.place(i, i // 4, i % 4)
+        codes = chart.codes(6, [0, 1], [2])
+        seen = {tuple(sorted(c.items())) for c in codes}
+        assert len(seen) == 6
+
+    def test_codes_missing_class(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 0)
+        with pytest.raises(ValueError):
+            chart.codes(2, [0], [1])
+
+    def test_insufficient_bits(self):
+        chart = EncodingChart.empty(4, 2)
+        with pytest.raises(ValueError):
+            chart.codes(0, [0], [])  # 1 row bit cannot address 4 rows
+
+    def test_render(self):
+        chart = EncodingChart.empty(2, 2)
+        chart.place(0, 0, 0)
+        text = chart.render(labels=["fc0"])
+        assert "fc0" in text and "-" in text
+
+
+class TestPackChart:
+    def test_paper_final_layout(self):
+        # Example 3.2's final state: 4 row sets, column sets A (4 members)
+        # and B (4 members) plus singletons {0} and {9}.
+        row_sets = [[7, 8], [5, 6], [2, 4], [0, 1, 3, 9]]
+        column_set_of_class = {
+            3: 0, 4: 0, 6: 0, 8: 0,
+            1: 1, 2: 1, 5: 1, 7: 1,
+            0: 2, 9: 3,
+        }
+        sizes = {0: 4, 1: 4, 2: 1, 3: 1}
+        chart = pack_chart(row_sets, column_set_of_class, sizes, 4, 4)
+        assert chart is not None
+        # Column-set members occupy a consistent column.
+        cols = {cls: chart.position_of(cls)[1] for cls in range(10)}
+        assert len({cols[c] for c in (3, 4, 6, 8)}) == 1
+        assert len({cols[c] for c in (1, 2, 5, 7)}) == 1
+        # All ten classes placed in distinct cells.
+        assert sorted(chart.placed_classes()) == list(range(10))
+
+    def test_too_many_rows(self):
+        assert pack_chart([[0], [1], [2]], {}, {}, 2, 2) is None
+
+    def test_row_wider_than_cols(self):
+        assert pack_chart([[0, 1, 2]], {}, {}, 1, 2) is None
+
+    def test_collision_resolved_greedily(self):
+        # Two classes of the same column set forced into one row: the
+        # second must take another column.
+        row_sets = [[0, 1]]
+        chart = pack_chart(row_sets, {0: 0, 1: 0}, {0: 2}, 1, 2)
+        assert chart is not None
+        assert chart.position_of(0)[1] != chart.position_of(1)[1]

@@ -1,0 +1,210 @@
+"""Tests for the benchmark circuit generators and the MCNC registry."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits import (
+    CIRCUITS,
+    alu,
+    build,
+    comparator,
+    decoder,
+    gray_encoder,
+    incrementer,
+    layered_network,
+    majority,
+    multiplier,
+    mux_tree,
+    names,
+    parity,
+    popcount,
+    ripple_adder,
+    saturating_abs,
+    sbox_network,
+    symmetric_function,
+    windowed_network,
+)
+from repro.network import check_equivalence, simulate
+
+
+def word(out, prefix, width):
+    return sum(out[f"{prefix}{j}"] << j for j in range(width))
+
+
+class TestArithmeticGenerators:
+    def test_ripple_adder_adds(self):
+        net = ripple_adder(3)
+        rng = random.Random(0)
+        for _ in range(30):
+            a, b, cin = rng.randrange(8), rng.randrange(8), rng.randrange(2)
+            assignment = {f"a{j}": (a >> j) & 1 for j in range(3)}
+            assignment.update({f"b{j}": (b >> j) & 1 for j in range(3)})
+            assignment["cin"] = cin
+            out = simulate(net, assignment)
+            assert word(out, "sum", 4) == a + b + cin
+
+    def test_adder_without_carry(self):
+        net = ripple_adder(2, carry_in=False)
+        out = simulate(net, {"a0": 1, "a1": 1, "b0": 1, "b1": 0})
+        assert word(out, "sum", 3) == 3 + 1
+
+    def test_incrementer(self):
+        net = incrementer(4)
+        for v in range(16):
+            out = simulate(net, {f"v{j}": (v >> j) & 1 for j in range(4)})
+            result = word(out, "o", 4) | (out["ovf"] << 4)
+            assert result == v + 1
+
+    def test_comparator(self):
+        net = comparator(3)
+        for a, b in itertools.product(range(8), repeat=2):
+            assignment = {f"a{j}": (a >> j) & 1 for j in range(3)}
+            assignment.update({f"b{j}": (b >> j) & 1 for j in range(3)})
+            out = simulate(net, assignment)
+            assert out["gt"] == (1 if a > b else 0)
+            assert out["eq"] == (1 if a == b else 0)
+
+    def test_multiplier(self):
+        net = multiplier(3)
+        for a, b in itertools.product(range(8), repeat=2):
+            assignment = {f"a{j}": (a >> j) & 1 for j in range(3)}
+            assignment.update({f"b{j}": (b >> j) & 1 for j in range(3)})
+            out = simulate(net, assignment)
+            assert word(out, "p", 6) == a * b
+
+    def test_alu_operations(self):
+        net = alu(4)
+        rng = random.Random(1)
+        for _ in range(40):
+            a, b = rng.randrange(16), rng.randrange(16)
+            op = rng.randrange(4)
+            assignment = {f"a{j}": (a >> j) & 1 for j in range(4)}
+            assignment.update({f"b{j}": (b >> j) & 1 for j in range(4)})
+            assignment["op0"] = op & 1
+            assignment["op1"] = (op >> 1) & 1
+            out = simulate(net, assignment)
+            expected = [a + b, a & b, a | b, a ^ b][op] & 0xF
+            assert word(out, "res", 4) == expected
+            assert out["zero"] == (1 if expected == 0 else 0)
+            if op == 0:
+                assert out["cout"] == ((a + b) >> 4)
+
+
+class TestLogicGenerators:
+    def test_parity(self):
+        net = parity(7)
+        rng = random.Random(2)
+        for _ in range(20):
+            bits = [rng.randint(0, 1) for _ in range(7)]
+            out = simulate(net, {f"i{j}": bits[j] for j in range(7)})
+            assert out["p"] == sum(bits) % 2
+
+    def test_symmetric(self):
+        net = symmetric_function(5, {2, 3})
+        for v in range(32):
+            out = simulate(net, {f"i{j}": (v >> j) & 1 for j in range(5)})
+            assert out["f"] == (1 if bin(v).count("1") in (2, 3) else 0)
+
+    def test_majority(self):
+        net = majority(5)
+        out = simulate(net, {f"i{j}": 1 if j < 3 else 0 for j in range(5)})
+        assert out["f"] == 1
+
+    def test_popcount(self):
+        net = popcount(7)
+        for v in range(128):
+            out = simulate(net, {f"i{j}": (v >> j) & 1 for j in range(7)})
+            assert word(out, "s", 3) == bin(v).count("1")
+
+    def test_decoder(self):
+        net = decoder(3)
+        for v in range(8):
+            out = simulate(net, {f"s{j}": (v >> j) & 1 for j in range(3)})
+            for idx in range(8):
+                assert out[f"o{idx}"] == (1 if idx == v else 0)
+
+    def test_mux_tree(self):
+        net = mux_tree(2)
+        rng = random.Random(3)
+        for _ in range(20):
+            data = [rng.randint(0, 1) for _ in range(4)]
+            sel = rng.randrange(4)
+            assignment = {f"d{j}": data[j] for j in range(4)}
+            assignment.update({f"s{j}": (sel >> j) & 1 for j in range(2)})
+            assert simulate(net, assignment)["y"] == data[sel]
+
+    def test_gray_encoder(self):
+        net = gray_encoder(4)
+        for v in range(16):
+            out = simulate(net, {f"v{j}": (v >> j) & 1 for j in range(4)})
+            gray = v ^ (v >> 1)
+            assert word(out, "g", 4) == gray
+
+    def test_saturating_abs(self):
+        net = saturating_abs(5, 3)
+        for v in range(32):
+            signed = v - 32 if v >= 16 else v
+            expected = min(abs(signed), 7)
+            out = simulate(net, {f"i{j}": (v >> j) & 1 for j in range(5)})
+            assert word(out, "o", 3) == expected
+
+
+class TestSynthetic:
+    def test_deterministic(self):
+        a = windowed_network("w", 10, 4, window=5, seed=1)
+        b = windowed_network("w", 10, 4, window=5, seed=1)
+        assert check_equivalence(a, b) is None
+
+    def test_seed_changes_function(self):
+        a = windowed_network("w", 10, 4, window=5, seed=1)
+        b = windowed_network("w", 10, 4, window=5, seed=2)
+        assert check_equivalence(a, b) is not None
+
+    def test_layered_profile(self):
+        net = layered_network("l", 12, 6, nodes_per_layer=8, seed=0)
+        assert len(net.inputs) == 12
+        assert len(net.outputs) == 6
+
+    def test_sbox_profile(self):
+        net = sbox_network("s", 32, 12, seed=0)
+        assert len(net.inputs) == 32
+        assert len(net.outputs) == 12
+
+
+class TestRegistry:
+    def test_profiles_verified_on_build(self):
+        for name in names():
+            spec = CIRCUITS[name]
+            if spec.size_class == "large":
+                continue  # covered in the harness; keep unit tests fast
+            net = build(name)
+            assert len(net.inputs) == spec.num_inputs
+            assert len(net.outputs) == spec.num_outputs
+
+    def test_exact_flags(self):
+        exact = {n for n in names() if CIRCUITS[n].exact}
+        assert exact == {"9sym", "rd73", "rd84", "z4ml"}
+
+    def test_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            build("nonesuch")
+
+    def test_z4ml_is_adder(self):
+        net = build("z4ml")
+        out = simulate(
+            net,
+            {"a0": 1, "a1": 1, "a2": 0, "b0": 1, "b1": 0, "b2": 1, "cin": 1},
+        )
+        assert word(out, "sum", 4) == 3 + 5 + 1
+
+    def test_9sym_definition(self):
+        net = build("9sym")
+        rng = random.Random(4)
+        for _ in range(40):
+            v = rng.randrange(512)
+            out = simulate(net, {f"i{j}": (v >> j) & 1 for j in range(9)})
+            assert out["f"] == (1 if bin(v).count("1") in (3, 4, 5, 6) else 0)

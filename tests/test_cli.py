@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_circuits_listing(self, capsys):
+        assert main(["circuits"]) == 0
+        out = capsys.readouterr().out
+        assert "9sym" in out and "exact" in out
+
+    def test_map_circuit(self, capsys):
+        assert main(["map", "z4ml", "--flow", "hyde"]) == 0
+        out = capsys.readouterr().out
+        assert "z4ml" in out and "LUTs" in out
+
+    def test_map_writes_blif(self, tmp_path, capsys):
+        target = tmp_path / "out.blif"
+        assert main(
+            ["map", "rd73", "--flow", "shannon", "-o", str(target)]
+        ) == 0
+        text = target.read_text()
+        assert ".model" in text and ".end" in text
+        from repro.network import check_equivalence, read_blif
+        from repro.circuits import build
+        assert check_equivalence(read_blif(str(target)), build("rd73")) is None
+
+    def test_blif_round_trip(self, tmp_path, capsys):
+        from repro.circuits import build
+        from repro.network import write_blif
+        source = tmp_path / "in.blif"
+        write_blif(build("z4ml"), str(source))
+        assert main(["blif", str(source), "--flow", "random"]) == 0
+        out = capsys.readouterr().out
+        assert "LUTs" in out
+
+    def test_unknown_circuit_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["map", "nonesuch"])

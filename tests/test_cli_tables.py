@@ -1,0 +1,16 @@
+"""CLI table regeneration commands (small circuit class)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.mark.parametrize("table", ["table1", "table2"])
+def test_cli_table_small(table, capsys):
+    assert main([table, "--classes", "small"]) == 0
+    out = capsys.readouterr().out
+    assert "measured vs paper" in out
+    assert "TOTAL" in out
+    assert "9sym" in out and "z4ml" in out

@@ -1,0 +1,125 @@
+"""Tests for compatible class computation (paper Definition 2.1)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.decompose import compute_classes, count_classes, enumerate_columns
+
+N = 6
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+def make(bits: int):
+    m = BddManager(N)
+    return m, m.from_truth_table(bits, list(range(N)))
+
+
+class TestEnumerateColumns:
+    def test_column_count(self):
+        m, f = make(0xDEADBEEF_CAFEF00D)
+        cols = enumerate_columns(m, f, [0, 1, 2])
+        assert len(cols) == 8
+
+    def test_columns_are_cofactors(self):
+        m, f = make(0x0123456789ABCDEF)
+        cols = enumerate_columns(m, f, [1, 4])
+        for index, col in enumerate(cols):
+            expected = m.restrict(f, {1: index & 1, 4: (index >> 1) & 1})
+            assert col.on == expected
+            assert col.dc == FALSE
+
+
+class TestComputeClasses:
+    def test_parity_two_classes(self):
+        m = BddManager(N)
+        f = m.var_at_level(0)
+        for lv in range(1, N):
+            f = m.apply_xor(f, m.var_at_level(lv))
+        classes = compute_classes(m, f, [0, 1, 2])
+        assert classes.num_classes == 2
+        # Positions with even popcount share a class.
+        for p in range(8):
+            same = classes.class_of_position[p] == classes.class_of_position[0]
+            assert same == (bin(p).count("1") % 2 == 0)
+
+    def test_and_function(self):
+        m = BddManager(N)
+        f = TRUE
+        for lv in range(N):
+            f = m.apply_and(f, m.var_at_level(lv))
+        classes = compute_classes(m, f, [0, 1, 2])
+        # Only the all-ones bound assignment differs from the rest.
+        assert classes.num_classes == 2
+        assert classes.positions_of_class(classes.class_of_position[7]) == [7]
+
+    @given(TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_classes_partition_positions(self, bits):
+        m, f = make(bits)
+        classes = compute_classes(m, f, [0, 2, 4])
+        assert len(classes.class_of_position) == 8
+        assert set(classes.class_of_position) == set(
+            range(classes.num_classes)
+        )
+
+    @given(TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_class_functions_are_distinct(self, bits):
+        m, f = make(bits)
+        classes = compute_classes(m, f, [1, 3])
+        keys = [fc.key for fc in classes.class_functions]
+        assert len(keys) == len(set(keys))
+
+    @given(TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_count_matches_compute(self, bits):
+        m, f = make(bits)
+        assert count_classes(m, f, [0, 1]) == compute_classes(
+            m, f, [0, 1]
+        ).num_classes
+
+    def test_partition_of_class(self):
+        m = BddManager(4)
+        # f = (a & b) | (c & d); bound {a, b}: classes {c&d, TRUE... }
+        f = m.apply_or(
+            m.apply_and(m.var_at_level(0), m.var_at_level(1)),
+            m.apply_and(m.var_at_level(2), m.var_at_level(3)),
+        )
+        classes = compute_classes(m, f, [0, 1])
+        assert classes.num_classes == 2
+        # Partition of the c&d class w.r.t. Y1 = {c}: cofactors d-dependent.
+        cd_class = classes.class_of_position[0]
+        part = classes.partition_of_class(cd_class, [2])
+        assert part.num_positions == 2
+        assert part.multiplicity == 2  # c=0 -> 0, c=1 -> d
+
+
+class TestWithDontCares:
+    def test_dc_reduces_classes(self):
+        m = BddManager(4)
+        a, b, c, d = (m.var_at_level(i) for i in range(4))
+        # on = a & c; dc = !a & !b (whole columns (a,b)=(0,0) are free).
+        on = m.apply_and(a, c)
+        dc = m.apply_and(m.apply_not(a), m.apply_not(b))
+        with_dc = compute_classes(m, on, [0, 1], dc=dc, use_dontcares=True)
+        without = compute_classes(m, on, [0, 1], dc=dc, use_dontcares=False)
+        assert with_dc.num_classes <= without.num_classes
+        assert with_dc.num_classes == 2  # the free column joins either class
+
+    def test_merged_class_covers_members(self):
+        m = BddManager(4)
+        a, b, c, d = (m.var_at_level(i) for i in range(4))
+        on = m.apply_and(a, c)
+        dc = m.apply_and(m.apply_not(a), m.apply_not(b))
+        classes = compute_classes(m, on, [0, 1], dc=dc, use_dontcares=True)
+        for position, col in enumerate(classes.columns):
+            fc = classes.class_functions[classes.class_of_position[position]]
+            # Everywhere the member column is ON the class must not be OFF.
+            off = m.apply_diff(m.apply_not(fc.on), fc.dc)
+            assert m.apply_and(col.on, off) == FALSE

@@ -1,0 +1,111 @@
+"""Tests for the extended datapath generators."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.circuits.datapath import (
+    barrel_shifter,
+    bin_to_bcd,
+    crc_step,
+    lfsr_next,
+    priority_encoder,
+    saturating_adder,
+)
+from repro.network import simulate
+
+
+class TestPriorityEncoder:
+    def test_semantics(self):
+        net = priority_encoder(6)
+        for v in range(1 << 6):
+            out = simulate(net, {f"r{j}": (v >> j) & 1 for j in range(6)})
+            if v == 0:
+                assert out["valid"] == 0
+                continue
+            expected = v.bit_length() - 1  # highest set bit
+            assert out["valid"] == 1
+            idx = sum(out[f"idx{b}"] << b for b in range(3))
+            assert idx == expected
+
+
+class TestBarrelShifter:
+    def test_rotation(self):
+        width = 8
+        net = barrel_shifter(width)
+        rng = random.Random(1)
+        for _ in range(25):
+            data = rng.randrange(1 << width)
+            amount = rng.randrange(width)
+            assignment = {f"d{j}": (data >> j) & 1 for j in range(width)}
+            assignment.update({f"s{b}": (amount >> b) & 1 for b in range(3)})
+            out = simulate(net, assignment)
+            got = sum(out[f"q{j}"] << j for j in range(width))
+            expected = ((data << amount) | (data >> (width - amount))) & (
+                (1 << width) - 1
+            ) if amount else data
+            assert got == expected
+
+
+class TestCrcAndLfsr:
+    def test_crc_step_reference(self):
+        # CRC-4 with polynomial x^4 + x + 1 (taps 0b0011).
+        width, poly = 4, 0b0011
+        net = crc_step(width, poly)
+        rng = random.Random(2)
+        for _ in range(30):
+            state = rng.randrange(1 << width)
+            din = rng.randrange(2)
+            assignment = {f"c{j}": (state >> j) & 1 for j in range(width)}
+            assignment["din"] = din
+            out = simulate(net, assignment)
+            feedback = ((state >> (width - 1)) & 1) ^ din
+            expected = ((state << 1) & ((1 << width) - 1))
+            if feedback:
+                expected ^= poly
+            got = sum(out[f"q{j}"] << j for j in range(width))
+            assert got == expected
+
+    def test_lfsr_shifts(self):
+        net = lfsr_next(5, taps=[4, 2])
+        state = 0b10110
+        out = simulate(net, {f"s{j}": (state >> j) & 1 for j in range(5)})
+        feedback = ((state >> 4) & 1) ^ ((state >> 2) & 1)
+        expected = ((state << 1) | feedback) & 0b11111
+        got = sum(out[f"q{j}"] << j for j in range(5))
+        assert got == expected
+
+    def test_lfsr_needs_taps(self):
+        with pytest.raises(ValueError):
+            lfsr_next(4, taps=[])
+
+
+class TestBcd:
+    def test_all_values(self):
+        net = bin_to_bcd(7)
+        for v in range(128):
+            out = simulate(net, {f"b{j}": (v >> j) & 1 for j in range(7)})
+            for d in range(3):
+                digit = sum(out[f"bcd{d}_{b}"] << b for b in range(4))
+                assert digit == (v // (10 ** d)) % 10
+
+    def test_width_limit(self):
+        with pytest.raises(ValueError):
+            bin_to_bcd(11)
+
+
+class TestSaturatingAdder:
+    def test_saturation(self):
+        width = 4
+        net = saturating_adder(width)
+        for a, b in itertools.product(range(16), repeat=2):
+            assignment = {f"a{j}": (a >> j) & 1 for j in range(width)}
+            assignment.update({f"b{j}": (b >> j) & 1 for j in range(width)})
+            out = simulate(net, assignment)
+            got = sum(out[f"o{j}"] << j for j in range(width))
+            expected = min(a + b, 15)
+            assert got == expected
+            assert out["sat"] == (1 if a + b > 15 else 0)

@@ -1,0 +1,132 @@
+"""Cross-cutting decomposition properties: determinism, DC propagation,
+progress guarantees and interaction between passes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, BddManager
+from repro.boolfunc import TruthTable
+from repro.decompose import (
+    DecompositionOptions,
+    count_classes,
+    decompose_step,
+    decompose_to_network,
+    select_bound_set,
+)
+from repro.network import Network, check_equivalence
+
+
+class TestDeterminism:
+    def test_select_bound_set_deterministic(self):
+        for _ in range(3):
+            m = BddManager(8)
+            bits = random.Random(17).getrandbits(256)
+            f = m.from_truth_table(bits, list(range(8)))
+            first = select_bound_set(m, f, m.support(f), 4)
+            second = select_bound_set(m, f, m.support(f), 4)
+            assert first == second
+
+    def test_decompose_network_deterministic(self):
+        def run():
+            m = BddManager(8)
+            bits = random.Random(23).getrandbits(256)
+            f = m.from_truth_table(bits, list(range(8)))
+            net = Network("d")
+            for j in range(8):
+                net.add_input(f"i{j}")
+            root = decompose_to_network(
+                m, f, net, {j: f"i{j}" for j in range(8)},
+                DecompositionOptions(k=5),
+            )
+            net.add_output(root, "f")
+            return [
+                (n.name, tuple(n.fanins), n.table.mask) for n in net.nodes()
+            ]
+
+        assert run() == run()
+
+
+class TestExhaustiveVsGreedy:
+    @given(st.integers(min_value=0, max_value=(1 << (1 << 7)) - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_exhaustive_never_worse(self, bits):
+        m = BddManager(7)
+        f = m.from_truth_table(bits, list(range(7)))
+        support = m.support(f)
+        if len(support) < 5:
+            return
+        exact = select_bound_set(m, f, support, 3, exhaustive_limit=10_000)
+        greedy = select_bound_set(m, f, support, 3, exhaustive_limit=0)
+        assert exact.num_classes <= greedy.num_classes
+
+    @given(st.integers(min_value=0, max_value=(1 << (1 << 6)) - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_exhaustive_matches_bruteforce(self, bits):
+        from itertools import combinations
+        m = BddManager(6)
+        f = m.from_truth_table(bits, list(range(6)))
+        support = m.support(f)
+        if len(support) < 4:
+            return
+        chosen = select_bound_set(m, f, support, 3, exhaustive_limit=10_000)
+        brute_best = min(
+            count_classes(m, f, list(c))
+            for c in combinations(support, 3)
+        )
+        assert chosen.num_classes == brute_best
+
+
+class TestProgress:
+    def test_undecomposable_function_terminates(self):
+        # A random function is typically undecomposable: every bound set
+        # yields ~2^|bound| classes, forcing Shannon fallbacks.  The
+        # driver must still terminate and be correct.
+        rng = random.Random(99)
+        bits = rng.getrandbits(1 << 8)
+        m = BddManager(8)
+        f = m.from_truth_table(bits, list(range(8)))
+        net = Network("hard")
+        for j in range(8):
+            net.add_input(f"i{j}")
+        root = decompose_to_network(
+            m, f, net, {j: f"i{j}" for j in range(8)},
+            DecompositionOptions(k=4),
+        )
+        net.add_output(root, "f")
+        ref = Network("ref")
+        for j in range(8):
+            ref.add_input(f"i{j}")
+        ref.add_node("F", [f"i{j}" for j in range(8)], TruthTable(8, bits))
+        ref.add_output("F", "f")
+        assert check_equivalence(net, ref) is None
+        assert all(len(n.fanins) <= 4 for n in net.nodes())
+
+
+class TestDcPropagation:
+    def test_image_dc_grows_with_unused_codes(self):
+        # 3 classes -> 2 alpha bits -> one unused code: the image must
+        # carry a non-empty dc set.
+        m = BddManager(8)
+        a = [m.var_at_level(i) for i in range(8)]
+        # Build a function with exactly 3 classes for bound {0,1,2}:
+        # columns: 0 -> g0, {1,2,...} -> by construction below.
+        from repro.bdd import build_cube
+        g0 = m.apply_and(a[3], a[4])
+        g1 = m.apply_or(a[5], a[6])
+        g2 = m.apply_xor(a[3], a[7])
+        f = FALSE
+        mapping = [0, 0, 0, 1, 1, 1, 2, 2]
+        for position, cls in enumerate(mapping):
+            cube = build_cube(m, {lv: (position >> lv) & 1 for lv in range(3)})
+            f = m.apply_or(f, m.apply_and(cube, [g0, g1, g2][cls]))
+        step = decompose_step(
+            m, f, m.support(f), DecompositionOptions(k=5),
+            bound_levels=[0, 1, 2],
+        )
+        assert step.num_classes == 3
+        assert step.image.dc != FALSE

@@ -1,0 +1,24 @@
+"""Run the doctests embedded in module/class docstrings."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.bdd.manager
+import repro.boolfunc.truthtable
+import repro.network.netlist
+
+MODULES = [
+    repro.bdd.manager,
+    repro.boolfunc.truthtable,
+    repro.network.netlist,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    result = doctest.testmod(module, verbose=False)
+    assert result.failed == 0
+    assert result.attempted > 0, f"{module.__name__} has no doctests"

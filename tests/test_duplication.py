@@ -1,0 +1,123 @@
+"""Tests for duplication analysis and ingredient recovery (Defs 4.2-4.5)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import Network, check_equivalence, simulate
+from repro.hyper import analyze_duplication, recover_ingredients
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+MUX = TruthTable.from_function(3, lambda s, x, y: y if s else x)
+
+
+def hyper_like_net() -> Network:
+    """A hand-built decomposed hyper-function over PIs {a,b,c} + PPI eta.
+
+    H = eta ? (a & b) : (a ^ c); shared node 'sh' = a & b feeds the
+    PPI-dependent mux.
+    """
+    net = Network("H")
+    for pi in ("a", "b", "c", "eta"):
+        net.add_input(pi)
+    net.add_node("sh", ["a", "b"], AND2)       # shared (no PPI in cone)
+    net.add_node("x", ["a", "c"], XOR2)        # shared
+    net.add_node("top", ["eta", "x", "sh"], MUX)  # in DS and DC
+    net.add_output("top", "H")
+    return net
+
+
+class TestAnalyzeDuplication:
+    def test_ds_dc(self):
+        net = hyper_like_net()
+        info = analyze_duplication(net, ["eta"])
+        assert info.duplication_source == {"top"}
+        assert info.duplication_cone == {"top"}
+
+    def test_deeper_cone(self):
+        net = hyper_like_net()
+        net.add_node("post", ["top", "c"], AND2)
+        net.add_output("post", "P")
+        info = analyze_duplication(net, ["eta"])
+        assert info.duplication_cone == {"top", "post"}
+        assert info.duplication_source == {"top"}
+
+    def test_dset_layers(self):
+        net = Network("two_ppi")
+        for pi in ("a", "e0", "e1"):
+            net.add_input(pi)
+        net.add_node("u", ["a", "e0"], AND2)      # reaches e0 only
+        net.add_node("v", ["u", "e1"], XOR2)      # reaches both
+        net.add_node("w", ["a", "a" if False else "u"], AND2)  # reaches e0
+        net.add_output("v", "H")
+        info = analyze_duplication(net, ["e0", "e1"])
+        assert info.dset[1] >= {"u"}
+        assert "v" in info.dset[2]
+
+    def test_duplication_cost(self):
+        net = Network("cost")
+        for pi in ("a", "e0", "e1"):
+            net.add_input(pi)
+        net.add_node("u", ["a", "e0"], AND2)
+        net.add_node("v", ["u", "e1"], XOR2)
+        net.add_output("v", "H")
+        info = analyze_duplication(net, ["e0", "e1"])
+        # u in DSet_1 -> 1 extra copy; v in DSet_2 -> (i-1) extra copies
+        # with i = 4 ingredients -> 3.
+        assert info.duplication_cost(num_ingredients=4) == 1 + 3
+
+
+class TestRecoverIngredients:
+    def test_two_ingredients(self):
+        net = hyper_like_net()
+        rec = recover_ingredients(
+            net,
+            "top",
+            ["eta"],
+            [{"eta": 0}, {"eta": 1}],
+            ["f_xor", "f_and"],
+        )
+        assert sorted(rec.output_names) == ["f_and", "f_xor"]
+        assert "eta" not in rec.inputs
+        for a, b, c in itertools.product([0, 1], repeat=3):
+            out = simulate(rec, {"a": a, "b": b, "c": c})
+            assert out["f_and"] == (a & b)
+            assert out["f_xor"] == (a ^ c)
+
+    def test_shared_nodes_not_duplicated(self):
+        net = hyper_like_net()
+        rec = recover_ingredients(
+            net, "top", ["eta"], [{"eta": 0}, {"eta": 1}], ["f0", "f1"],
+            do_sweep=False,
+        )
+        # 'sh' and 'x' appear once; 'top' twice (specialised copies).
+        names = rec.node_names()
+        assert names.count("sh") == 1
+        assert "top__f0" in names and "top__f1" in names
+
+    def test_ppi_independent_hyper(self):
+        net = Network("noppi")
+        for pi in ("a", "b", "eta"):
+            net.add_input(pi)
+        net.add_node("f", ["a", "b"], AND2)
+        net.add_output("f", "H")
+        rec = recover_ingredients(
+            net, "f", ["eta"], [{"eta": 0}, {"eta": 1}], ["g0", "g1"]
+        )
+        for a, b in itertools.product([0, 1], repeat=2):
+            out = simulate(rec, {"a": a, "b": b})
+            assert out["g0"] == out["g1"] == (a & b)
+
+    def test_hyper_output_is_ppi(self):
+        net = Network("degenerate")
+        net.add_input("a")
+        net.add_input("eta")
+        rec = recover_ingredients(
+            net, "eta", ["eta"], [{"eta": 0}, {"eta": 1}], ["z", "o"]
+        )
+        out = simulate(rec, {"a": 0})
+        assert out["z"] == 0 and out["o"] == 1

@@ -1,0 +1,60 @@
+"""Deeper duplication-analysis tests: DSet layers with three PPIs and
+the Section-4.2 duplication-cost accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.hyper import analyze_duplication
+from repro.network import Network
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+XOR3 = TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c)
+
+
+def three_ppi_net() -> Network:
+    """Chain where successive nodes see 1, 2, then 3 PPIs."""
+    net = Network("n")
+    for pi in ("a", "b", "e0", "e1", "e2"):
+        net.add_input(pi)
+    net.add_node("u", ["a", "e0"], AND2)          # reaches e0
+    net.add_node("v", ["u", "e1"], XOR2)          # reaches e0, e1
+    net.add_node("w", ["v", "e2", "b"], XOR3)     # reaches all three
+    net.add_node("shared", ["a", "b"], AND2)      # reaches none
+    net.add_node("top", ["w", "shared"], AND2)    # reaches all three
+    net.add_output("top", "H")
+    return net
+
+
+class TestDsetLayers:
+    def test_layer_membership(self):
+        info = analyze_duplication(three_ppi_net(), ["e0", "e1", "e2"])
+        assert "u" in info.dset[1]
+        assert "v" in info.dset[2]
+        assert "w" in info.dset[3]
+        assert "top" in info.dset[3]
+        assert "shared" in info.dset[0]
+
+    def test_ds_is_direct_fanin_only(self):
+        info = analyze_duplication(three_ppi_net(), ["e0", "e1", "e2"])
+        assert info.duplication_source == {"u", "v", "w"}
+        assert "top" not in info.duplication_source
+
+    def test_cone_is_tfo_of_ds(self):
+        info = analyze_duplication(three_ppi_net(), ["e0", "e1", "e2"])
+        assert info.duplication_cone == {"u", "v", "w", "top"}
+
+    def test_cost_formula(self):
+        # Section 4.2: DSet_m (m < n) costs 2^m - 1 extra copies; DSet_n
+        # costs (ingredients - 1).
+        info = analyze_duplication(three_ppi_net(), ["e0", "e1", "e2"])
+        # u: 2^1-1 = 1; v: 2^2-1 = 3; w and top in DSet_3 with i=5
+        # ingredients: (5-1) each = 8.  Total = 1 + 3 + 8 = 12.
+        assert info.duplication_cost(num_ingredients=5) == 12
+
+    def test_cost_with_max_ingredients(self):
+        info = analyze_duplication(three_ppi_net(), ["e0", "e1", "e2"])
+        # With 8 ingredients (full code space): DSet_3 nodes cost 7 each.
+        assert info.duplication_cost(num_ingredients=8) == 1 + 3 + 7 + 7

@@ -1,0 +1,202 @@
+"""Tests for the chart encoder (paper Figure 3), including the Example 3.2
+trace and semantic round-trip properties of the produced encodings."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager, build_cube
+from repro.circuits import example_3_2_partitions
+from repro.decompose import (
+    DecompositionOptions,
+    build_image_function,
+    canonical_codes,
+    combine_column_sets,
+    combine_row_sets,
+    compute_classes,
+    count_classes,
+    encode_classes,
+    row_merge_benefit,
+)
+from repro.decompose.compatible import Column
+
+
+class TestCanonicalCodes:
+    def test_shape(self):
+        codes = canonical_codes(5, 3)
+        assert len(codes) == 5
+        assert codes[3] == {0: 1, 1: 1, 2: 0}
+
+    def test_too_few_bits(self):
+        with pytest.raises(ValueError):
+            canonical_codes(5, 2)
+
+
+class TestBuildImage:
+    def test_image_recovers_classes(self):
+        m = BddManager(4)
+        a, b = m.var_at_level(0), m.var_at_level(1)
+        fcs = [Column(a), Column(b), Column(m.apply_xor(a, b))]
+        alpha = [2, 3]
+        codes = canonical_codes(3, 2)
+        image = build_image_function(m, alpha, codes, fcs)
+        for i, fc in enumerate(fcs):
+            assignment = {alpha[j]: codes[i][j] for j in range(2)}
+            assert m.restrict(image.on, assignment) == fc.on
+        # The unused code (1,1) is fully don't care.
+        unused = {2: 1, 3: 1}
+        assert m.restrict(image.dc, unused) == TRUE
+
+    def test_strictness(self):
+        # Each class owns exactly one code: ORing all used cubes with the
+        # dc of unused codes covers the whole alpha space.
+        m = BddManager(2)
+        fcs = [Column(TRUE), Column(FALSE)]
+        image = build_image_function(m, [0], canonical_codes(2, 1), fcs)
+        assert image.dc == FALSE  # no unused code with 2 classes / 1 bit
+
+
+class TestColumnSets:
+    def test_figure_4b_psc_table(self):
+        parts = example_3_2_partitions()
+        result = combine_column_sets(parts, num_rows=4)
+        assert result.psc_table == {
+            (0, 3): [2, 7],
+            (1, 3): [3, 4, 6, 7, 8],
+            (0, 2): [5, 8],
+        }
+
+    def test_figure_5_matching(self):
+        parts = example_3_2_partitions()
+        result = combine_column_sets(parts, num_rows=4)
+        # Optimal b-matching weight is 40 (see test_matching for the
+        # standalone graph); grouping shape: one 4-member set drawn from
+        # {3,4,6,7,8} and every partition in at most one set.
+        assert result.matching_weight == 40
+        sizes = sorted(len(s) for s in result.column_sets)
+        assert max(sizes) == 4
+        big = next(s for s in result.column_sets if len(s) == 4)
+        assert set(big) <= {3, 4, 6, 7, 8}
+        flat = [c for s in result.column_sets for c in s]
+        assert sorted(flat) == list(range(10))
+
+    def test_no_shared_content(self):
+        from repro.decompose import Partition
+        parts = [Partition((0, 1, 2, 3)), Partition((4, 5, 6, 7))]
+        result = combine_column_sets(parts, num_rows=2)
+        assert result.psc_table == {}
+        assert sorted(map(len, result.column_sets)) == [1, 1]
+
+
+class TestRowSets:
+    def test_example_3_2_fits_4x4(self):
+        parts = example_3_2_partitions()
+        col_result = combine_column_sets(parts, num_rows=4)
+        rows = combine_row_sets(parts, col_result, num_rows=4, num_cols=4)
+        assert rows is not None
+        row_sets, column_set_of_class = rows
+        assert len(row_sets) <= 4
+        assert all(len(r) <= 4 for r in row_sets)
+        flat = sorted(c for r in row_sets for c in r)
+        assert flat == list(range(10))
+
+    def test_benefit_shared_symbols(self):
+        from repro.decompose import Partition
+        a = Partition((0, 1, 0, 2))
+        b = Partition((0, 3, 0, 1))
+        c = Partition((7, 8, 9, 9))
+        # a and b share symbols 0 and 1 -> larger Bc than a and c.
+        n = 8
+        b_ab = row_merge_benefit(a, b, n, sigma=0, tau=1)
+        b_ac = row_merge_benefit(a, c, n, sigma=0, tau=1)
+        assert b_ab > b_ac
+
+    def test_benefit_br_counts_shared_kinds(self):
+        from repro.decompose import Partition
+        a = Partition((0, 1, 0, 2))
+        b = Partition((0, 1, 2, 2))  # same symbol kinds as a
+        c = Partition((5, 6, 7, 7))  # disjoint kinds
+        n = 8
+        assert row_merge_benefit(a, b, n, 1, 0) > row_merge_benefit(a, c, n, 1, 0)
+
+
+def _decomposable_function(m: BddManager):
+    """f over 8 vars with bound {0..4} giving a handful of classes."""
+    a = [m.var_at_level(i) for i in range(8)]
+    g1 = m.apply_and(a[0], m.apply_or(a[1], a[2]))
+    g2 = m.apply_xor(a[3], a[4])
+    core = m.apply_or(m.apply_and(g1, a[5]), m.apply_and(g2, a[6]))
+    return m.apply_xor(core, m.apply_and(a[7], g1))
+
+
+class TestEncodeClasses:
+    def _setup(self, policy: str):
+        m = BddManager(8)
+        f = _decomposable_function(m)
+        classes = compute_classes(m, f, [0, 1, 2, 3, 4])
+        n = classes.num_classes
+        t = max(1, math.ceil(math.log2(n)))
+        alpha = []
+        for _ in range(t):
+            m.add_var()
+            alpha.append(m.num_vars - 1)
+        result = encode_classes(
+            m, classes.class_functions, alpha, k=5, policy=policy
+        )
+        return m, f, classes, alpha, result
+
+    def test_codes_are_strict(self):
+        m, f, classes, alpha, result = self._setup("chart")
+        seen = {tuple(sorted(code.items())) for code in result.codes}
+        assert len(seen) == len(result.codes)
+
+    def test_image_round_trip(self):
+        # g with the alpha codes substituted recovers f.
+        m, f, classes, alpha, result = self._setup("chart")
+        rebuilt = FALSE
+        for position, cls in enumerate(classes.class_of_position):
+            bound_cube = build_cube(
+                m, {lv: (position >> j) & 1 for j, lv in enumerate([0, 1, 2, 3, 4])}
+            )
+            code = result.codes[cls]
+            g_slice = m.restrict(
+                result.image.on, {alpha[j]: bit for j, bit in code.items()}
+            )
+            rebuilt = m.apply_or(rebuilt, m.apply_and(bound_cube, g_slice))
+        assert rebuilt == f
+
+    def test_chart_not_worse_than_random(self):
+        m, f, classes, alpha, result = self._setup("chart")
+        if result.policy_used == "chart":
+            assert result.image_classes_chart <= result.image_classes_random
+        # When "random" won, the encoder must have kept the draft codes.
+        if result.policy_used == "random":
+            assert result.codes == canonical_codes(len(result.codes), len(alpha))
+
+    def test_random_policy_stops_early(self):
+        m, f, classes, alpha, result = self._setup("random")
+        assert result.policy_used in ("random", "trivial")
+        assert result.codes == canonical_codes(len(result.codes), len(alpha))
+
+    def test_trivial_when_feasible(self):
+        m = BddManager(4)
+        a, b = m.var_at_level(0), m.var_at_level(1)
+        fcs = [Column(a), Column(b)]
+        m.add_var()
+        result = encode_classes(m, fcs, [m.num_vars - 1], k=5)
+        assert result.policy_used == "trivial"
+
+    def test_needs_two_classes(self):
+        m = BddManager(2)
+        with pytest.raises(ValueError):
+            encode_classes(m, [Column(TRUE)], [0], k=5)
+
+    def test_alpha_count_checked(self):
+        m = BddManager(4)
+        fcs = [Column(m.var_at_level(0)), Column(m.var_at_level(1)),
+               Column(TRUE)]
+        with pytest.raises(ValueError):
+            encode_classes(m, fcs, [2], k=5)  # 3 classes need 2 bits

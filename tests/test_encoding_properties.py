@@ -1,0 +1,121 @@
+"""Property-based tests of the chart encoder over random inputs.
+
+These complement the Example-3.2 tests with hypothesis-driven coverage:
+whatever the class functions look like, the encoder must return a strict
+injective encoding whose image function realises f, and the row/column
+machinery must produce structurally legal charts.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, BddManager, build_cube
+from repro.decompose import (
+    Partition,
+    combine_column_sets,
+    combine_row_sets,
+    compute_classes,
+    encode_classes,
+    pack_chart,
+)
+
+partition_lists = st.lists(
+    st.lists(st.integers(min_value=0, max_value=5), min_size=4, max_size=4)
+    .map(lambda xs: Partition(tuple(xs))),
+    min_size=3,
+    max_size=10,
+)
+
+
+class TestColumnSetProperties:
+    @given(partition_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_column_sets_partition_classes(self, partitions):
+        result = combine_column_sets(partitions, num_rows=4)
+        flat = sorted(c for s in result.column_sets for c in s)
+        assert flat == list(range(len(partitions)))
+
+    @given(partition_lists)
+    @settings(max_examples=30, deadline=None)
+    def test_capacity_respected(self, partitions):
+        result = combine_column_sets(partitions, num_rows=4)
+        assert all(len(s) <= 4 for s in result.column_sets)
+
+
+class TestRowSetProperties:
+    @given(partition_lists)
+    @settings(max_examples=20, deadline=None)
+    def test_row_sets_cover_or_fail(self, partitions):
+        n = len(partitions)
+        num_rows = max(2, 1 << max(1, (n - 1).bit_length() - 1) >> 1)
+        num_rows = 4
+        num_cols = 4
+        if n > num_rows * num_cols:
+            return
+        col_result = combine_column_sets(partitions, num_rows)
+        rows = combine_row_sets(partitions, col_result, num_rows, num_cols)
+        if rows is None:
+            return  # legitimate fallback
+        row_sets, column_set_of_class = rows
+        assert sorted(c for r in row_sets for c in r) == list(range(n))
+        assert len(row_sets) <= num_rows
+        sizes = {}
+        for cls, cs in column_set_of_class.items():
+            sizes[cs] = sizes.get(cs, 0) + 1
+        chart = pack_chart(row_sets, column_set_of_class, sizes,
+                           num_rows, num_cols)
+        if chart is not None:
+            assert sorted(chart.placed_classes()) == list(range(n))
+
+
+class TestEncoderProperties:
+    @given(st.integers(min_value=0, max_value=(1 << (1 << 7)) - 1))
+    @settings(max_examples=12, deadline=None)
+    def test_random_functions_round_trip(self, bits):
+        m = BddManager(7)
+        f = m.from_truth_table(bits, list(range(7)))
+        support = m.support(f)
+        if len(support) < 6:
+            return
+        bound = support[:4]
+        classes = compute_classes(m, f, bound)
+        n = classes.num_classes
+        if n < 2:
+            return
+        t = max(1, math.ceil(math.log2(n)))
+        alpha = []
+        for _ in range(t):
+            m.add_var()
+            alpha.append(m.num_vars - 1)
+        result = encode_classes(m, classes.class_functions, alpha, k=4)
+
+        # Strictness: injective codes.
+        seen = {tuple(sorted(c.items())) for c in result.codes}
+        assert len(seen) == n
+
+        # Semantics: g(alpha(x), y) == f(x, y).
+        rebuilt = FALSE
+        for position, cls in enumerate(classes.class_of_position):
+            cube = build_cube(
+                m, {lv: (position >> j) & 1 for j, lv in enumerate(bound)}
+            )
+            g_slice = m.restrict(
+                result.image.on,
+                {alpha[j]: bit for j, bit in result.codes[cls].items()},
+            )
+            rebuilt = m.apply_or(rebuilt, m.apply_and(cube, g_slice))
+        assert rebuilt == f
+
+        # Step 8 guarantee: the returned encoding never loses to random.
+        if (
+            result.image_classes_chart is not None
+            and result.image_classes_random is not None
+            and result.policy_used == "chart"
+        ):
+            assert result.image_classes_chart <= result.image_classes_random

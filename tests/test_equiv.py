@@ -1,0 +1,72 @@
+"""Tests for equivalence checking."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import (
+    EquivalenceError,
+    Network,
+    check_equivalence,
+    simulate_equivalence,
+)
+from repro.network.equiv import assert_equivalent
+
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+OR2 = TruthTable.from_function(2, lambda a, b: a | b)
+
+
+def xor_net(name: str, table: TruthTable) -> Network:
+    net = Network(name)
+    net.add_input("a")
+    net.add_input("b")
+    net.add_node("f", ["a", "b"], table)
+    net.add_output("f")
+    return net
+
+
+class TestCheckEquivalence:
+    def test_equal_networks(self):
+        # Same function, different structure.
+        a = xor_net("a", XOR2)
+        b = Network("b")
+        b.add_input("a")
+        b.add_input("b")
+        nand = TruthTable.from_function(2, lambda x, y: 1 - (x & y))
+        b.add_node("n1", ["a", "b"], nand)
+        b.add_node("n2", ["a", "n1"], nand)
+        b.add_node("n3", ["b", "n1"], nand)
+        b.add_node("f", ["n2", "n3"], nand)
+        b.add_output("f")
+        assert check_equivalence(a, b) is None
+
+    def test_detects_difference(self):
+        assert check_equivalence(xor_net("a", XOR2), xor_net("b", OR2)) == "f"
+
+    def test_io_mismatch_rejected(self):
+        a = xor_net("a", XOR2)
+        b = Network("b")
+        b.add_input("a")
+        b.add_node("f", ["a"], TruthTable.from_function(1, lambda x: x))
+        b.add_output("f")
+        with pytest.raises(ValueError):
+            check_equivalence(a, b)
+
+    def test_assert_equivalent_raises(self):
+        with pytest.raises(EquivalenceError):
+            assert_equivalent(xor_net("a", XOR2), xor_net("b", OR2))
+
+
+class TestSimulateEquivalence:
+    def test_finds_difference(self):
+        # XOR vs OR differ on (1,1): 1/4 of the space, so 256 random
+        # vectors will certainly expose it.
+        assert simulate_equivalence(
+            xor_net("a", XOR2), xor_net("b", OR2), num_vectors=256
+        ) == "f"
+
+    def test_passes_identical(self):
+        assert simulate_equivalence(
+            xor_net("a", XOR2), xor_net("b", XOR2), num_vectors=64
+        ) is None

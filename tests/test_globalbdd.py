@@ -1,0 +1,80 @@
+"""Tests for global-BDD construction over networks."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.boolfunc import TruthTable
+from repro.network import GlobalBdds, Network, build_global_bdds, simulate
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+
+
+def demo_net() -> Network:
+    net = Network("g")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_node("t", ["a", "b"], AND2)
+    net.add_node("u", ["t", "c"], XOR2)
+    net.add_output("u")
+    net.add_output("t", "tout")
+    return net
+
+
+class TestGlobalBdds:
+    def test_matches_simulation(self):
+        net = demo_net()
+        gb = GlobalBdds(net)
+        for bits in itertools.product([0, 1], repeat=3):
+            assignment = dict(zip(net.inputs, bits))
+            sim = simulate(net, assignment)
+            levels = {gb.manager.level_of(k): v for k, v in assignment.items()}
+            for out in net.output_names:
+                assert sim[out] == gb.manager.eval(gb.of_output(out), levels)
+
+    def test_lazy_cache(self):
+        net = demo_net()
+        gb = GlobalBdds(net)
+        first = gb.of("t")
+        second = gb.of("t")
+        assert first == second
+
+    def test_custom_pi_order(self):
+        net = demo_net()
+        gb = GlobalBdds(net, pi_order=["c", "b", "a"])
+        assert gb.manager.name_of(0) == "c"
+        # Function value must be order independent.
+        f = gb.of_output("u")
+        levels = {gb.manager.level_of(n): v
+                  for n, v in {"a": 1, "b": 1, "c": 0}.items()}
+        assert gb.manager.eval(f, levels) == 1
+
+    def test_bad_pi_order_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalBdds(demo_net(), pi_order=["a", "b"])
+
+    def test_shared_manager(self):
+        net = demo_net()
+        gb1 = GlobalBdds(net)
+        gb2 = GlobalBdds(net.copy(), manager=gb1.manager)
+        assert gb1.of_output("u") == gb2.of_output("u")
+
+    def test_constant_node(self):
+        net = Network("c")
+        net.add_input("a")
+        net.add_constant("one", 1)
+        net.add_node("f", ["a", "one"], AND2)
+        net.add_output("f")
+        manager, outs = build_global_bdds(net)
+        assert outs["f"] == manager.var("a")
+
+    def test_pi_output(self):
+        net = Network("p")
+        net.add_input("a")
+        net.add_output("a")
+        manager, outs = build_global_bdds(net)
+        assert outs["a"] == manager.var("a")

@@ -1,0 +1,92 @@
+"""Randomised end-to-end property tests of hyper-function decomposition:
+arbitrary multi-output functions in, equivalent k-feasible logic out."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.boolfunc import TruthTable
+from repro.decompose import DecompositionOptions
+from repro.hyper import decompose_hyper_function
+from repro.network import Network, check_equivalence, is_k_feasible
+
+
+def random_multi_output(seed: int, num_inputs: int, num_outputs: int):
+    """(manager, names, ingredients, reference network)."""
+    rng = random.Random(seed)
+    manager = BddManager()
+    names = [f"i{j}" for j in range(num_inputs)]
+    for name in names:
+        manager.add_var(name)
+    ref = Network(f"ref{seed}")
+    for name in names:
+        ref.add_input(name)
+    ingredients = []
+    for o in range(num_outputs):
+        # Structured random: OR of a few random sub-functions on subsets,
+        # so the functions are decomposable like real logic.
+        parts = []
+        for _ in range(rng.randint(2, 3)):
+            subset = rng.sample(range(num_inputs), rng.randint(3, 4))
+            mask = rng.getrandbits(1 << len(subset))
+            parts.append(
+                manager.from_truth_table(mask, subset)
+            )
+        f = parts[0]
+        for p in parts[1:]:
+            f = (
+                manager.apply_and(f, p)
+                if rng.random() < 0.5
+                else manager.apply_xor(f, p)
+            )
+        ingredients.append((f"o{o}", f))
+        table_mask = manager.to_truth_table(f, list(range(num_inputs)))
+        ref.add_node(f"n{o}", names, TruthTable(num_inputs, table_mask))
+        ref.add_output(f"n{o}", f"o{o}")
+    return manager, names, ingredients, ref
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_groups_recover_equivalent(seed):
+    manager, names, ingredients, ref = random_multi_output(seed, 8, 3)
+    result = decompose_hyper_function(
+        manager, ingredients, names, DecompositionOptions(k=5)
+    )
+    recovered = result.recovered
+    assert sorted(recovered.output_names) == ["o0", "o1", "o2"]
+    assert check_equivalence(recovered, ref) is None
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_random_groups_k4(seed):
+    manager, names, ingredients, ref = random_multi_output(seed + 50, 7, 2)
+    result = decompose_hyper_function(
+        manager, ingredients, names, DecompositionOptions(k=4)
+    )
+    # Hyper network must be k-feasible; recovered network too after the
+    # PPI constants are folded in.
+    assert is_k_feasible(result.hyper_network, 4)
+    assert check_equivalence(result.recovered, ref) is None
+
+
+@pytest.mark.parametrize("policy", ["chart", "random"])
+def test_ingredient_policies_equivalent(policy):
+    manager, names, ingredients, ref = random_multi_output(99, 8, 4)
+    result = decompose_hyper_function(
+        manager, ingredients, names, DecompositionOptions(k=5),
+        ingredient_policy=policy,
+    )
+    assert check_equivalence(result.recovered, ref) is None
+
+
+@pytest.mark.parametrize("placement", ["prefer_free", "force_free", "unrestricted"])
+def test_ppi_placements_equivalent(placement):
+    manager, names, ingredients, ref = random_multi_output(123, 8, 3)
+    result = decompose_hyper_function(
+        manager, ingredients, names, DecompositionOptions(k=5),
+        ppi_placement=placement,
+    )
+    assert check_equivalence(result.recovered, ref) is None

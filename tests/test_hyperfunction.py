@@ -1,0 +1,80 @@
+"""Tests for hyper-function construction (paper Definition 4.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.hyper import build_hyper_function
+
+
+def three_functions(m: BddManager):
+    a, b, c, d = (m.var_at_level(i) for i in range(4))
+    return [
+        ("f0", m.apply_and(a, b)),
+        ("f1", m.apply_xor(a, c)),
+        ("f2", m.apply_or(b, d)),
+    ]
+
+
+class TestBuildHyperFunction:
+    def test_single_ingredient_trivial(self):
+        m = BddManager(4)
+        f = m.apply_and(m.var_at_level(0), m.var_at_level(1))
+        hyper = build_hyper_function(m, [("f", f)], k=5)
+        assert hyper.num_ppis == 0
+        assert hyper.on == f
+
+    def test_ppi_count(self):
+        m = BddManager(4)
+        hyper = build_hyper_function(m, three_functions(m), k=5)
+        assert hyper.num_ppis == 2  # ceil(log2 3)
+
+    def test_ingredient_recovery(self):
+        m = BddManager(4)
+        ingredients = three_functions(m)
+        hyper = build_hyper_function(m, ingredients, k=5)
+        for index, (name, on) in enumerate(ingredients):
+            rec = hyper.recover_ingredient(index)
+            # Where the recovered slice is specified it must equal the
+            # ingredient; dc only on unused codes (none per ingredient).
+            assert rec.on == on
+            assert rec.dc == FALSE
+
+    def test_unused_code_is_dc(self):
+        m = BddManager(4)
+        hyper = build_hyper_function(m, three_functions(m), k=5)
+        used = {tuple(sorted(code.items())) for code in hyper.codes}
+        for code_bits in range(4):
+            code = {0: code_bits & 1, 1: (code_bits >> 1) & 1}
+            if tuple(sorted(code.items())) in used:
+                continue
+            assignment = {
+                hyper.ppi_levels[a]: bit for a, bit in code.items()
+            }
+            assert m.restrict(hyper.dc, assignment) == TRUE
+
+    def test_codes_strict(self):
+        m = BddManager(4)
+        hyper = build_hyper_function(m, three_functions(m), k=5)
+        seen = {tuple(sorted(code.items())) for code in hyper.codes}
+        assert len(seen) == 3
+
+    def test_random_policy(self):
+        m = BddManager(4)
+        hyper = build_hyper_function(m, three_functions(m), k=5, policy="random")
+        assert hyper.codes[1] == {0: 1, 1: 0}
+        for index, (name, on) in enumerate(three_functions(m)):
+            assert hyper.recover_ingredient(index).on == on
+
+    def test_duplicate_names_rejected(self):
+        m = BddManager(4)
+        f = m.var_at_level(0)
+        with pytest.raises(ValueError):
+            build_hyper_function(m, [("f", f), ("f", f)], k=5)
+
+    def test_supports_include_ppis(self):
+        m = BddManager(4)
+        hyper = build_hyper_function(m, three_functions(m), k=5)
+        support = set(m.support(hyper.on)) | set(m.support(hyper.dc))
+        assert set(hyper.ppi_levels) <= support

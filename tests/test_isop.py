@@ -1,0 +1,110 @@
+"""Tests for the Minato-Morreale ISOP extraction."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bdd import FALSE, TRUE, BddManager
+from repro.bdd.isop import cube_count, cubes_to_bdd, isop, literal_count
+
+N = 5
+TABLE_BITS = st.integers(min_value=0, max_value=(1 << (1 << N)) - 1)
+
+
+class TestIsop:
+    @given(TABLE_BITS)
+    @settings(max_examples=60, deadline=None)
+    def test_exact_cover(self, bits):
+        m = BddManager(N)
+        f = m.from_truth_table(bits, list(range(N)))
+        assert cubes_to_bdd(m, isop(m, f, f)) == f
+
+    @given(TABLE_BITS, TABLE_BITS)
+    @settings(max_examples=40, deadline=None)
+    def test_interval_cover(self, bits_a, bits_b):
+        m = BddManager(N)
+        f = m.from_truth_table(bits_a, list(range(N)))
+        g = m.from_truth_table(bits_b, list(range(N)))
+        lower, upper = m.apply_and(f, g), m.apply_or(f, g)
+        cover = cubes_to_bdd(m, isop(m, lower, upper))
+        assert m.apply_diff(lower, cover) == FALSE
+        assert m.apply_diff(cover, upper) == FALSE
+
+    def test_constants(self):
+        m = BddManager(2)
+        assert isop(m, FALSE, FALSE) == []
+        assert isop(m, TRUE, TRUE) == [{}]
+
+    def test_invalid_interval(self):
+        m = BddManager(2)
+        a = m.var_at_level(0)
+        with pytest.raises(ValueError):
+            isop(m, a, FALSE)
+
+    def test_single_cube(self):
+        m = BddManager(3)
+        f = m.apply_and(m.var_at_level(0), m.apply_not(m.var_at_level(2)))
+        cubes = isop(m, f, f)
+        assert cubes == [{0: 1, 2: 0}]
+        assert cube_count(m, f) == 1
+        assert literal_count(m, f) == 2
+
+    def test_parity_needs_all_minterms(self):
+        m = BddManager(4)
+        f = m.var_at_level(0)
+        for lv in range(1, 4):
+            f = m.apply_xor(f, m.var_at_level(lv))
+        # Parity has no mergeable cubes: 8 minterms, 8 cubes.
+        assert cube_count(m, f) == 8
+
+    def test_dc_reduces_cubes(self):
+        m = BddManager(3)
+        a, b, c = (m.var_at_level(i) for i in range(3))
+        on = m.apply_and(m.apply_and(a, b), c)
+        upper = m.apply_and(a, b)  # don't care when c = 0
+        assert cube_count(m, on) == 1
+        cubes = isop(m, on, upper)
+        assert len(cubes) == 1
+        assert len(cubes[0]) == 2  # literal c dropped via the interval
+
+    @given(TABLE_BITS)
+    @settings(max_examples=30, deadline=None)
+    def test_irredundant(self, bits):
+        m = BddManager(N)
+        f = m.from_truth_table(bits, list(range(N)))
+        cubes = isop(m, f, f)
+        # Dropping any cube must break the cover.
+        for skip in range(len(cubes)):
+            rest = cubes[:skip] + cubes[skip + 1 :]
+            if cubes_to_bdd(m, rest) == f:
+                pytest.fail(f"cube {skip} is redundant")
+
+
+class TestCubesPolicy:
+    def test_decomposition_with_cubes_policy(self):
+        import random as _random
+        from repro.boolfunc import TruthTable
+        from repro.decompose import DecompositionOptions, decompose_to_network
+        from repro.network import Network, check_equivalence
+
+        bits = _random.Random(5).getrandbits(1 << 7)
+        m = BddManager(7)
+        f = m.from_truth_table(bits, list(range(7)))
+        net = Network("c")
+        for j in range(7):
+            net.add_input(f"i{j}")
+        root = decompose_to_network(
+            m, f, net, {j: f"i{j}" for j in range(7)},
+            DecompositionOptions(k=5, encoding_policy="cubes"),
+        )
+        net.add_output(root, "f")
+        ref = Network("r")
+        for j in range(7):
+            ref.add_input(f"i{j}")
+        ref.add_node("F", [f"i{j}" for j in range(7)], TruthTable(7, bits))
+        ref.add_output("F", "f")
+        assert check_equivalence(net, ref) is None

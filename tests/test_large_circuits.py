@@ -1,0 +1,45 @@
+"""Large stand-in circuits: structural validation without mapping them.
+
+Mapping the large circuits is exercised by ``REPRO_FULL=1`` benchmark
+runs; these tests only verify the generators produce well-formed,
+correctly-profiled networks quickly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import CIRCUITS, build, names
+from repro.network import random_vectors, simulate_vectors
+
+
+@pytest.mark.parametrize("name", names(["large"]))
+def test_large_builds_match_profile(name):
+    spec = CIRCUITS[name]
+    net = build(name)
+    assert len(net.inputs) == spec.num_inputs
+    assert len(net.outputs) == spec.num_outputs
+    # Acyclic and simulatable.
+    order = net.topological_order()
+    assert len(order) == net.num_nodes
+    patterns = random_vectors(net, 8, seed=1)
+    results = simulate_vectors(net, patterns, 8)
+    assert set(results) == set(net.output_names)
+
+
+@pytest.mark.parametrize("name", names(["large"]))
+def test_large_builds_deterministic(name):
+    a = build(name)
+    b = build(name)
+    nodes_a = [(n.name, tuple(n.fanins), n.table.mask) for n in a.nodes()]
+    nodes_b = [(n.name, tuple(n.fanins), n.table.mask) for n in b.nodes()]
+    assert nodes_a == nodes_b
+
+
+def test_structural_flow_handles_a_large_circuit():
+    # One end-to-end large mapping in the unit suite: e64 through the
+    # node-local flow with simulation screening (fast, no global BDDs).
+    from repro.mapping import map_structural
+
+    result = map_structural(build("e64"), k=5, verify="sim")
+    assert result.lut_count > 0

@@ -1,0 +1,173 @@
+"""Tests for LUT costing, cleanup passes and XC3000 CLB packing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import Network, check_equivalence
+from repro.mapping import (
+    absorb_inverters,
+    can_pair,
+    cleanup_for_lut_count,
+    count_luts,
+    dedup_nodes,
+    pack_xc3000,
+)
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+INV = TruthTable.from_function(1, lambda a: 1 - a)
+
+
+class TestCountLuts:
+    def test_counts_nonconstant_nodes(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_constant("one", 1)
+        net.add_node("f", ["a", "b"], AND2)
+        net.add_output("f")
+        assert count_luts(net, 5) == 1
+
+    def test_rejects_infeasible(self):
+        net = Network("n")
+        for j in range(6):
+            net.add_input(f"i{j}")
+        net.add_node("f", [f"i{j}" for j in range(6)], TruthTable.constant(6, 1) )
+        net.add_output("f")
+        with pytest.raises(ValueError):
+            count_luts(net, 5)
+
+
+class TestAbsorbInverters:
+    def test_inverter_folded(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("na", ["a"], INV)
+        net.add_node("f", ["na", "b"], AND2)
+        net.add_output("f")
+        before = net.copy()
+        removed = absorb_inverters(net)
+        assert removed == 1
+        assert check_equivalence(net, before) is None
+        assert "na" not in net.node_names()
+
+    def test_output_inverter_kept(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_node("na", ["a"], INV)
+        net.add_output("na")
+        assert absorb_inverters(net) == 0
+        assert "na" in net.node_names()
+
+    def test_inverter_chain(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("n1", ["a"], INV)
+        net.add_node("n2", ["n1"], INV)
+        net.add_node("f", ["n2", "b"], AND2)
+        net.add_output("f")
+        before = net.copy()
+        absorb_inverters(net)
+        assert check_equivalence(net, before) is None
+
+
+class TestDedup:
+    def test_identical_nodes_merged(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("y", ["a", "b"], AND2)
+        net.add_node("f", ["x", "y"], XOR2)  # == 0
+        net.add_output("f")
+        before = net.copy()
+        merged = dedup_nodes(net)
+        assert merged >= 1
+        assert check_equivalence(net, before) is None
+
+    def test_commutative_duplicates_merged(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("y", ["b", "a"], AND2)  # same function, swapped pins
+        net.add_node("f", ["x", "y"], XOR2)
+        net.add_output("f")
+        before = net.copy()
+        assert dedup_nodes(net) == 1
+        assert check_equivalence(net, before) is None
+
+    def test_cascading_dedup(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x1", ["a", "b"], AND2)
+        net.add_node("x2", ["a", "b"], AND2)
+        net.add_node("y1", ["x1", "b"], XOR2)
+        net.add_node("y2", ["x2", "b"], XOR2)
+        net.add_node("f", ["y1", "y2"], AND2)
+        net.add_output("f")
+        before = net.copy()
+        merged = dedup_nodes(net)
+        assert merged >= 2
+        assert check_equivalence(net, before) is None
+
+    def test_cleanup_pipeline(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("na", ["a"], INV)
+        net.add_node("x", ["na", "b"], AND2)
+        net.add_node("dead", ["a", "b"], XOR2)
+        net.add_output("x")
+        before = net.copy()
+        cleanup_for_lut_count(net)
+        # Equivalence on the surviving outputs.
+        assert net.output_names == ["x"]
+        assert "dead" not in net.node_names()
+
+
+class TestClbPacking:
+    def test_can_pair_rules(self):
+        assert can_pair(["a", "b", "c"], ["a", "b", "d"])       # union 4
+        assert can_pair(["a", "b", "c", "d"], ["a", "b", "c", "e"])  # union 5
+        assert not can_pair(["a", "b", "c", "d"], ["e", "f"])   # union 6
+        assert not can_pair(["a", "b", "c", "d", "e"], ["a"])   # 5-input node
+
+    def test_packing_counts(self):
+        net = Network("p")
+        for pi in ("a", "b", "c", "d", "e"):
+            net.add_input(pi)
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("y", ["a", "c"], XOR2)       # pairs with x (union 3)
+        net.add_node(
+            "z", ["a", "b", "c", "d", "e"], TruthTable.constant(5, 1)
+        )  # 5-input: must be alone
+        net.add_output("x")
+        net.add_output("y")
+        net.add_output("z")
+        packing = pack_xc3000(net)
+        assert packing.num_clbs == 2
+        assert ("x", "y") in packing.pairs
+        assert "z" in packing.singles
+
+    def test_packing_rejects_wide_nodes(self):
+        net = Network("w")
+        for j in range(6):
+            net.add_input(f"i{j}")
+        net.add_node("f", [f"i{j}" for j in range(6)], TruthTable.constant(6, 0))
+        net.add_output("f")
+        with pytest.raises(ValueError):
+            pack_xc3000(net)
+
+    def test_constants_free(self):
+        net = Network("c")
+        net.add_input("a")
+        net.add_constant("one", 1)
+        net.add_node("f", ["a", "one"], AND2)
+        net.add_output("f")
+        assert pack_xc3000(net).num_clbs == 1

@@ -1,0 +1,131 @@
+"""Tests for the matching substrate."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.decompose import (
+    WeightedEdge,
+    greedy_matching,
+    max_weight_b_matching,
+    max_weight_matching,
+)
+
+
+def is_matching(edges):
+    used = set()
+    for e in edges:
+        if e.u in used or e.v in used:
+            return False
+        used.add(e.u)
+        used.add(e.v)
+    return True
+
+
+class TestMaxWeightMatching:
+    def test_simple_triangle(self):
+        edges = [
+            WeightedEdge("a", "b", 3),
+            WeightedEdge("b", "c", 2),
+            WeightedEdge("a", "c", 1),
+        ]
+        matched = max_weight_matching(edges)
+        assert is_matching(matched)
+        assert sum(e.weight for e in matched) == 3
+
+    def test_prefers_total_weight_over_single_edge(self):
+        edges = [
+            WeightedEdge("a", "b", 5),
+            WeightedEdge("a", "c", 3),
+            WeightedEdge("b", "d", 3),
+        ]
+        matched = max_weight_matching(edges)
+        assert sum(e.weight for e in matched) == 6
+
+    def test_maxcardinality(self):
+        edges = [
+            WeightedEdge("a", "b", 10),
+            WeightedEdge("c", "d", -1),
+        ]
+        plain = max_weight_matching(edges)
+        full = max_weight_matching(edges, maxcardinality=True)
+        assert len(plain) == 1
+        assert len(full) == 2
+
+    def test_empty(self):
+        assert max_weight_matching([]) == []
+
+    def test_parallel_edges_keep_best(self):
+        edges = [WeightedEdge("a", "b", 1), WeightedEdge("a", "b", 7)]
+        matched = max_weight_matching(edges)
+        assert len(matched) == 1 and matched[0].weight == 7
+
+
+class TestGreedyMatching:
+    def test_is_matching(self):
+        rng = random.Random(11)
+        edges = [
+            WeightedEdge(f"v{i}", f"v{j}", rng.randint(1, 20))
+            for i in range(8)
+            for j in range(i + 1, 8)
+        ]
+        assert is_matching(greedy_matching(edges))
+
+    def test_half_approximation(self):
+        rng = random.Random(3)
+        for trial in range(10):
+            edges = [
+                WeightedEdge(f"v{i}", f"v{j}", rng.randint(1, 50))
+                for i in range(6)
+                for j in range(i + 1, 6)
+                if rng.random() < 0.7
+            ]
+            if not edges:
+                continue
+            greedy = sum(e.weight for e in greedy_matching(edges))
+            optimal = sum(e.weight for e in max_weight_matching(edges))
+            assert greedy * 2 >= optimal
+
+
+class TestBMatching:
+    def test_capacity_respected(self):
+        edges = [WeightedEdge(f"p{i}", "hub", 1) for i in range(5)]
+        matched = max_weight_b_matching(edges, {"hub": 3})
+        hub_degree = sum(1 for e in matched if "hub" in (e.u, e.v))
+        assert hub_degree == 3
+
+    def test_unit_capacity_equals_matching(self):
+        edges = [
+            WeightedEdge("a", "b", 4),
+            WeightedEdge("b", "c", 5),
+            WeightedEdge("c", "d", 4),
+        ]
+        matched = max_weight_b_matching(edges, {})
+        assert sum(e.weight for e in matched) == 8
+
+    def test_paper_figure5_weight(self):
+        # The Figure-5 column graph of Example 3.2: u13 (weight-7 edges to
+        # 5 partitions, capacity 4), u03 (weight 4, 2 partitions), u02
+        # (weight 4, 2 partitions).  Any optimum has total weight 40.
+        edges = []
+        cap = {}
+        for name, weight, members in [
+            ("u13", 7, ["p3", "p4", "p6", "p7", "p8"]),
+            ("u03", 4, ["p2", "p7"]),
+            ("u02", 4, ["p5", "p8"]),
+        ]:
+            cap[name] = 4
+            for p in members:
+                edges.append(WeightedEdge(p, name, weight))
+        matched = max_weight_b_matching(edges, cap)
+        assert sum(e.weight for e in matched) == 40
+        # Each partition vertex used at most once.
+        from collections import Counter
+        counts = Counter()
+        for e in matched:
+            for end in (e.u, e.v):
+                if str(end).startswith("p"):
+                    counts[end] += 1
+        assert all(c == 1 for c in counts.values())

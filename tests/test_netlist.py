@@ -1,0 +1,129 @@
+"""Tests for the Network data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import Network
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+OR2 = TruthTable.from_function(2, lambda a, b: a | b)
+
+
+def small_net() -> Network:
+    net = Network("t")
+    for pi in ("a", "b", "c"):
+        net.add_input(pi)
+    net.add_node("x", ["a", "b"], AND2)
+    net.add_node("y", ["x", "c"], OR2)
+    net.add_output("y")
+    return net
+
+
+class TestConstruction:
+    def test_duplicate_signal_rejected(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.add_input("a")
+        with pytest.raises(ValueError):
+            net.add_node("x", ["a"], TruthTable.constant(1, 0))
+
+    def test_unknown_fanin_rejected(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.add_node("z", ["nope"], TruthTable.constant(1, 0))
+
+    def test_arity_mismatch_rejected(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.add_node("z", ["a"], AND2)
+
+    def test_duplicate_fanin_rejected(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.add_node("z", ["a", "a"], AND2)
+
+    def test_outputs(self):
+        net = small_net()
+        net.add_output("x", "alias")
+        assert net.output_names == ["y", "alias"]
+        assert net.output_driver("alias") == "x"
+        with pytest.raises(ValueError):
+            net.add_output("x", "alias")
+
+    def test_fresh_name(self):
+        net = small_net()
+        name = net.fresh_name("x")
+        assert not net.has_signal(name)
+
+    def test_constants(self):
+        net = Network("c")
+        net.add_constant("one", 1)
+        assert net.node("one").table.mask == 1
+
+
+class TestTopology:
+    def test_topological_order(self):
+        net = small_net()
+        order = net.topological_order()
+        assert order.index("x") < order.index("y")
+
+    def test_cycle_detected(self):
+        net = Network("cyc")
+        net.add_input("a")
+        net.add_node("u", ["a"], TruthTable.constant(1, 0))
+        net.add_node("v", ["u"], TruthTable.constant(1, 0))
+        # Manually create a cycle (bypassing the public API on purpose).
+        net._nodes["u"].fanins[0] = "v"
+        with pytest.raises(ValueError):
+            net.topological_order()
+
+    def test_transitive_fanin_fanout(self):
+        net = small_net()
+        assert net.transitive_fanin(["y"]) == {"y", "x", "a", "b", "c"}
+        assert net.transitive_fanout(["a"]) == {"a", "x", "y"}
+        assert net.transitive_fanout(["c"]) == {"c", "y"}
+
+    def test_support_of(self):
+        net = small_net()
+        assert net.support_of("x") == ["a", "b"]
+        assert net.support_of("y") == ["a", "b", "c"]
+
+    def test_fanouts(self):
+        net = small_net()
+        fo = net.fanouts()
+        assert fo["a"] == ["x"]
+        assert fo["x"] == ["y"]
+        assert fo["y"] == []
+
+
+class TestMutation:
+    def test_replace_node(self):
+        net = small_net()
+        net.replace_node("y", ["x"], TruthTable.from_function(1, lambda v: 1 - v))
+        assert net.node("y").fanins == ["x"]
+
+    def test_remove_node_guards(self):
+        net = small_net()
+        with pytest.raises(ValueError):
+            net.remove_node("x")  # still read by y
+        with pytest.raises(ValueError):
+            net.remove_node("y")  # drives an output
+        net.reroute_output("y", "x")
+        net.remove_node("y")
+        assert "y" not in net.node_names()
+
+    def test_reroute_output(self):
+        net = small_net()
+        net.reroute_output("y", "a")
+        assert net.output_driver("y") == "a"
+        with pytest.raises(KeyError):
+            net.reroute_output("nope", "a")
+
+    def test_copy_independent(self):
+        net = small_net()
+        dup = net.copy()
+        dup.replace_node("y", ["x"], TruthTable.from_function(1, lambda v: v))
+        assert net.node("y").fanins == ["x", "c"]
+        assert dup.node("y").fanins == ["x"]

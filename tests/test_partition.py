@@ -1,0 +1,150 @@
+"""Tests for partition algebra, including the paper's verbatim examples."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import example_3_2_partitions, example_4_2_partitions
+from repro.decompose import (
+    Partition,
+    conjunction,
+    contains,
+    disjunction,
+    psc_key,
+    same_content_position_groups,
+)
+
+partitions4 = st.lists(
+    st.integers(min_value=0, max_value=3), min_size=4, max_size=4
+).map(lambda xs: Partition(tuple(xs)))
+
+
+class TestBasics:
+    def test_multiplicity(self):
+        assert Partition((0, 1, 2, 3)).multiplicity == 4
+        assert Partition((1, 0, 0, 0)).multiplicity == 2
+        assert Partition((5, 5, 5)).multiplicity == 1
+
+    def test_positions_and_blocks(self):
+        p = Partition((1, 2, 1, 2))
+        assert p.positions_of(1) == (0, 2)
+        assert p.blocks() == [(0, 2), (1, 3)]
+
+    def test_canonical(self):
+        assert Partition((7, 3, 7, 9)).canonical() == Partition((0, 1, 0, 2))
+
+    def test_refines(self):
+        fine = Partition((0, 1, 2, 3))
+        coarse = Partition((0, 0, 1, 1))
+        assert fine.refines(coarse)
+        assert not coarse.refines(fine)
+        with pytest.raises(ValueError):
+            fine.refines(Partition((0, 1)))
+
+    def test_str(self):
+        assert str(Partition((3, 0, 1, 3))) == "<3,0,1,3>"
+
+
+class TestConjunction:
+    def test_paper_example_psc(self):
+        # Πc of {Π2, Π7} has the same content at p0 and p3 (Figure 4b).
+        parts = example_3_2_partitions()
+        pc = conjunction([parts[2], parts[7]])
+        groups = same_content_position_groups(pc)
+        assert groups == [(0, 3)]
+
+    def test_paper_example_big_conjunction(self):
+        # Πc of {Π3, Π4, Π6, Π7, Π8} shares content at p1 and p3.
+        parts = example_3_2_partitions()
+        pc = conjunction([parts[i] for i in (3, 4, 6, 7, 8)])
+        assert same_content_position_groups(pc) == [(1, 3)]
+
+    def test_conjunction_refined_by_members(self):
+        a = Partition((0, 0, 1, 1))
+        b = Partition((0, 1, 0, 1))
+        pc = conjunction([a, b])
+        assert pc.multiplicity == 4
+        assert pc.refines(a) and pc.refines(b)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([])
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            conjunction([Partition((0, 1)), Partition((0, 1, 2))])
+
+    @given(partitions4, partitions4)
+    @settings(max_examples=40, deadline=None)
+    def test_multiplicity_bounds(self, a, b):
+        pc = conjunction([a, b])
+        assert pc.multiplicity >= max(a.multiplicity, b.multiplicity)
+        assert pc.multiplicity <= a.multiplicity * b.multiplicity
+
+
+class TestDisjunction:
+    def test_concatenates_positions(self):
+        a = Partition((0, 1))
+        b = Partition((1, 2))
+        d = disjunction([a, b])
+        assert d.num_positions == 4
+        assert d.multiplicity == 3  # shared symbol 1 collapses
+
+    @given(partitions4, partitions4)
+    @settings(max_examples=40, deadline=None)
+    def test_symbols_union(self, a, b):
+        d = disjunction([a, b])
+        assert d.symbol_set() == a.symbol_set() | b.symbol_set()
+
+
+class TestContainment:
+    def test_paper_example_4_2(self):
+        # Π0 is contained by Πc of {Π1, Π2}; multiplicity of Πc012 equals
+        # the multiplicity of Πc12 (= 8), which the paper states.
+        p0, p1, p2 = example_4_2_partitions()
+        pc12 = conjunction([p1, p2])
+        pc012 = conjunction([p0, p1, p2])
+        assert pc12.multiplicity == 8
+        assert pc012.multiplicity == 8
+        assert contains(pc12, p0)
+
+    def test_multiplicities_of_example_4_2(self):
+        p0, p1, p2 = example_4_2_partitions()
+        assert p0.multiplicity == 4
+        assert p1.multiplicity == 6
+        assert p2.multiplicity == 6
+
+    def test_self_containment(self):
+        p = Partition((0, 1, 0, 2))
+        assert contains(p, p)
+
+    def test_refinement_implies_containment(self):
+        coarse = Partition((0, 0, 1, 1))
+        fine = Partition((0, 1, 2, 3))
+        assert contains(fine, coarse)
+        assert not contains(coarse, fine)
+
+
+class TestPscAnalysis:
+    def test_figure_4a(self):
+        # The paper's Figure 4(a): maximal same-content groups.
+        parts = example_3_2_partitions()
+        expected = {
+            2: [(0, 3)],
+            3: [(1, 3)],
+            4: [(1, 3)],
+            5: [(0, 2)],
+            6: [(1, 2, 3)],
+            7: [(0, 1, 3)],
+            8: [(0, 2), (1, 3)],
+        }
+        for index, groups in expected.items():
+            assert same_content_position_groups(parts[index]) == groups
+        # Π0, Π1, Π9 have all-distinct content.
+        for index in (0, 1, 9):
+            assert same_content_position_groups(parts[index]) == []
+
+    def test_psc_key(self):
+        assert psc_key((3, 0)) == (0, 3)

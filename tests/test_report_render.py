@@ -1,0 +1,48 @@
+"""Additional rendering tests for the harness report module."""
+
+from __future__ import annotations
+
+from repro.harness import (
+    CircuitRecord,
+    ExperimentRecord,
+    FlowRecord,
+    render_comparison,
+    render_table,
+)
+
+
+def test_table_alignment_and_missing():
+    text = render_table(
+        "title",
+        ["name", "value"],
+        [["abc", 1], ["defgh", None], ["x", 123456]],
+    )
+    lines = text.splitlines()
+    assert lines[0] == "title"
+    # All data rows share the same width.
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1
+
+
+def test_comparison_marks_standins():
+    rec = ExperimentRecord("exp", "lut_count")
+    exact = CircuitRecord("9sym", 9, 1, True)
+    exact.flows["hyde"] = FlowRecord("hyde", lut_count=6)
+    standin = CircuitRecord("vg2", 25, 8, False)
+    standin.flows["hyde"] = FlowRecord("hyde", lut_count=15)
+    rec.circuits.extend([exact, standin])
+    text = render_comparison(
+        rec, ["hyde"], {"9sym": {"hyde": 6}, "vg2": {"hyde": 18}},
+        {"hyde": "hyde"}, "cmp",
+    )
+    assert "vg2*" in text
+    assert "9sym" in text and "9sym*" not in text
+
+
+def test_comparison_partial_paper_data():
+    rec = ExperimentRecord("exp", "lut_count")
+    crec = CircuitRecord("novel", 4, 1, True)
+    crec.flows["hyde"] = FlowRecord("hyde", lut_count=3)
+    rec.circuits.append(crec)
+    text = render_comparison(rec, ["hyde"], {}, {"hyde": "hyde"}, "cmp")
+    assert "novel" in text and "-" in text

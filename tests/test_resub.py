@@ -1,0 +1,91 @@
+"""Tests for support-minimising resubstitution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import Network, check_equivalence
+from repro.mapping import functionally_dependent, resubstitute
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+
+
+class TestFunctionallyDependent:
+    def test_dependent(self):
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        b = np.array([0, 1, 0, 1], dtype=np.uint8)
+        target = a & b
+        table = functionally_dependent(target, [a, b])
+        assert table is not None
+        assert table.mask == AND2.mask
+
+    def test_independent(self):
+        a = np.array([0, 0, 1, 1], dtype=np.uint8)
+        target = np.array([0, 1, 0, 0], dtype=np.uint8)
+        assert functionally_dependent(target, [a]) is None
+
+    def test_unreached_patterns_default_zero(self):
+        a = np.array([0, 0], dtype=np.uint8)
+        b = np.array([0, 1], dtype=np.uint8)
+        target = np.array([0, 1], dtype=np.uint8)
+        table = functionally_dependent(target, [a, b])
+        assert table is not None
+        assert table.eval((1, 0)) == 0  # never observed -> 0
+
+
+class TestResubstitute:
+    def test_rediscovers_existing_subexpression(self):
+        # f recomputes a & b internally although node x already provides it.
+        net = Network("r")
+        for pi in ("a", "b", "c"):
+            net.add_input(pi)
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node(
+            "f", ["a", "b", "c"],
+            TruthTable.from_function(3, lambda a, b, c: (a & b) ^ c),
+        )
+        net.add_output("x")
+        net.add_output("f")
+        before = net.copy()
+        rewrites = resubstitute(net, k=5)
+        assert rewrites >= 1
+        assert check_equivalence(net, before) is None
+        assert sorted(net.node("f").fanins) == ["c", "x"]
+
+    def test_no_rewrite_when_impossible(self):
+        net = Network("r")
+        for pi in ("a", "b", "c"):
+            net.add_input(pi)
+        net.add_node(
+            "f", ["a", "b", "c"],
+            TruthTable.from_function(3, lambda a, b, c: 1 if a + b + c >= 2 else 0),
+        )
+        net.add_output("f")
+        assert resubstitute(net, k=5) == 0
+
+    def test_large_pi_count_skipped(self):
+        net = Network("big")
+        pis = [net.add_input(f"i{j}") for j in range(20)]
+        net.add_node("f", pis[:3], TruthTable.constant(3, 1))
+        net.add_output("f")
+        assert resubstitute(net, k=5, max_pis=14) == 0
+
+    def test_preserves_equivalence_on_random_net(self):
+        import random
+        rng = random.Random(6)
+        net = Network("rand")
+        sigs = [net.add_input(f"i{j}") for j in range(6)]
+        for n in range(10):
+            fanins = rng.sample(sigs, 3)
+            mask = rng.getrandbits(8)
+            node = f"n{n}"
+            net.add_node(node, fanins, TruthTable(3, mask))
+            sigs.append(node)
+        for n in (7, 9, 12, 15):
+            net.add_output(f"n{n - 6}", f"o{n}")
+        before = net.copy()
+        resubstitute(net, k=5)
+        assert check_equivalence(net, before) is None

@@ -1,0 +1,78 @@
+"""Tests for pliable-encoding sharing (Theorems 4.3/4.4, Example 4.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd import BddManager
+from repro.circuits import example_4_2_partitions
+from repro.decompose import Partition, conjunction, contains
+from repro.hyper import partition_of_function, pliable_sharing_plan
+
+
+class TestExample42:
+    def test_paper_numbers(self):
+        plan = pliable_sharing_plan(example_4_2_partitions())
+        assert plan.multiplicities == [4, 6, 6]
+        assert plan.conjunction_multiplicity == 8
+        # Figure 10(a): three shared decomposition functions.
+        assert plan.shared_alpha_count == 3
+        # Figure 10(b): rigid encoding consumes two more LUTs (5 total).
+        assert plan.rigid_alpha_count == 5
+        assert plan.lut_savings == 2
+
+    def test_containment_matrix(self):
+        p0, p1, p2 = example_4_2_partitions()
+        plan = pliable_sharing_plan([p0, p1, p2])
+        # Every partition contained by itself.
+        for i in range(3):
+            assert plan.containment[i][i]
+
+
+class TestSharingPlan:
+    def test_identical_partitions_share_rigidly(self):
+        p = Partition((0, 1, 2, 3, 0, 1, 2, 3))
+        plan = pliable_sharing_plan([p, p, p])
+        assert plan.rigid_alpha_count == 2
+        assert plan.shared_alpha_count == 2
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            pliable_sharing_plan([])
+
+    def test_shared_counts_conjunction(self):
+        a = Partition((0, 0, 1, 1))
+        b = Partition((0, 1, 0, 1))
+        plan = pliable_sharing_plan([a, b])
+        # Conjunction multiplicity 4 -> 2 shared bits; rigid: each needs
+        # 1 bit but cannot share one bit (conj mult 4 > 2) -> 2 total.
+        assert plan.shared_alpha_count == 2
+        assert plan.rigid_alpha_count == 2
+
+
+class TestPartitionOfFunction:
+    def test_symbols_are_global(self):
+        m = BddManager(4)
+        a, b, c, d = (m.var_at_level(i) for i in range(4))
+        f = m.apply_and(a, c)
+        g = m.apply_or(m.apply_and(a, c), m.apply_and(m.apply_not(a), d))
+        pf = partition_of_function(m, f, [0, 1])
+        pg = partition_of_function(m, g, [0, 1])
+        # Where a=1 both functions reduce to c: the symbol must coincide.
+        assert pf.symbols[1] == pg.symbols[1]
+
+    def test_containment_transfers_alpha(self):
+        # Theorem 4.4 in action: if A contained by B, B's alpha functions
+        # (which distinguish B's column patterns) also distinguish A's.
+        m = BddManager(6)
+        a_vars = [m.var_at_level(i) for i in range(4)]
+        fb = m.apply_or(
+            m.apply_and(a_vars[0], m.var_at_level(4)),
+            m.apply_and(a_vars[1], m.var_at_level(5)),
+        )
+        fa = m.apply_and(a_vars[0], m.var_at_level(4))
+        pa = partition_of_function(m, fa, [0, 1])
+        pb = partition_of_function(m, fb, [0, 1])
+        if contains(pb, pa):
+            # Blocks of B refine blocks of A.
+            assert conjunction([pa, pb]).multiplicity == pb.multiplicity

@@ -1,0 +1,86 @@
+"""Tests for SDC-based node simplification."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import Network, check_equivalence
+from repro.opt import node_care_set, simplify_with_sdc
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+OR2 = TruthTable.from_function(2, lambda a, b: a | b)
+
+
+class TestNodeCareSet:
+    def test_detects_unreachable_patterns(self):
+        # x = a & b, y = a | b: pattern (x=1, y=0) is unsatisfiable.
+        net = Network("c")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("y", ["a", "b"], OR2)
+        net.add_node("z", ["x", "y"], AND2)
+        net.add_output("z")
+        from repro.network.simulate import simulate_all_signals
+        patterns = {
+            pi: [(v >> j) & 1 for v in range(4)]
+            for j, pi in enumerate(net.inputs)
+        }
+        words = simulate_all_signals(net, patterns, 4)
+        care = node_care_set(words, ["x", "y"], 4)
+        assert not (care >> 0b01) & 1  # x=1, y=0 unreachable
+        assert (care >> 0b00) & 1
+        assert (care >> 0b11) & 1
+
+
+class TestSimplifyWithSdc:
+    def test_exploits_implication(self):
+        # z = x & y where x -> y: the y input is redundant given the SDC.
+        net = Network("s")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("y", ["a", "b"], OR2)
+        net.add_node("z", ["x", "y"], AND2)
+        net.add_output("z")
+        before = net.copy()
+        improved = simplify_with_sdc(net)
+        assert improved >= 1
+        assert check_equivalence(net, before) is None
+        assert len(net.node("z").fanins) == 1  # z == x under the SDC
+
+    def test_no_change_when_all_reachable(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("f", ["a", "b"], AND2)
+        net.add_output("f")
+        assert simplify_with_sdc(net) == 0
+
+    def test_preserves_equivalence_on_random_networks(self):
+        rng = random.Random(8)
+        for trial in range(5):
+            net = Network(f"r{trial}")
+            sigs = [net.add_input(f"i{j}") for j in range(5)]
+            for n in range(8):
+                fanins = rng.sample(sigs, 3)
+                net.add_node(
+                    f"n{n}", fanins, TruthTable(3, rng.getrandbits(8))
+                )
+                sigs.append(f"n{n}")
+            for j in (8, 10, 12):
+                net.add_output(sigs[j], f"o{j}")
+            before = net.copy()
+            simplify_with_sdc(net)
+            assert check_equivalence(net, before) is None
+
+    def test_skips_wide_circuits(self):
+        net = Network("wide")
+        for j in range(20):
+            net.add_input(f"i{j}")
+        net.add_node("f", ["i0", "i1"], AND2)
+        net.add_output("f")
+        assert simplify_with_sdc(net, max_pis=14) == 0

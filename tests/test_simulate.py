@@ -1,0 +1,95 @@
+"""Tests for bit-parallel simulation."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import TruthTable
+from repro.network import (
+    Network,
+    exhaustive_vectors,
+    random_vectors,
+    simulate,
+    simulate_vectors,
+)
+from repro.network.simulate import simulate_all_signals
+
+
+def adder_net() -> Network:
+    net = Network("fa")
+    for pi in ("a", "b", "cin"):
+        net.add_input(pi)
+    net.add_node("s", ["a", "b", "cin"], TruthTable.from_function(3, lambda a, b, c: a ^ b ^ c))
+    net.add_node("co", ["a", "b", "cin"], TruthTable.from_function(3, lambda a, b, c: 1 if a + b + c >= 2 else 0))
+    net.add_output("s")
+    net.add_output("co")
+    return net
+
+
+class TestSimulate:
+    def test_full_adder_exhaustive(self):
+        net = adder_net()
+        for a, b, c in itertools.product([0, 1], repeat=3):
+            out = simulate(net, {"a": a, "b": b, "cin": c})
+            total = a + b + c
+            assert out["s"] == total & 1
+            assert out["co"] == total >> 1
+
+    def test_vectors_match_scalar(self):
+        net = adder_net()
+        rng = random.Random(7)
+        vectors = [
+            {pi: rng.randint(0, 1) for pi in net.inputs} for _ in range(17)
+        ]
+        patterns = {
+            pi: [v[pi] for v in vectors] for pi in net.inputs
+        }
+        packed = simulate_vectors(net, patterns, len(vectors))
+        for k, v in enumerate(vectors):
+            scalar = simulate(net, v)
+            for out in net.output_names:
+                assert packed[out][k] == scalar[out]
+
+    def test_constant_nodes(self):
+        net = Network("c")
+        net.add_input("a")
+        net.add_constant("one", 1)
+        net.add_node("f", ["a", "one"], TruthTable.from_function(2, lambda a, o: a & o))
+        net.add_output("f")
+        assert simulate(net, {"a": 1})["f"] == 1
+        assert simulate(net, {"a": 0})["f"] == 0
+
+    def test_exhaustive_vectors_shape(self):
+        net = adder_net()
+        patterns = exhaustive_vectors(net)
+        assert len(patterns["a"]) == 8
+        # Vector k must spell k in binary across the PIs.
+        for k in range(8):
+            bits = (patterns["a"][k], patterns["b"][k], patterns["cin"][k])
+            assert bits == ((k >> 0) & 1, (k >> 1) & 1, (k >> 2) & 1)
+
+    def test_exhaustive_vectors_limit(self):
+        net = Network("big")
+        for j in range(21):
+            net.add_input(f"i{j}")
+        with pytest.raises(ValueError):
+            exhaustive_vectors(net)
+
+    def test_random_vectors_deterministic(self):
+        net = adder_net()
+        assert random_vectors(net, 32, seed=3) == random_vectors(net, 32, seed=3)
+        assert random_vectors(net, 32, seed=3) != random_vectors(net, 32, seed=4)
+
+    def test_simulate_all_signals_internal(self):
+        net = adder_net()
+        patterns = exhaustive_vectors(net)
+        words = simulate_all_signals(net, patterns, 8)
+        assert set(words) == {"a", "b", "cin", "s", "co"}
+        for k in range(8):
+            a, b, c = (k >> 0) & 1, (k >> 1) & 1, (k >> 2) & 1
+            assert ((words["s"] >> k) & 1) == (a ^ b ^ c)

@@ -1,0 +1,56 @@
+"""Tests for network statistics."""
+
+from __future__ import annotations
+
+from repro.boolfunc import TruthTable
+from repro.network import Network, is_k_feasible, network_stats, node_depths
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+
+
+def chain_net(length: int) -> Network:
+    net = Network("chain")
+    net.add_input("a")
+    net.add_input("b")
+    prev = "a"
+    for j in range(length):
+        net.add_node(f"n{j}", [prev, "b"], AND2)
+        prev = f"n{j}"
+    net.add_output(prev)
+    return net
+
+
+class TestStats:
+    def test_depths(self):
+        net = chain_net(3)
+        depths = node_depths(net)
+        assert depths["a"] == 0
+        assert depths["n0"] == 1
+        assert depths["n2"] == 3
+
+    def test_network_stats(self):
+        net = chain_net(4)
+        stats = network_stats(net, k=5)
+        assert stats.num_nodes == 4
+        assert stats.depth == 4
+        assert stats.max_fanin == 2
+        assert stats.k_feasible_nodes == 4
+        assert "4 nodes" in str(stats)
+
+    def test_is_k_feasible(self):
+        net = Network("w")
+        for j in range(6):
+            net.add_input(f"i{j}")
+        net.add_node("f", [f"i{j}" for j in range(6)],
+                     TruthTable.constant(6, 1))
+        net.add_output("f")
+        assert not is_k_feasible(net, 5)
+        assert is_k_feasible(net, 6)
+
+    def test_empty_network(self):
+        net = Network("e")
+        net.add_input("a")
+        net.add_output("a")
+        stats = network_stats(net, k=5)
+        assert stats.num_nodes == 0
+        assert stats.depth == 0

@@ -1,0 +1,36 @@
+"""Tests for technology-independent common-sublogic extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.circuits import build, popcount
+from repro.mapping import extract_common_sublogic
+from repro.network import check_equivalence
+
+
+class TestExtractCommonSublogic:
+    def test_preserves_function(self):
+        net = build("rd73")
+        report = extract_common_sublogic(net, k=6)
+        assert check_equivalence(report.network, net) is None
+
+    def test_reports_sharing(self):
+        net = popcount(8, "pc8")
+        report = extract_common_sublogic(net, k=6)
+        assert len(report.groups) >= 1
+        assert len(report.shared_nodes_per_group) == len(report.groups)
+        assert report.total_nodes_after == report.network.num_nodes
+
+    def test_grouping_covers_outputs(self):
+        net = build("z4ml")
+        report = extract_common_sublogic(net, k=6)
+        grouped = sorted(o for g in report.groups for o in g)
+        assert grouped == sorted(net.output_names)
+
+    def test_broken_rewrite_detected(self):
+        # verify=True is the default; with verify=False a corrupted
+        # result must be caught by an external check.
+        net = build("rd73")
+        report = extract_common_sublogic(net, k=6, verify=False)
+        assert check_equivalence(report.network, net) is None

@@ -1,0 +1,36 @@
+"""Tests for the timing helpers."""
+
+from __future__ import annotations
+
+import time
+
+from repro.harness import Stopwatch, timed
+
+
+class TestStopwatch:
+    def test_accumulates(self):
+        sw = Stopwatch()
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("a"):
+            time.sleep(0.01)
+        with sw.measure("b"):
+            pass
+        assert sw.durations["a"] >= 0.02
+        assert "a" in sw.report() and "b" in sw.report()
+
+    def test_report_sorted_by_duration(self):
+        sw = Stopwatch()
+        with sw.measure("short"):
+            pass
+        with sw.measure("long"):
+            time.sleep(0.02)
+        lines = sw.report().splitlines()
+        assert lines[0].startswith("long")
+
+
+def test_timed_prints(capsys):
+    with timed("block"):
+        pass
+    out = capsys.readouterr().out
+    assert "block:" in out

@@ -1,0 +1,160 @@
+"""Tests for network restructuring passes."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.network import (
+    Network,
+    check_equivalence,
+    collapse_network,
+    collapse_node,
+    propagate_constant_inputs,
+    simplify_local,
+    simulate,
+    sweep,
+)
+
+AND2 = TruthTable.from_function(2, lambda a, b: a & b)
+XOR2 = TruthTable.from_function(2, lambda a, b: a ^ b)
+BUF = TruthTable.from_function(1, lambda a: a)
+
+
+def build_demo() -> Network:
+    net = Network("demo")
+    for pi in ("a", "b", "c", "d"):
+        net.add_input(pi)
+    net.add_node("t", ["a", "b"], AND2)
+    net.add_node("u", ["t", "c"], XOR2)
+    net.add_output("u")
+    return net
+
+
+class TestSweep:
+    def test_removes_dead_nodes(self):
+        net = build_demo()
+        net.add_node("dead1", ["a"], BUF)
+        net.add_node("dead2", ["dead1", "b"], AND2)
+        removed = sweep(net)
+        assert removed >= 2
+        assert "dead1" not in net.node_names()
+        assert "dead2" not in net.node_names()
+
+    def test_propagates_constants(self):
+        net = build_demo()
+        net.add_constant("one", 1)
+        net.add_node("k", ["u", "one"], AND2)  # k == u
+        net.add_output("k")
+        before = net.copy()
+        sweep(net)
+        assert check_equivalence(net, before) is None
+        # the constant and the AND should both be gone or reduced
+        assert all(
+            node.table.num_inputs >= 1 or not net.fanouts()[node.name]
+            for node in net.nodes()
+        )
+
+    def test_propagates_buffers(self):
+        net = build_demo()
+        net.add_node("buf", ["u"], BUF)
+        net.add_node("v", ["buf", "d"], AND2)
+        net.add_output("v")
+        before = net.copy()
+        sweep(net)
+        assert check_equivalence(net, before) is None
+        assert "buf" not in net.node_names()
+
+    def test_buffer_driving_output_rerouted(self):
+        net = build_demo()
+        net.add_node("buf", ["u"], BUF)
+        net.add_output("buf", "ob")
+        before = net.copy()
+        sweep(net)
+        assert check_equivalence(net, before) is None
+        assert net.output_driver("ob") == "u"
+
+    def test_constant_output(self):
+        net = Network("k")
+        net.add_input("a")
+        net.add_constant("zero", 0)
+        net.add_node("f", ["a", "zero"], AND2)  # f == 0
+        net.add_output("f")
+        before = net.copy()
+        sweep(net)
+        assert check_equivalence(net, before) is None
+
+    def test_alias_collapsing_duplicate_fanin(self):
+        # After buffer propagation two fanins refer to the same signal.
+        net = Network("dup")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("buf", ["a"], BUF)
+        net.add_node("f", ["a", "buf"], XOR2)  # == a ^ a == 0
+        net.add_output("f")
+        before = net.copy()
+        sweep(net)
+        assert check_equivalence(net, before) is None
+
+
+class TestSimplifyLocal:
+    def test_drops_vacuous_fanins(self):
+        net = Network("v")
+        net.add_input("a")
+        net.add_input("b")
+        vac = TruthTable.from_function(2, lambda a, b: a)
+        net.add_node("f", ["a", "b"], vac)
+        net.add_output("f")
+        assert simplify_local(net) == 1
+        assert net.node("f").fanins == ["a"]
+
+
+class TestCollapse:
+    def test_collapse_node_preserves_function(self):
+        net = build_demo()
+        before = net.copy()
+        collapse_node(net, "t", "u")
+        assert check_equivalence(net, before) is None
+        assert "t" not in net.node("u").fanins
+
+    def test_collapse_requires_fanin(self):
+        net = build_demo()
+        with pytest.raises(ValueError):
+            collapse_node(net, "u", "t")
+
+    def test_collapse_network(self):
+        net = build_demo()
+        flat = collapse_network(net)
+        assert check_equivalence(net, flat) is None
+        for node in flat.nodes():
+            assert all(flat.is_input(fi) for fi in node.fanins)
+
+    def test_collapse_network_limit(self):
+        net = Network("wide")
+        pis = [net.add_input(f"i{j}") for j in range(25)]
+        acc = pis[0]
+        for j, pi in enumerate(pis[1:]):
+            net.add_node(f"x{j}", [acc, pi], XOR2)
+            acc = f"x{j}"
+        net.add_output(acc)
+        with pytest.raises(ValueError):
+            collapse_network(net, max_inputs=20)
+
+
+class TestPropagateConstants:
+    def test_specialisation(self):
+        net = build_demo()
+        spec = propagate_constant_inputs(net, {"a": 1})
+        assert "a" not in spec.inputs
+        for b, c, d in itertools.product([0, 1], repeat=3):
+            full = simulate(net, {"a": 1, "b": b, "c": c, "d": d})
+            part = simulate(spec, {"b": b, "c": c, "d": d})
+            assert full == part
+
+    def test_all_constant(self):
+        net = build_demo()
+        spec = propagate_constant_inputs(net, {"a": 1, "b": 1, "c": 0, "d": 0})
+        out = simulate(spec, {})
+        assert out["u"] == 1

@@ -1,0 +1,149 @@
+"""Unit and property tests for the bigint truth-table representation."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boolfunc import TruthTable
+
+ARITY = st.integers(min_value=1, max_value=5)
+
+
+@st.composite
+def tables(draw, max_arity: int = 5):
+    n = draw(st.integers(min_value=1, max_value=max_arity))
+    mask = draw(st.integers(min_value=0, max_value=(1 << (1 << n)) - 1))
+    return TruthTable(n, mask)
+
+
+class TestConstruction:
+    def test_constant(self):
+        one = TruthTable.constant(3, 1)
+        zero = TruthTable.constant(3, 0)
+        assert one.mask == 0xFF and zero.mask == 0
+        assert one.is_constant() and zero.is_constant()
+
+    def test_projection(self):
+        p = TruthTable.projection(3, 1)
+        for m in range(8):
+            assert p.eval_index(m) == (m >> 1) & 1
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(ValueError):
+            TruthTable.projection(2, 2)
+
+    def test_from_function(self):
+        t = TruthTable.from_function(2, lambda a, b: a & b)
+        assert t.mask == 0b1000
+
+    def test_from_minterms(self):
+        t = TruthTable.from_minterms(2, [0, 3])
+        assert t.mask == 0b1001
+        with pytest.raises(ValueError):
+            TruthTable.from_minterms(2, [4])
+
+    def test_from_string_round_trip(self):
+        t = TruthTable.from_string("1000")
+        assert t.mask == 0b1000
+        assert t.to_string() == "1000"
+        with pytest.raises(ValueError):
+            TruthTable.from_string("101")
+
+    def test_mask_bounds(self):
+        with pytest.raises(ValueError):
+            TruthTable(1, 16)
+
+
+class TestAlgebra:
+    @given(tables(3), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_demorgan(self, t, data):
+        u = TruthTable(t.num_inputs, data.draw(
+            st.integers(min_value=0, max_value=(1 << t.size) - 1)))
+        assert (~(t & u)).mask == (~t | ~u).mask
+
+    @given(tables(4))
+    @settings(max_examples=30, deadline=None)
+    def test_xor_self_is_zero(self, t):
+        assert (t ^ t).mask == 0
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ValueError):
+            TruthTable.constant(2, 0) & TruthTable.constant(3, 0)
+
+
+class TestStructure:
+    @given(tables(4), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_cofactor_semantics(self, t, data):
+        index = data.draw(st.integers(0, t.num_inputs - 1))
+        value = data.draw(st.integers(0, 1))
+        c = t.cofactor(index, value)
+        for m in range(t.size):
+            fixed = (m | (1 << index)) if value else (m & ~(1 << index))
+            assert c.eval_index(m) == t.eval_index(fixed)
+        assert not c.depends_on(index)
+
+    def test_drop_input(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a ^ c)
+        dropped = t.drop_input(1)
+        assert dropped.num_inputs == 2
+        assert dropped.eval((1, 0)) == 1
+        with pytest.raises(ValueError):
+            t.drop_input(0)  # a is in the support
+
+    @given(tables(4))
+    @settings(max_examples=40, deadline=None)
+    def test_minimize_support_preserves_function(self, t):
+        reduced, kept = t.minimize_support()
+        assert reduced.num_inputs == len(kept)
+        for m in range(t.size):
+            sub = 0
+            for j, old in enumerate(kept):
+                if (m >> old) & 1:
+                    sub |= 1 << j
+            assert reduced.eval_index(sub) == t.eval_index(m)
+
+    def test_remap_inputs_permutation(self):
+        t = TruthTable.from_function(2, lambda a, b: a & ~b & 1)
+        swapped = t.remap_inputs(2, [1, 0])
+        assert swapped.eval((0, 1)) == 1
+        assert swapped.eval((1, 0)) == 0
+
+    def test_remap_inputs_merge(self):
+        t = TruthTable.from_function(2, lambda a, b: a ^ b)
+        merged = t.remap_inputs(1, [0, 0])
+        assert merged.mask == 0  # x ^ x == 0
+
+    def test_flip_input(self):
+        t = TruthTable.from_function(2, lambda a, b: a & b)
+        flipped = t.flip_input(0)
+        assert flipped.eval((0, 1)) == 1
+        assert flipped.eval((1, 1)) == 0
+
+    @given(tables(4), st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_flip_involution(self, t, data):
+        j = data.draw(st.integers(0, t.num_inputs - 1))
+        assert t.flip_input(j).flip_input(j).mask == t.mask
+
+    def test_compose(self):
+        f = TruthTable.from_function(2, lambda a, b: a | b)
+        inner = TruthTable.from_function(2, lambda a, b: a & b)
+        # Substitute (a & b) for input 1: result = a | (a & b) = a.
+        composed = f.compose(1, inner)
+        assert composed.minimize_support()[1] == [0]
+
+    @given(tables(4))
+    @settings(max_examples=30, deadline=None)
+    def test_support_consistency(self, t):
+        support = t.support()
+        for j in range(t.num_inputs):
+            assert (j in support) == t.depends_on(j)
+
+    def test_counts(self):
+        t = TruthTable.from_function(3, lambda a, b, c: a & b & c)
+        assert t.count_ones() == 1
+        assert t.on_set() == [7]
