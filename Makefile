@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-full examples tables clean
+.PHONY: install test bench bench-smoke bench-full examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Fast perf-regression gate: 3 circuits, oracle on/off + jobs=2
+# equivalence check; writes BENCH_hyde.json at the repo root.
+bench-smoke:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_regression.py --smoke
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,0 +1,211 @@
+"""Perf-regression benchmark for the HYDE flow (the PR trajectory file).
+
+Runs the small-class Table 1 circuits through ``hyde_map`` three ways —
+class-count oracle disabled (the pre-oracle baseline), oracle enabled
+(the default single-process flow), and oracle + a worker pool — and
+writes ``BENCH_hyde.json`` at the repository root with LUT counts, wall
+times and oracle hit rates, so every perf-focused PR has before/after
+numbers to point at.
+
+Usage::
+
+    python benchmarks/bench_perf_regression.py            # full small set
+    python benchmarks/bench_perf_regression.py --smoke    # 3 circuits, CI
+    pytest benchmarks/bench_perf_regression.py --benchmark-only
+
+``REPRO_JOBS`` sets the pool width of the parallel variant (default 2).
+The ``jobs>1`` network is equivalence-checked against the ``jobs=1``
+network for every circuit — a wrong-but-fast parallel path fails here
+before it can report a time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.circuits import build
+from repro.mapping import hyde_map
+from repro.network import check_equivalence
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_hyde.json"
+
+#: The small-class Table 1 circuits (seconds each, minutes total at most).
+SMALL_TABLE1 = [
+    "5xp1", "9sym", "clip", "f51m", "misex1", "rd73", "rd84", "sao2", "z4ml",
+]
+#: One medium circuit where the oracle's cross-level reuse actually bites
+#: (the small circuits finish before the memo can amortize).  Timed with
+#: fewer repeats — a single run is already ~10 s.
+MEDIUM_TABLE1 = ["duke2"]
+#: Subset cheap enough for per-PR CI smoke runs.
+SMOKE_SET = ["misex1", "rd73", "z4ml"]
+
+
+#: Timing repetitions per variant; the *minimum* is recorded (the other
+#: runs only ever add scheduler/GC noise, never remove work).
+REPEATS = 5
+
+
+def _timed_map(name: str, repeats: int = REPEATS, **kwargs) -> Dict[str, object]:
+    best = None
+    for _ in range(repeats):
+        net = build(name)  # fresh network and manager: no cache carryover
+        start = time.perf_counter()
+        result = hyde_map(net, verify="none", pack_clbs=False, **kwargs)
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best:
+            best = seconds
+    perf = result.details.get("perf", {})
+    return {
+        "luts": result.lut_count,
+        "seconds": round(best, 4),
+        "oracle_hit_rate": perf.get("oracle_hit_rate"),
+        "network": result.network,
+    }
+
+
+def run_suite(
+    circuits: List[str], jobs: int = 2, check_jobs_equiv: bool = True
+) -> Dict[str, object]:
+    """Benchmark every circuit and return the trajectory record."""
+    per_circuit: Dict[str, Dict[str, object]] = {}
+    for name in circuits:
+        repeats = 2 if name in MEDIUM_TABLE1 else REPEATS
+        # Fresh managers per variant: each run pays its own cache warm-up.
+        no_oracle = _timed_map(name, repeats=repeats, use_oracle=False)
+        with_oracle = _timed_map(name, repeats=repeats)
+        entry: Dict[str, object] = {
+            "luts": with_oracle["luts"],
+            "no_oracle_seconds": no_oracle["seconds"],
+            "oracle_seconds": with_oracle["seconds"],
+            "oracle_hit_rate": with_oracle["oracle_hit_rate"],
+            "oracle_speedup": (
+                round(no_oracle["seconds"] / with_oracle["seconds"], 2)
+                if with_oracle["seconds"]
+                else None
+            ),
+        }
+        if jobs > 1:
+            parallel = _timed_map(name, repeats=min(repeats, 2), jobs=jobs)
+            entry["jobs"] = jobs
+            entry["jobs_seconds"] = parallel["seconds"]
+            if check_jobs_equiv:
+                bad = check_equivalence(
+                    with_oracle["network"], parallel["network"]
+                )
+                entry["jobs_equivalent"] = bad is None
+                if bad is not None:
+                    raise AssertionError(
+                        f"jobs={jobs} mapping of {name} differs from "
+                        f"jobs=1 on output {bad!r}"
+                    )
+        if no_oracle["luts"] != with_oracle["luts"]:
+            raise AssertionError(
+                f"oracle changed the mapping of {name}: "
+                f"{no_oracle['luts']} vs {with_oracle['luts']} LUTs"
+            )
+        per_circuit[name] = entry
+        print(
+            f"{name:8s} {entry['luts']:4d} LUTs  "
+            f"no-oracle {entry['no_oracle_seconds']:7.3f}s  "
+            f"oracle {entry['oracle_seconds']:7.3f}s  "
+            f"(x{entry['oracle_speedup']})"
+            + (
+                f"  jobs={jobs} {entry['jobs_seconds']:7.3f}s"
+                if jobs > 1
+                else ""
+            )
+        )
+    totals = {
+        "no_oracle_seconds": round(
+            sum(e["no_oracle_seconds"] for e in per_circuit.values()), 4
+        ),
+        "oracle_seconds": round(
+            sum(e["oracle_seconds"] for e in per_circuit.values()), 4
+        ),
+        "luts": sum(e["luts"] for e in per_circuit.values()),
+    }
+    if jobs > 1:
+        totals["jobs_seconds"] = round(
+            sum(e["jobs_seconds"] for e in per_circuit.values()), 4
+        )
+    return {
+        "suite": "hyde_small_table1",
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "circuits": {
+            name: {k: v for k, v in entry.items() if k != "network"}
+            for name, entry in per_circuit.items()
+        },
+        "totals": totals,
+    }
+
+
+def write_record(record: Dict[str, object]) -> None:
+    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {BENCH_FILE}")
+
+
+# --------------------------------------------------------------------- #
+# pytest-benchmark entry point (collected by `pytest benchmarks/`)
+# --------------------------------------------------------------------- #
+
+
+def test_bench_hyde_perf_regression(benchmark):
+    from benchmarks.conftest import jobs_from_env, run_once
+
+    record = run_once(
+        benchmark, run_suite, SMOKE_SET, jobs=jobs_from_env(2)
+    )
+    write_record(record)
+    totals = record["totals"]
+    assert totals["oracle_seconds"] <= totals["no_oracle_seconds"] * 1.10, (
+        "oracle-enabled flow regressed past the uncached baseline: "
+        f"{totals}"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Standalone entry point (`make bench-smoke` / CI)
+# --------------------------------------------------------------------- #
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="HYDE perf-regression benchmark"
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"run only the CI subset {SMOKE_SET}",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=2,
+        help="pool width of the parallel variant (1 disables it)",
+    )
+    args = parser.parse_args(argv)
+    circuits = SMOKE_SET if args.smoke else SMALL_TABLE1 + MEDIUM_TABLE1
+    record = run_suite(circuits, jobs=args.jobs)
+    write_record(record)
+    totals = record["totals"]
+    print(
+        f"total: no-oracle {totals['no_oracle_seconds']}s, "
+        f"oracle {totals['oracle_seconds']}s"
+        + (
+            f", jobs {totals['jobs_seconds']}s"
+            if "jobs_seconds" in totals
+            else ""
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,7 +5,9 @@ flows are executed once per benchmark (``pedantic`` with one round) since
 a single run already takes seconds; micro-benchmarks of the substrate use
 normal pytest-benchmark statistics.
 
-Set ``REPRO_FULL=1`` to include the large circuits (minutes each).
+Set ``REPRO_FULL=1`` to include the large circuits (minutes each) and
+``REPRO_JOBS=N`` to let the mapping-flow benchmarks fan ingredient groups
+out to N worker processes.
 """
 
 from __future__ import annotations
@@ -16,6 +18,14 @@ from typing import Callable, Dict, List
 import pytest
 
 from repro.circuits import CIRCUITS
+
+
+def jobs_from_env(default: int = 1) -> int:
+    """Worker-process count for flow benchmarks (``REPRO_JOBS``)."""
+    try:
+        return max(1, int(os.environ.get("REPRO_JOBS", default)))
+    except ValueError:
+        return default
 
 
 def selected_circuits(table_names: List[str]) -> List[str]:

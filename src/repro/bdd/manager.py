@@ -23,7 +23,10 @@ Design notes
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..perf import PerfCounters
 
 __all__ = ["BddManager", "FALSE", "TRUE"]
 
@@ -68,6 +71,14 @@ class BddManager:
         self._cof1_cache: Dict[Tuple[int, int, int], int] = {}
         self._names: List[str] = []
         self._name_to_level: Dict[str, int] = {}
+        #: Engine performance counters (always on; see :mod:`repro.perf`).
+        self.perf = PerfCounters()
+        # Lazily attached ClassCountOracle (see repro.decompose.oracle);
+        # living on the manager makes the memo shared by every search and
+        # recursion level that works on this manager's node ids.
+        self._class_oracle = None
+        # Highest variable count the recursion limit has been sized for.
+        self._depth_guard = 0
         for _ in range(num_vars):
             self.add_var()
 
@@ -177,12 +188,30 @@ class BddManager:
     # Core boolean operations
     # ------------------------------------------------------------------ #
 
+    def _ensure_recursion_capacity(self) -> None:
+        """Size the interpreter recursion limit to this manager's depth.
+
+        The recursive operations (apply, NOT, ITE, compose) recurse at
+        most once per variable level, but wide synthetic circuits can
+        declare hundreds of variables and the flows nest several walks —
+        enough to hit CPython's default 1000-frame limit.  Checked against
+        a cached watermark so the common case is one integer compare.
+        """
+        n = len(self._names)
+        if n <= self._depth_guard:
+            return
+        need = 4 * n + 500
+        if sys.getrecursionlimit() < need:
+            sys.setrecursionlimit(need)
+        self._depth_guard = n
+
     def apply_not(self, f: int) -> int:
         """Boolean negation."""
         if f == FALSE:
             return TRUE
         if f == TRUE:
             return FALSE
+        self._ensure_recursion_capacity()
         cached = self._not_cache.get(f)
         if cached is not None:
             return cached
@@ -251,9 +280,13 @@ class BddManager:
         if f > g:
             f, g = g, f
         key = (op, f, g)
+        perf = self.perf
+        perf.apply_calls += 1
         cached = self._apply_cache.get(key)
         if cached is not None:
+            perf.apply_hits += 1
             return cached
+        self._ensure_recursion_capacity()
         vf, vg = self._var[f], self._var[g]
         if vf == vg:
             top = vf
@@ -293,9 +326,13 @@ class BddManager:
         if g == FALSE and h == TRUE:
             return self.apply_not(f)
         key = (f, g, h)
+        perf = self.perf
+        perf.ite_calls += 1
         cached = self._ite_cache.get(key)
         if cached is not None:
+            perf.ite_hits += 1
             return cached
+        self._ensure_recursion_capacity()
         levels = [self._var[n] for n in (f, g, h) if n > TRUE]
         top = min(levels)
         f0, f1 = self._cofactors_at(f, top)
@@ -328,18 +365,24 @@ class BddManager:
         if f_level > level:
             # The variable sits above this node in the order: vacuous.
             return f
+        if f_level == level:
+            # Direct child access — cheaper than the memo probe, so this
+            # case bypasses the cache (and the counters, which track only
+            # non-trivial cofactor work).
+            return self._hi[f] if value else self._lo[f]
         key = (f, level, value)
+        perf = self.perf
+        perf.cofactor_calls += 1
         cached = self._cof1_cache.get(key)
         if cached is not None:
+            perf.cofactor_hits += 1
             return cached
-        if f_level == level:
-            result = self._hi[f] if value else self._lo[f]
-        else:
-            result = self._mk(
-                f_level,
-                self.cofactor(self._lo[f], level, value),
-                self.cofactor(self._hi[f], level, value),
-            )
+        self._ensure_recursion_capacity()
+        result = self._mk(
+            f_level,
+            self.cofactor(self._lo[f], level, value),
+            self.cofactor(self._hi[f], level, value),
+        )
         self._cof1_cache[key] = result
         return result
 
@@ -623,22 +666,38 @@ class BddManager:
 
         The result list has ``2 ** len(levels)`` entries; entry ``i`` is the
         BDD of ``f`` with ``levels[j]`` fixed to bit j of ``i``.  Cofactors
-        are computed by binary recursion over the levels so that shared
-        prefixes are restricted only once.
+        are computed by a binary walk over the levels so that shared
+        prefixes are restricted only once.  The walk keeps its own explicit
+        stack: a recursive version would burn ``len(levels)`` Python frames
+        per call, which overflows on wide bound sets nested inside already
+        deep decomposition recursions.
         """
-        result: List[int] = [FALSE] * (1 << len(levels))
-
-        def walk(node: int, depth: int, index: int) -> None:
-            if depth == len(levels):
-                result[index] = node
-                return
-            level = levels[depth]
-            lo = self.cofactor(node, level, 0)
-            hi = self.cofactor(node, level, 1)
-            walk(lo, depth + 1, index)
-            walk(hi, depth + 1, index | (1 << depth))
-
-        walk(f, 0, 0)
+        self.perf.cofactor_enumerations += 1
+        num_levels = len(levels)
+        result: List[int] = [FALSE] * (1 << num_levels)
+        cofactor = self.cofactor
+        var, lo_arr, hi_arr = self._var, self._lo, self._hi
+        # Frames are (node, depth, index); the else-branch is followed
+        # iteratively while the then-branch is pushed for later.  Trivial
+        # cofactors (terminal / vacuous / top-variable) are resolved
+        # inline: this loop runs once per column of every candidate bound
+        # set, and a Python call costs more than the cofactor itself.
+        stack: List[Tuple[int, int, int]] = [(f, 0, 0)]
+        while stack:
+            node, depth, index = stack.pop()
+            while depth < num_levels:
+                level = levels[depth]
+                if node <= TRUE or var[node] > level:
+                    hi = node
+                elif var[node] == level:
+                    hi = hi_arr[node]
+                    node = lo_arr[node]
+                else:
+                    hi = cofactor(node, level, 1)
+                    node = cofactor(node, level, 0)
+                depth += 1
+                stack.append((hi, depth, index | (1 << (depth - 1))))
+            result[index] = node
         return result
 
 

@@ -5,6 +5,8 @@ Usage examples::
     python -m repro.cli circuits                 # list benchmark circuits
     python -m repro.cli map 9sym --flow hyde     # map one circuit
     python -m repro.cli map rd84 --flow all      # compare every flow
+    python -m repro.cli map duke2 --jobs 4        # parallel group mapping
+    python -m repro.cli stats 9sym --flow hyde    # perf-counter report
     python -m repro.cli table1 --classes small   # regenerate Table 1
     python -m repro.cli table2 --classes small
     python -m repro.cli blif my_circuit.blif --flow hyde -o mapped.blif
@@ -36,21 +38,27 @@ from .mapping import (
 from .network import read_blif, write_blif
 
 FLOWS: Dict[str, Callable] = {
-    "hyde": lambda net, k, verify="bdd": hyde_map(net, k, verify=verify),
-    "per-output": lambda net, k, verify="bdd": map_per_output(
-        net, k, encoding_policy="chart", verify=verify
+    "hyde": lambda net, k, verify="bdd", jobs=1: hyde_map(
+        net, k, verify=verify, jobs=jobs
     ),
-    "random": lambda net, k, verify="bdd": map_per_output(
-        net, k, encoding_policy="random", verify=verify
+    "per-output": lambda net, k, verify="bdd", jobs=1: map_per_output(
+        net, k, encoding_policy="chart", verify=verify, jobs=jobs
     ),
-    "resub": lambda net, k, verify="bdd": map_per_output_resub(
+    "random": lambda net, k, verify="bdd", jobs=1: map_per_output(
+        net, k, encoding_policy="random", verify=verify, jobs=jobs
+    ),
+    "resub": lambda net, k, verify="bdd", jobs=1: map_per_output_resub(
+        net, k, verify=verify, jobs=jobs
+    ),
+    "column": lambda net, k, verify="bdd", jobs=1: map_column_encoding(
+        net, k, verify=verify, jobs=jobs
+    ),
+    # Flows below have no group-level parallelism; ``jobs`` is accepted
+    # (so ``--flow all --jobs N`` works) and ignored.
+    "shannon": lambda net, k, verify="bdd", jobs=1: map_shannon(
         net, k, verify=verify
     ),
-    "column": lambda net, k, verify="bdd": map_column_encoding(
-        net, k, verify=verify
-    ),
-    "shannon": lambda net, k, verify="bdd": map_shannon(net, k, verify=verify),
-    "structural": lambda net, k, verify="bdd": map_structural(
+    "structural": lambda net, k, verify="bdd", jobs=1: map_structural(
         net, k, verify=verify
     ),
 }
@@ -72,10 +80,13 @@ def _cmd_circuits(args: argparse.Namespace) -> int:
 
 def _run_flows(net, args) -> int:
     labels = list(FLOWS) if args.flow == "all" else [args.flow]
+    jobs = getattr(args, "jobs", 1)
     rows = []
     last: MapResult | None = None
     for label in labels:
-        result = FLOWS[label](net.copy(), args.k, verify=args.verify)
+        result = FLOWS[label](
+            net.copy(), args.k, verify=args.verify, jobs=jobs
+        )
         rows.append(
             [label, result.lut_count, result.clb_count,
              round(result.seconds, 2)]
@@ -89,6 +100,36 @@ def _run_flows(net, args) -> int:
     if args.output and last is not None:
         write_blif(last.network, args.output)
         print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    """Run one flow and print its perf-counter report."""
+    from .perf import format_perf_report
+
+    net = build(args.circuit)
+    result = FLOWS[args.flow](
+        net, args.k, verify=args.verify, jobs=args.jobs
+    )
+    print(
+        f"{args.flow} on {net.name}: {result.lut_count} LUTs, "
+        f"{result.seconds:.2f}s total"
+    )
+    perf = result.details.get("perf")
+    if not perf:
+        print("(flow reports no perf counters)")
+        return 0
+    print(format_perf_report(perf))
+    oracle = perf.get("oracle")
+    if oracle:
+        print("oracle:")
+        for key, value in sorted(oracle.items()):
+            print(f"  {key:28s} {value}")
+    if perf.get("jobs_requested") is not None:
+        print(
+            f"jobs: requested {perf['jobs_requested']}, "
+            f"used {perf['jobs_used']}"
+        )
     return 0
 
 
@@ -159,7 +200,20 @@ def main(argv=None) -> int:
         p.add_argument("-k", type=int, default=5, help="LUT input count")
         p.add_argument("--verify", default="bdd",
                        choices=["bdd", "sim", "none"])
+        p.add_argument("--jobs", type=int, default=1,
+                       help="decompose ingredient groups in N processes")
         p.add_argument("-o", "--output", help="write mapped BLIF here")
+
+    p = sub.add_parser(
+        "stats", help="run a flow and print its perf-counter report"
+    )
+    p.add_argument("circuit", choices=sorted(CIRCUITS))
+    p.add_argument("--flow", default="hyde", choices=list(FLOWS))
+    p.add_argument("-k", type=int, default=5, help="LUT input count")
+    p.add_argument("--verify", default="bdd",
+                   choices=["bdd", "sim", "none"])
+    p.add_argument("--jobs", type=int, default=1,
+                   help="decompose ingredient groups in N processes")
 
     for table in (1, 2):
         p = sub.add_parser(f"table{table}",
@@ -175,6 +229,8 @@ def main(argv=None) -> int:
         return _cmd_map(args)
     if args.command == "blif":
         return _cmd_blif(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
     if args.command == "table1":
         return _cmd_table(args, 1)
     if args.command == "table2":

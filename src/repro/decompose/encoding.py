@@ -416,6 +416,7 @@ def encode_classes(
     policy: str = "chart",
     forbidden_bound_levels: Sequence[int] = (),
     preferred_free_levels: Sequence[int] = (),
+    use_oracle: bool = True,
 ) -> EncodingResult:
     """Run the Figure-3 encoding procedure.
 
@@ -471,6 +472,7 @@ def encode_classes(
         use_dontcares=use_dontcares,
         forbidden=forbidden_bound_levels,
         preferred_free=preferred_free_levels,
+        use_oracle=use_oracle,
     )
     result.suggested_bound = vp.bound_levels
     alpha_set = set(alpha_levels)

@@ -1,0 +1,191 @@
+"""Memoized compatible-class-count oracle.
+
+The class count is the paper's one cost function, and the flows query it
+relentlessly: bound-set search evaluates it for every candidate bound set,
+the swap-improvement pass re-evaluates overlapping sets, and the recursive
+decomposition re-decomposes the same image sub-functions with overlapping
+candidates at every level.  Node ids in a :class:`~repro.bdd.BddManager`
+are canonical and never recycled, so the triple ``(on, dc, bound_levels)``
+is a sound memo key for the lifetime of the manager — the oracle is a
+plain dict over that key.
+
+Two cost tiers are cached separately:
+
+* :meth:`syntactic_count` — distinct ``(on, dc)`` column pairs, the cheap
+  cost used *during* bound-set search;
+* :meth:`exact_count` — the clique-partitioned count with don't-care
+  merging, used for the final report of a chosen bound set.
+
+The oracle is shared per manager via :meth:`for_manager`, which is how a
+single memo serves the exhaustive DFS, greedy growth, swap improvement and
+every recursion level of :mod:`repro.decompose.recursive` /
+:mod:`repro.decompose.rothkarp` at once.  Callers opt out (for ablations)
+through ``DecompositionOptions.use_oracle`` — the search functions accept
+``oracle=None`` and fall back to direct enumeration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..bdd import FALSE, BddManager
+
+__all__ = ["ClassCountOracle"]
+
+_Key = Tuple[int, int, Tuple[int, ...]]
+
+
+class ClassCountOracle:
+    """Memoizes class counts keyed by ``(on, dc, bound_levels)`` node ids.
+
+    The bound-set key is sorted: the *set* of distinct columns (and hence
+    every count the oracle serves) is invariant under reordering the bound
+    variables, so permutations of one bound set share a memo entry.
+
+    Examples
+    --------
+    >>> from repro.bdd import BddManager
+    >>> m = BddManager(4)
+    >>> f = m.apply_or(m.apply_and(m.var_at_level(0), m.var_at_level(1)),
+    ...                m.var_at_level(2))
+    >>> oracle = ClassCountOracle.for_manager(m)
+    >>> oracle.syntactic_count(f, 0, (0, 1))
+    2
+    >>> oracle.syntactic_count(f, 0, (1, 0))  # cache hit: sorted key
+    2
+    >>> oracle.stats()["hits"]
+    1
+    """
+
+    def __init__(self, manager: BddManager):
+        self.manager = manager
+        self._syntactic: Dict[_Key, int] = {}
+        self._exact: Dict[_Key, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction / sharing
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def for_manager(cls, manager: BddManager) -> "ClassCountOracle":
+        """The shared oracle of ``manager`` (created on first use)."""
+        oracle = manager._class_oracle
+        if oracle is None:
+            oracle = cls(manager)
+            manager._class_oracle = oracle
+        return oracle
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def _key(on: int, dc: int, bound: Sequence[int]) -> _Key:
+        return (on, dc, tuple(sorted(bound)))
+
+    def syntactic_count(
+        self, on: int, dc: int, bound: Sequence[int]
+    ) -> int:
+        """Distinct (on, dc) column pairs for ``bound`` — memoized."""
+        key = self._key(on, dc, bound)
+        cached = self._syntactic.get(key)
+        perf = self.manager.perf
+        if cached is not None:
+            self.hits += 1
+            perf.oracle_hits += 1
+            return cached
+        self.misses += 1
+        perf.oracle_misses += 1
+        manager = self.manager
+        on_parts = manager.cofactor_enumerate(on, list(bound))
+        if dc == FALSE:
+            count = len(set(on_parts))
+        else:
+            dc_parts = manager.cofactor_enumerate(dc, list(bound))
+            count = len(set(zip(on_parts, dc_parts)))
+        self._syntactic[key] = count
+        return count
+
+    def lookup_syntactic(
+        self, on: int, dc: int, bound: Sequence[int]
+    ) -> Optional[int]:
+        """Probe the syntactic memo without computing on a miss.
+
+        Used by the incremental searches, which on a miss prefer extending
+        their own residual sets (cheaper than a full enumeration) and then
+        seed the result back via :meth:`seed_syntactic`.
+        """
+        cached = self._syntactic.get(self._key(on, dc, bound))
+        perf = self.manager.perf
+        if cached is not None:
+            self.hits += 1
+            perf.oracle_hits += 1
+        else:
+            self.misses += 1
+            perf.oracle_misses += 1
+        return cached
+
+    def seed_syntactic(
+        self, on: int, dc: int, bound: Sequence[int], count: int
+    ) -> None:
+        """Record a count computed externally (DFS leaves, greedy steps)."""
+        self._syntactic[self._key(on, dc, bound)] = count
+
+    def exact_count(
+        self,
+        on: int,
+        dc: int,
+        bound: Sequence[int],
+        use_dontcares: bool = True,
+    ) -> int:
+        """The exact (don't-care merged) class count — memoized.
+
+        Without don't cares (or with merging disabled) this equals the
+        syntactic count and shares its memo.
+        """
+        if dc == FALSE or not use_dontcares:
+            return self.syntactic_count(on, dc, bound)
+        key = self._key(on, dc, bound)
+        cached = self._exact.get(key)
+        perf = self.manager.perf
+        if cached is not None:
+            self.hits += 1
+            perf.oracle_hits += 1
+            return cached
+        self.misses += 1
+        perf.oracle_misses += 1
+        from .compatible import compute_classes  # deferred: import cycle
+
+        count = compute_classes(
+            self.manager, on, list(bound), dc, True
+        ).num_classes
+        self._exact[key] = count
+        return count
+
+    def seed_exact(
+        self, on: int, dc: int, bound: Sequence[int], count: int
+    ) -> None:
+        """Record an exact count already computed by ``compute_classes``."""
+        self._exact[self._key(on, dc, bound)] = count
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss totals and memo sizes."""
+        total = self.hits + self.misses
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": round(self.hits / total, 4) if total else None,
+            "syntactic_entries": len(self._syntactic),
+            "exact_entries": len(self._exact),
+        }
+
+    def clear(self) -> None:
+        """Drop every memo entry (counters are kept)."""
+        self._syntactic.clear()
+        self._exact.clear()

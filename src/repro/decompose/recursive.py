@@ -119,22 +119,27 @@ def _shannon_split(
     prefix: str,
     trace: DecompositionTrace,
 ) -> str:
-    """f = ite(x, f1, f0) on the support variable whose split is cheapest."""
+    """f = ite(x, f1, f0) on the support variable whose split is cheapest.
+
+    Single-variable restrictions go through :meth:`BddManager.cofactor`,
+    whose persistent memo is shared with the bound-set search — probing
+    every support variable here is mostly cache hits after a search pass.
+    """
     best_level = min(
         support,
-        key=lambda lv: manager.size(manager.restrict(on, {lv: 0}))
-        + manager.size(manager.restrict(on, {lv: 1})),
+        key=lambda lv: manager.size(manager.cofactor(on, lv, 0))
+        + manager.size(manager.cofactor(on, lv, 1)),
     )
     cofactors = []
     for value in (0, 1):
         cofactors.append(
             decompose_to_network(
                 manager,
-                manager.restrict(on, {best_level: value}),
+                manager.cofactor(on, best_level, value),
                 net,
                 signal_of_level,
                 options,
-                dc=manager.restrict(dc, {best_level: value}),
+                dc=manager.cofactor(dc, best_level, value),
                 prefix=prefix,
                 trace=trace,
             )

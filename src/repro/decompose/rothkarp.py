@@ -21,6 +21,7 @@ from .encoding import (
     canonical_codes,
     encode_classes,
 )
+from .oracle import ClassCountOracle
 from .varpart import VariablePartition, select_bound_set
 
 __all__ = ["DecompositionStep", "decompose_step", "DecompositionOptions"]
@@ -54,6 +55,10 @@ class DecompositionOptions:
         pins pseudo primary inputs with this).
     preferred_free_levels:
         Levels kept free on cost ties (HYDE's PPI placement preference).
+    use_oracle:
+        Memoize class counts in the manager's shared
+        :class:`~repro.decompose.oracle.ClassCountOracle` (default).
+        Disable for ablations that need every count re-enumerated.
     """
 
     k: int = 5
@@ -62,6 +67,7 @@ class DecompositionOptions:
     forbidden_bound_levels: Tuple[int, ...] = ()
     preferred_free_levels: Tuple[int, ...] = ()
     bound_size_search: bool = False
+    use_oracle: bool = True
 
 
 @dataclass
@@ -102,6 +108,9 @@ def decompose_step(
     if len(support) <= k:
         raise ValueError("function is already k-feasible; nothing to do")
 
+    oracle = (
+        ClassCountOracle.for_manager(manager) if options.use_oracle else None
+    )
     if bound_levels is None:
         default_size = min(k, len(support) - 1)
         sizes = [default_size]
@@ -121,6 +130,8 @@ def decompose_step(
                 use_dontcares=options.use_dontcares,
                 forbidden=options.forbidden_bound_levels,
                 preferred_free=options.preferred_free_levels,
+                oracle=oracle,
+                use_oracle=options.use_oracle,
             )
             t = max(1, math.ceil(math.log2(max(2, vp.num_classes))))
             # Progress objective: fewest image inputs, then fewest alphas.
@@ -138,6 +149,13 @@ def decompose_step(
         manager, on, list(bound), dc, options.use_dontcares
     )
     n = classes.num_classes
+    if oracle is not None:
+        # Future searches touching this exact (function, bound) pair —
+        # e.g. re-decomposition of a duplicated cone — reuse the count.
+        if dc == FALSE or not options.use_dontcares:
+            oracle.seed_syntactic(on, dc, bound, n)
+        else:
+            oracle.seed_exact(on, dc, bound, n)
     if n < 2:
         # f does not depend on the bound set (possible only via don't
         # cares); the caller should simply drop those variables.
@@ -173,6 +191,7 @@ def decompose_step(
             policy=("random" if options.encoding_policy == "random" else "chart"),
             forbidden_bound_levels=options.forbidden_bound_levels,
             preferred_free_levels=options.preferred_free_levels,
+            use_oracle=options.use_oracle,
         )
 
     alpha_tables = _alpha_tables(
@@ -330,6 +349,7 @@ def _worst_encoding(
         min(options.k, len(support) - 1),
         dc=draft.dc,
         use_dontcares=options.use_dontcares,
+        use_oracle=options.use_oracle,
     )
     worst_codes = base
     worst_image = draft

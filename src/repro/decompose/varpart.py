@@ -9,7 +9,7 @@ a search strategy sized to pure Python:
 * exhaustive search over all bound sets when the binomial is small,
 * otherwise greedy growth plus a swap-improvement pass.
 
-Two performance notes:
+Three performance notes:
 
 * During the *search*, class counts are syntactic — distinct (on, dc)
   cofactor pairs, no clique-partitioned don't-care merging — because the
@@ -19,6 +19,12 @@ Two performance notes:
   the current bound set are kept, and adding variable ``x`` only restricts
   those (small) residual functions on ``x`` instead of re-enumerating all
   ``2**b`` cofactors of the root.
+* All counts flow through the shared
+  :class:`~repro.decompose.oracle.ClassCountOracle` (unless disabled for
+  ablations): repeated queries for the same ``(on, dc, bound)`` — from the
+  swap pass, from smaller-bound-size searches, and from re-decompositions
+  of the same sub-function at other recursion levels — are answered from
+  the memo instead of re-enumerating cofactors.
 
 Ties are broken toward lexicographically smallest level tuples so results
 are deterministic.
@@ -30,8 +36,9 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from ..bdd import FALSE, BddManager
+from ..bdd import FALSE, TRUE, BddManager
 from .compatible import count_classes
+from .oracle import ClassCountOracle
 
 __all__ = ["VariablePartition", "select_bound_set"]
 
@@ -46,9 +53,15 @@ class VariablePartition:
 
 
 def _syntactic_count(
-    manager: BddManager, on: int, dc: int, bound: Sequence[int]
+    manager: BddManager,
+    on: int,
+    dc: int,
+    bound: Sequence[int],
+    oracle: Optional[ClassCountOracle] = None,
 ) -> int:
     """Distinct (on, dc) column pairs — the cheap search cost."""
+    if oracle is not None:
+        return oracle.syntactic_count(on, dc, bound)
     on_parts = manager.cofactor_enumerate(on, list(bound))
     if dc == FALSE:
         return len(set(on_parts))
@@ -66,6 +79,8 @@ def select_bound_set(
     exhaustive_limit: int = 512,
     forbidden: Iterable[int] = (),
     preferred_free: Iterable[int] = (),
+    oracle: Optional[ClassCountOracle] = None,
+    use_oracle: bool = True,
 ) -> VariablePartition:
     """Pick the bound set of ``bound_size`` variables minimising classes.
 
@@ -83,7 +98,13 @@ def select_bound_set(
     exhaustive_limit:
         Exhaustive search is used when C(|support|, bound_size) does not
         exceed this; greedy + swap otherwise.
+    oracle:
+        An explicit class-count memo to consult; defaults to the manager's
+        shared :class:`ClassCountOracle` while ``use_oracle`` holds.  Pass
+        ``use_oracle=False`` to force uncached enumeration (ablations).
     """
+    if oracle is None and use_oracle:
+        oracle = ClassCountOracle.for_manager(manager)
     forbidden_set = set(forbidden)
     preferred_free_set = set(preferred_free)
     candidates = [lv for lv in support if lv not in forbidden_set]
@@ -99,7 +120,7 @@ def select_bound_set(
         )
 
     def key_of(bound: Tuple[int, ...]) -> Tuple:
-        classes = _syntactic_count(manager, on, dc, bound)
+        classes = _syntactic_count(manager, on, dc, bound, oracle)
         penalty = sum(1 for lv in bound if lv in preferred_free_set)
         return (classes, penalty, bound)
 
@@ -117,24 +138,67 @@ def select_bound_set(
     total = math.comb(len(candidates), bound_size)
     if total <= exhaustive_limit:
         best = _exhaustive_bound_set(
-            manager, on, dc, candidates, bound_size, preferred_free_set
+            manager, on, dc, candidates, bound_size, preferred_free_set,
+            oracle,
         )
     else:
         best = _greedy_bound_set(
-            manager, on, dc, candidates, bound_size, preferred_free_set
+            manager, on, dc, candidates, bound_size, preferred_free_set,
+            oracle,
         )
         best = _swap_improve(
             manager, on, dc, candidates, best, key_of
         )
 
     free = tuple(lv for lv in support if lv not in set(best))
+    if oracle is not None:
+        num_classes = oracle.exact_count(on, dc, best, use_dontcares)
+    else:
+        num_classes = count_classes(
+            manager, on, list(best), dc, use_dontcares
+        )
     return VariablePartition(
         bound_levels=tuple(sorted(best)),
         free_levels=free,
-        num_classes=count_classes(
-            manager, on, list(best), dc, use_dontcares
-        ),
+        num_classes=num_classes,
     )
+
+
+def _extend_distinct(
+    manager: BddManager,
+    distinct: Iterable[Tuple[int, int]],
+    lv: int,
+) -> Set[Tuple[int, int]]:
+    """Cofactor every residual pair on ``lv`` (both phases).
+
+    This is the inner loop of every bound-set search, so the trivial
+    cofactor cases (terminal, ``lv`` above or at the residual's top
+    variable) are resolved inline against the manager's node arrays —
+    a Python-level call per residual costs more than the cofactor.
+    """
+    cofactor = manager.cofactor
+    var, lo, hi = manager._var, manager._lo, manager._hi
+    extended: Set[Tuple[int, int]] = set()
+    for res_on, res_dc in distinct:
+        if res_on <= TRUE or var[res_on] > lv:
+            on0 = on1 = res_on
+        elif var[res_on] == lv:
+            on0, on1 = lo[res_on], hi[res_on]
+        else:
+            on0 = cofactor(res_on, lv, 0)
+            on1 = cofactor(res_on, lv, 1)
+        if res_dc == FALSE:
+            dc0 = dc1 = FALSE
+        elif res_dc == TRUE or var[res_dc] > lv:
+            dc0 = dc1 = res_dc
+        elif var[res_dc] == lv:
+            dc0, dc1 = lo[res_dc], hi[res_dc]
+        else:
+            dc0 = cofactor(res_dc, lv, 0)
+            dc1 = cofactor(res_dc, lv, 1)
+        extended.add((on0, dc0))
+        extended.add((on1, dc1))
+    return extended
 
 
 def _exhaustive_bound_set(
@@ -144,6 +208,7 @@ def _exhaustive_bound_set(
     candidates: Sequence[int],
     bound_size: int,
     preferred_free: Set[int],
+    oracle: Optional[ClassCountOracle] = None,
 ) -> Tuple[int, ...]:
     """Exact search over all bound sets via shared-prefix DFS.
 
@@ -153,37 +218,47 @@ def _exhaustive_bound_set(
     No count-based pruning is applied: the distinct-residual count is NOT
     monotone in the bound set (columns that differ only in a variable
     added later can collapse), so any such prune would be unsound.
+
+    Leaf counts are seeded into (and, on repeat searches over the same
+    function, answered by) the class-count oracle: a completed bound set's
+    count never has to be recomputed by a later search, swap pass or
+    recursion level.
     """
+    if bound_size == 0:
+        return ()
     ordered = sorted(candidates)
     best: Optional[Tuple] = None  # (classes, penalty, bound)
 
     def penalty_of(bound: Tuple[int, ...]) -> int:
         return sum(1 for lv in bound if lv in preferred_free)
 
-    def dfs(start: int, chosen: List[int], distinct) -> None:
+    def consider(bound: Tuple[int, ...], classes: int) -> None:
         nonlocal best
-        if len(chosen) == bound_size:
-            key = (len(distinct), penalty_of(tuple(chosen)), tuple(chosen))
-            if best is None or key < best:
-                best = key
-            return
+        key = (classes, penalty_of(bound), bound)
+        if best is None or key < best:
+            best = key
+
+    def dfs(start: int, chosen: List[int], distinct) -> None:
         need = bound_size - len(chosen)
+        last_level = need == 1
         for i in range(start, len(ordered) - need + 1):
             lv = ordered[i]
-            extended = set()
-            for res_on, res_dc in distinct:
-                for value in (0, 1):
-                    extended.add(
-                        (
-                            manager.cofactor(res_on, lv, value),
-                            manager.cofactor(res_dc, lv, value)
-                            if res_dc != FALSE
-                            else FALSE,
-                        )
-                    )
-            chosen.append(lv)
-            dfs(i + 1, chosen, extended)
-            chosen.pop()
+            bound = tuple(chosen + [lv])
+            if last_level:
+                if oracle is not None:
+                    cached = oracle.lookup_syntactic(on, dc, bound)
+                    if cached is not None:
+                        consider(bound, cached)
+                        continue
+                extended = _extend_distinct(manager, distinct, lv)
+                if oracle is not None:
+                    oracle.seed_syntactic(on, dc, bound, len(extended))
+                consider(bound, len(extended))
+            else:
+                extended = _extend_distinct(manager, distinct, lv)
+                chosen.append(lv)
+                dfs(i + 1, chosen, extended)
+                chosen.pop()
 
     dfs(0, [], {(on, dc)})
     assert best is not None
@@ -197,43 +272,50 @@ def _greedy_bound_set(
     candidates: Sequence[int],
     bound_size: int,
     preferred_free: Set[int],
+    oracle: Optional[ClassCountOracle] = None,
 ) -> Tuple[int, ...]:
     """Greedy growth with incremental cofactor sets.
 
     The state is the set of distinct (on, dc) residual pairs for the
     current bound; adding a candidate only cofactors those residuals.
+    Candidate counts are served by the oracle when already known; only the
+    winning candidate's distinct set is materialised (and sorted, for
+    deterministic iteration) once per growth step.
     """
     chosen: List[int] = []
     remaining = list(candidates)
     distinct: List[Tuple[int, int]] = [(on, dc)]
     while len(chosen) < bound_size:
-        best_lv = None
+        best_lv: Optional[int] = None
         best_key: Optional[Tuple] = None
-        best_distinct: Optional[List[Tuple[int, int]]] = None
+        best_distinct: Optional[Set[Tuple[int, int]]] = None
         for lv in remaining:
-            new_set = set()
-            for res_on, res_dc in distinct:
-                for value in (0, 1):
-                    new_set.add(
-                        (
-                            manager.cofactor(res_on, lv, value),
-                            manager.cofactor(res_dc, lv, value)
-                            if res_dc != FALSE
-                            else FALSE,
-                        )
-                    )
+            new_set: Optional[Set[Tuple[int, int]]] = None
+            count: Optional[int] = None
+            if oracle is not None:
+                count = oracle.lookup_syntactic(on, dc, chosen + [lv])
+            if count is None:
+                new_set = _extend_distinct(manager, distinct, lv)
+                count = len(new_set)
+                if oracle is not None:
+                    oracle.seed_syntactic(on, dc, chosen + [lv], count)
             key = (
-                len(new_set),
+                count,
                 1 if lv in preferred_free else 0,
                 lv,
             )
             if best_key is None or key < best_key:
                 best_key = key
                 best_lv = lv
-                best_distinct = sorted(new_set)
-        chosen.append(best_lv)  # type: ignore[arg-type]
+                best_distinct = new_set
+        assert best_lv is not None
+        if best_distinct is None:
+            # The winner's count came from the oracle; materialise its
+            # residual set once for the next growth step.
+            best_distinct = _extend_distinct(manager, distinct, best_lv)
+        chosen.append(best_lv)
         remaining.remove(best_lv)
-        distinct = list(best_distinct or [])
+        distinct = sorted(best_distinct)
     return tuple(sorted(chosen))
 
 

@@ -24,10 +24,11 @@ from typing import Dict, Optional
 
 from ..bdd import FALSE, TRUE
 from ..decompose import DecompositionOptions, decompose_to_network
-from ..network import GlobalBdds, Network
+from ..network import GlobalBdds, Network, extract_cone, parse_blif, to_blif
 from .clb import pack_xc3000
-from .hyde import MapResult, _check, hyde_map
+from .hyde import MapResult, _check, _splice, hyde_map
 from .lut import cleanup_for_lut_count, count_luts
+from .parallel import GroupTask, run_group_tasks
 from .resub import resubstitute
 
 __all__ = [
@@ -45,39 +46,96 @@ def map_per_output(
     use_dontcares: bool = True,
     verify: str = "bdd",
     pack_clbs: bool = True,
+    jobs: int = 1,
+    use_oracle: bool = True,
 ) -> MapResult:
-    """Decompose every output independently (no hyper-function)."""
+    """Decompose every output independently (no hyper-function).
+
+    ``jobs > 1`` decomposes the output cones in a process pool (each
+    output is its own task; see :mod:`repro.mapping.parallel`).
+    """
     start = time.time()
     gb = GlobalBdds(net)
     manager = gb.manager
+    perf = manager.perf
     options = DecompositionOptions(
-        k=k, encoding_policy=encoding_policy, use_dontcares=use_dontcares
+        k=k,
+        encoding_policy=encoding_policy,
+        use_dontcares=use_dontcares,
+        use_oracle=use_oracle,
     )
     result = Network(f"{net.name}_po_{encoding_policy}")
     for pi in net.inputs:
         result.add_input(pi)
     driver_of: Dict[str, str] = {}
+    alias_of: Dict[str, str] = {}  # duplicate output -> representative
     seen: Dict[int, str] = {}
-    for oi, out in enumerate(net.output_names):
-        bdd = gb.of_output(out)
-        if bdd in (FALSE, TRUE):
-            name = result.fresh_name(f"{out}_const")
-            result.add_constant(name, 1 if bdd == TRUE else 0)
-            driver_of[out] = name
-            continue
-        rep = seen.get(bdd)
-        if rep is not None:
-            driver_of[out] = driver_of[rep]
-            continue
-        seen[bdd] = out
-        signal_of_level = {manager.level_of(pi): pi for pi in net.inputs}
-        driver_of[out] = decompose_to_network(
-            manager, bdd, result, signal_of_level, options, prefix=f"o{oi}"
-        )
+    unique: list = []  # (oi, out) pairs that actually need decomposing
+    with perf.phase("bdd_build"):
+        for oi, out in enumerate(net.output_names):
+            bdd = gb.of_output(out)
+            if bdd in (FALSE, TRUE):
+                name = result.fresh_name(f"{out}_const")
+                result.add_constant(name, 1 if bdd == TRUE else 0)
+                driver_of[out] = name
+                continue
+            rep = seen.get(bdd)
+            if rep is not None:
+                alias_of[out] = rep
+                continue
+            seen[bdd] = out
+            unique.append((oi, out))
+    jobs_used = 1
+    if jobs > 1 and len(unique) > 1:
+        tasks = [
+            GroupTask(
+                blif_text=to_blif(
+                    extract_cone(net, [out], name=f"{net.name}_o{oi}_cone")
+                ),
+                group=[out],
+                gi=oi,
+                options=options,
+                fallback_per_output=False,
+                base_name=f"{net.name}_o{oi}",
+            )
+            for oi, out in unique
+        ]
+        with perf.phase("decompose"):
+            results, jobs_used = run_group_tasks(tasks, jobs)
+        with perf.phase("splice"):
+            for (oi, out), res in zip(unique, results):
+                fragment = parse_blif(res.blif_text)
+                rename = _splice(result, fragment, f"o{oi}_")
+                driver_of[out] = rename[fragment.output_driver(out)]
+                perf.merge_dict(res.perf)
+    else:
+        with perf.phase("decompose"):
+            for oi, out in unique:
+                signal_of_level = {
+                    manager.level_of(pi): pi for pi in net.inputs
+                }
+                driver_of[out] = decompose_to_network(
+                    manager,
+                    gb.of_output(out),
+                    result,
+                    signal_of_level,
+                    options,
+                    prefix=f"o{oi}",
+                )
     for out in net.output_names:
-        result.add_output(driver_of[out], out)
-    cleanup_for_lut_count(result)
-    _check(net, result, verify)
+        driver = driver_of.get(out)
+        if driver is None:
+            driver = driver_of[alias_of[out]]
+        result.add_output(driver, out)
+    with perf.phase("cleanup"):
+        cleanup_for_lut_count(result)
+    with perf.phase("verify"):
+        _check(net, result, verify)
+    perf_report = perf.snapshot(manager)
+    if manager._class_oracle is not None:
+        perf_report["oracle"] = manager._class_oracle.stats()
+    perf_report["jobs_requested"] = jobs
+    perf_report["jobs_used"] = jobs_used
     return MapResult(
         network=result,
         k=k,
@@ -86,6 +144,7 @@ def map_per_output(
         seconds=time.time() - start,
         groups=[[out] for out in net.output_names],
         flow=f"per-output/{encoding_policy}",
+        details={"perf": perf_report},
     )
 
 
@@ -97,6 +156,7 @@ def map_per_output_resub(
     verify: str = "bdd",
     pack_clbs: bool = True,
     max_pis: int = 14,
+    jobs: int = 1,
 ) -> MapResult:
     """Per-output decomposition followed by support-minimising resub."""
     start = time.time()
@@ -107,6 +167,7 @@ def map_per_output_resub(
         use_dontcares=use_dontcares,
         verify="none",
         pack_clbs=False,
+        jobs=jobs,
     )
     result = base.network
     rewrites = resubstitute(result, k, max_pis=max_pis)
@@ -120,7 +181,7 @@ def map_per_output_resub(
         seconds=time.time() - start,
         groups=base.groups,
         flow=f"per-output+resub/{encoding_policy}",
-        details={"rewrites": rewrites},
+        details={"rewrites": rewrites, "perf": base.details.get("perf")},
     )
 
 
@@ -130,6 +191,7 @@ def map_column_encoding(
     max_group: int = 4,
     verify: str = "bdd",
     pack_clbs: bool = True,
+    jobs: int = 1,
 ) -> MapResult:
     """FGSyn-like column encoding: PPIs never enter a bound set."""
     result = hyde_map(
@@ -139,6 +201,7 @@ def map_column_encoding(
         ppi_placement="force_free",
         verify=verify,
         pack_clbs=pack_clbs,
+        jobs=jobs,
     )
     result.flow = "column-encoding"
     return result

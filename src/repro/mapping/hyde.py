@@ -26,10 +26,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bdd import FALSE, TRUE
 from ..decompose import DecompositionOptions, decompose_to_network
-from ..hyper import decompose_hyper_function
-from ..network import GlobalBdds, Network, check_equivalence, simulate_equivalence
+from ..network import (
+    GlobalBdds,
+    Network,
+    check_equivalence,
+    extract_cone,
+    parse_blif,
+    simulate_equivalence,
+    to_blif,
+)
 from .clb import pack_xc3000
 from .lut import cleanup_for_lut_count, count_luts
+from .parallel import GroupTask, build_group_fragment, run_group_tasks
 
 __all__ = ["MapResult", "hyde_map", "cluster_outputs"]
 
@@ -115,6 +123,8 @@ def hyde_map(
     verify: str = "bdd",
     pack_clbs: bool = True,
     fallback_per_output: bool = True,
+    jobs: int = 1,
+    use_oracle: bool = True,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -124,11 +134,19 @@ def hyde_map(
     group is also decomposed output-by-output and the cheaper variant is
     kept — extracting common sub-expressions only where sharing actually
     pays for the duplication cone.
+
+    ``jobs > 1`` fans the ingredient groups out to a process pool (each
+    worker decomposes its group's fan-in cone in a private manager; see
+    :mod:`repro.mapping.parallel`).  ``use_oracle=False`` disables the
+    memoized class-count oracle for ablation runs.  Counter and phase-time
+    telemetry lands in ``MapResult.details["perf"]``.
     """
     start = time.time()
     gb = GlobalBdds(net)
     manager = gb.manager
-    output_bdds = {out: gb.of_output(out) for out in net.output_names}
+    perf = manager.perf
+    with perf.phase("bdd_build"):
+        output_bdds = {out: gb.of_output(out) for out in net.output_names}
 
     # Deduplicate identical output functions; constants are split off.
     canonical: Dict[int, str] = {}
@@ -146,78 +164,95 @@ def hyde_map(
         else:
             alias_of[out] = rep
 
-    supports = {
-        out: [manager.name_of(lv) for lv in manager.support(output_bdds[out])]
-        for out in unique_outputs
-    }
-    groups = cluster_outputs(supports, max_group)
+    with perf.phase("cluster"):
+        supports = {
+            out: [
+                manager.name_of(lv)
+                for lv in manager.support(output_bdds[out])
+            ]
+            for out in unique_outputs
+        }
+        groups = cluster_outputs(supports, max_group)
 
     result = Network(f"{net.name}_hyde")
     for pi in net.inputs:
         result.add_input(pi)
 
     options = DecompositionOptions(
-        k=k, encoding_policy=encoding_policy, use_dontcares=use_dontcares
+        k=k,
+        encoding_policy=encoding_policy,
+        use_dontcares=use_dontcares,
+        use_oracle=use_oracle,
     )
     driver_of: Dict[str, str] = {}
     group_infos: List[Dict[str, object]] = []
+    jobs_used = 1
 
-    for gi, group in enumerate(groups):
-        if len(group) == 1:
-            out = group[0]
-            signal_of_level = {
-                manager.level_of(pi): pi for pi in net.inputs
-            }
-            root = decompose_to_network(
-                manager,
-                output_bdds[out],
-                result,
-                signal_of_level,
-                options,
-                prefix=f"g{gi}",
+    if jobs > 1 and len(groups) > 1:
+        tasks = []
+        for gi, group in enumerate(groups):
+            cone = extract_cone(net, group, name=f"{net.name}_g{gi}_cone")
+            tasks.append(
+                GroupTask(
+                    blif_text=to_blif(cone),
+                    group=list(group),
+                    gi=gi,
+                    options=options,
+                    ingredient_policy=ingredient_policy,
+                    ppi_placement=ppi_placement,
+                    fallback_per_output=fallback_per_output,
+                    base_name=f"{net.name}_g{gi}",
+                )
             )
-            driver_of[out] = root
-            group_infos.append({"outputs": group, "hyper": False})
-            continue
+        with perf.phase("decompose"):
+            results, jobs_used = run_group_tasks(tasks, jobs)
+        with perf.phase("splice"):
+            for res in results:
+                fragment = parse_blif(res.blif_text)
+                rename = _splice(result, fragment, f"g{res.gi}_")
+                for out in groups[res.gi]:
+                    driver_of[out] = rename[fragment.output_driver(out)]
+                group_infos.append(res.info)
+                perf.merge_dict(res.perf)
+    else:
+        with perf.phase("decompose"):
+            for gi, group in enumerate(groups):
+                if len(group) == 1:
+                    out = group[0]
+                    signal_of_level = {
+                        manager.level_of(pi): pi for pi in net.inputs
+                    }
+                    root = decompose_to_network(
+                        manager,
+                        output_bdds[out],
+                        result,
+                        signal_of_level,
+                        options,
+                        prefix=f"g{gi}",
+                    )
+                    driver_of[out] = root
+                    group_infos.append({"outputs": group, "hyper": False})
+                    continue
 
-        group_inputs = sorted(
-            {pi for out in group for pi in supports[out]},
-            key=net.inputs.index,
-        )
-        ingredients = [(out, output_bdds[out]) for out in group]
-        hres = decompose_hyper_function(
-            manager,
-            ingredients,
-            group_inputs,
-            options,
-            ingredient_policy=ingredient_policy,
-            ppi_placement=ppi_placement,
-            network_name=f"{net.name}_g{gi}",
-        )
-        fragment = hres.recovered
-        cleanup_for_lut_count(fragment)
-        info: Dict[str, object] = {
-            "outputs": group,
-            "hyper": True,
-            "ppi_count": hres.hyper.num_ppis,
-            "shared_nodes": hres.shared_nodes,
-            "cone_nodes": len(hres.duplication.duplication_cone),
-        }
-        if fallback_per_output:
-            alt = _per_output_fragment(
-                manager, ingredients, group_inputs, options,
-                f"{net.name}_g{gi}_po",
-            )
-            cleanup_for_lut_count(alt)
-            info["hyper_luts"] = count_luts(fragment, k)
-            info["per_output_luts"] = count_luts(alt, k)
-            if count_luts(alt, k) < count_luts(fragment, k):
-                fragment = alt
-                info["hyper"] = False
-        rename = _splice(result, fragment, f"g{gi}_")
-        for out in group:
-            driver_of[out] = rename[fragment.output_driver(out)]
-        group_infos.append(info)
+                group_inputs = sorted(
+                    {pi for out in group for pi in supports[out]},
+                    key=net.inputs.index,
+                )
+                fragment, info = build_group_fragment(
+                    manager,
+                    output_bdds,
+                    group,
+                    group_inputs,
+                    options,
+                    ingredient_policy=ingredient_policy,
+                    ppi_placement=ppi_placement,
+                    fallback_per_output=fallback_per_output,
+                    base_name=f"{net.name}_g{gi}",
+                )
+                rename = _splice(result, fragment, f"g{gi}_")
+                for out in group:
+                    driver_of[out] = rename[fragment.output_driver(out)]
+                group_infos.append(info)
 
     for out, value in const_outputs.items():
         name = result.fresh_name(f"{out}_const")
@@ -229,11 +264,18 @@ def hyde_map(
             driver = driver_of[alias_of[out]]
         result.add_output(driver, out)
 
-    cleanup_for_lut_count(result)
-    _check(net, result, verify)
+    with perf.phase("cleanup"):
+        cleanup_for_lut_count(result)
+    with perf.phase("verify"):
+        _check(net, result, verify)
 
     luts = count_luts(result, k)
     clbs = pack_xc3000(result).num_clbs if pack_clbs else None
+    perf_report = perf.snapshot(manager)
+    if manager._class_oracle is not None:
+        perf_report["oracle"] = manager._class_oracle.stats()
+    perf_report["jobs_requested"] = jobs
+    perf_report["jobs_used"] = jobs_used
     return MapResult(
         network=result,
         k=k,
@@ -242,28 +284,12 @@ def hyde_map(
         seconds=time.time() - start,
         groups=groups,
         flow="hyde",
-        details={"group_infos": group_infos, "aliases": alias_of},
+        details={
+            "group_infos": group_infos,
+            "aliases": alias_of,
+            "perf": perf_report,
+        },
     )
-
-
-def _per_output_fragment(
-    manager,
-    ingredients,
-    group_inputs,
-    options: DecompositionOptions,
-    name: str,
-) -> Network:
-    """Decompose a group output-by-output into a standalone fragment."""
-    frag = Network(name)
-    for pi in group_inputs:
-        frag.add_input(pi)
-    for oi, (out, bdd) in enumerate(ingredients):
-        signal_of_level = {manager.level_of(pi): pi for pi in group_inputs}
-        root = decompose_to_network(
-            manager, bdd, frag, signal_of_level, options, prefix=f"p{oi}"
-        )
-        frag.add_output(root, out)
-    return frag
 
 
 def _splice(dest: Network, fragment: Network, prefix: str) -> Dict[str, str]:

@@ -1,0 +1,213 @@
+"""Process-parallel decomposition of independent ingredient groups.
+
+The HYDE flow's groups (and the per-output baselines' outputs) are
+independent cones: nothing a group's decomposition produces is read by
+another group until the final splice.  That makes them the natural unit of
+coarse-grained parallelism — exactly the lever modern mappers use to
+scale, since pure-Python decomposition is CPU bound and the GIL rules out
+threads.
+
+The serialization boundary is BLIF text (:mod:`repro.network.blif`): a
+:class:`GroupTask` carries the standalone fan-in cone of one group's
+outputs; the worker parses it, builds the group's global BDDs in its *own*
+:class:`~repro.bdd.BddManager`, decomposes (with its own class-count
+oracle), and ships the mapped fragment back as BLIF for the parent to
+splice.  BDD node ids are only canonical within one manager, so nothing
+manager-specific ever crosses the process boundary.
+
+Workers fall back to in-process execution when a pool cannot be created
+(restricted sandboxes without fork/semaphores), so ``jobs>1`` is always
+safe to request.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BddManager
+from ..decompose import DecompositionOptions, decompose_to_network
+from ..hyper import decompose_hyper_function
+from ..network import GlobalBdds, Network, parse_blif, to_blif
+from .lut import cleanup_for_lut_count, count_luts
+
+__all__ = [
+    "GroupTask",
+    "GroupResult",
+    "build_group_fragment",
+    "per_output_fragment",
+    "run_group_tasks",
+]
+
+
+@dataclass
+class GroupTask:
+    """Everything one worker needs, in picklable form."""
+
+    blif_text: str  # standalone cone of the group's outputs
+    group: List[str]  # output names, parent order
+    gi: int  # group index (fragments are spliced in this order)
+    options: DecompositionOptions
+    ingredient_policy: str = "chart"
+    ppi_placement: str = "prefer_free"
+    fallback_per_output: bool = True
+    base_name: str = "group"
+
+
+@dataclass
+class GroupResult:
+    """One worker's answer: the mapped fragment plus bookkeeping."""
+
+    gi: int
+    blif_text: str  # fragment: inputs ⊆ parent PIs, outputs = group
+    info: Dict[str, object] = field(default_factory=dict)
+    perf: Dict[str, object] = field(default_factory=dict)
+
+
+def per_output_fragment(
+    manager: BddManager,
+    ingredients: Sequence[Tuple[str, int]],
+    group_inputs: Sequence[str],
+    options: DecompositionOptions,
+    name: str,
+) -> Network:
+    """Decompose a group output-by-output into a standalone fragment."""
+    frag = Network(name)
+    for pi in group_inputs:
+        frag.add_input(pi)
+    for oi, (out, bdd) in enumerate(ingredients):
+        signal_of_level = {manager.level_of(pi): pi for pi in group_inputs}
+        root = decompose_to_network(
+            manager, bdd, frag, signal_of_level, options, prefix=f"p{oi}"
+        )
+        frag.add_output(root, out)
+    return frag
+
+
+def build_group_fragment(
+    manager: BddManager,
+    output_bdds: Dict[str, int],
+    group: Sequence[str],
+    group_inputs: Sequence[str],
+    options: DecompositionOptions,
+    ingredient_policy: str = "chart",
+    ppi_placement: str = "prefer_free",
+    fallback_per_output: bool = True,
+    base_name: str = "group",
+) -> Tuple[Network, Dict[str, object]]:
+    """Map one ingredient group to a standalone k-feasible fragment.
+
+    This is the per-group body of the HYDE flow, shared verbatim by the
+    serial loop and the pool workers: hyper-function decomposition for
+    multi-output groups (with the optional per-output fallback), plain
+    recursive decomposition for singleton groups.  The fragment's inputs
+    are ``group_inputs`` and its outputs are named after ``group``.
+    """
+    ingredients = [(out, output_bdds[out]) for out in group]
+    if len(group) == 1:
+        fragment = per_output_fragment(
+            manager, ingredients, group_inputs, options, f"{base_name}_po"
+        )
+        cleanup_for_lut_count(fragment)
+        return fragment, {"outputs": list(group), "hyper": False}
+
+    hres = decompose_hyper_function(
+        manager,
+        ingredients,
+        group_inputs,
+        options,
+        ingredient_policy=ingredient_policy,
+        ppi_placement=ppi_placement,
+        network_name=base_name,
+    )
+    fragment = hres.recovered
+    cleanup_for_lut_count(fragment)
+    info: Dict[str, object] = {
+        "outputs": list(group),
+        "hyper": True,
+        "ppi_count": hres.hyper.num_ppis,
+        "shared_nodes": hres.shared_nodes,
+        "cone_nodes": len(hres.duplication.duplication_cone),
+    }
+    if fallback_per_output:
+        alt = per_output_fragment(
+            manager, ingredients, group_inputs, options, f"{base_name}_po"
+        )
+        cleanup_for_lut_count(alt)
+        hyper_luts = count_luts(fragment, options.k)
+        per_output_luts = count_luts(alt, options.k)
+        info["hyper_luts"] = hyper_luts
+        info["per_output_luts"] = per_output_luts
+        if per_output_luts < hyper_luts:
+            fragment = alt
+            info["hyper"] = False
+    return fragment, info
+
+
+def decompose_group_task(task: GroupTask) -> GroupResult:
+    """Pool worker: cone BLIF in, mapped fragment BLIF out.
+
+    Runs entirely in a private manager — global BDDs of the cone, the
+    shared class-count oracle and the decomposition all live and die with
+    this call.  The cone's primary inputs keep the parent's relative
+    order, so bound-set selection (whose ties break on level order) makes
+    the same choices the serial flow would.
+    """
+    net = parse_blif(task.blif_text)
+    gb = GlobalBdds(net)
+    manager = gb.manager
+    output_bdds = {out: gb.of_output(out) for out in net.output_names}
+    support_union = sorted(
+        {
+            lv
+            for out in task.group
+            for lv in manager.support(output_bdds[out])
+        }
+    )
+    group_inputs = [manager.name_of(lv) for lv in support_union]
+    fragment, info = build_group_fragment(
+        manager,
+        output_bdds,
+        task.group,
+        group_inputs,
+        task.options,
+        ingredient_policy=task.ingredient_policy,
+        ppi_placement=task.ppi_placement,
+        fallback_per_output=task.fallback_per_output,
+        base_name=task.base_name,
+    )
+    return GroupResult(
+        gi=task.gi,
+        blif_text=to_blif(fragment),
+        info=info,
+        perf=manager.perf.snapshot(),
+    )
+
+
+def run_group_tasks(
+    tasks: Sequence[GroupTask], jobs: int
+) -> Tuple[List[GroupResult], int]:
+    """Execute group tasks, fanning out to ``jobs`` processes when >1.
+
+    Returns ``(results, jobs_used)`` with results in task order.
+    ``jobs_used`` is 1 when the tasks ran in-process — either because
+    parallelism was not requested / not useful, or because the platform
+    refused to give us a pool (the flow then degrades to serial instead
+    of failing).
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [decompose_group_task(t) for t in tasks], 1
+    workers = min(jobs, len(tasks))
+    try:
+        # fork shares the already-imported interpreter state — cheap
+        # worker start-up; fall back to the platform default elsewhere.
+        try:
+            ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            ctx = multiprocessing.get_context()
+        with ctx.Pool(workers) as pool:
+            return list(pool.map(decompose_group_task, tasks)), workers
+    except (OSError, PermissionError, RuntimeError):  # pragma: no cover
+        # No usable process pool (sandboxed /dev/shm, missing sem_open…).
+        return [decompose_group_task(t) for t in tasks], 1

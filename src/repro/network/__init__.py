@@ -13,6 +13,7 @@ from .stats import NetworkStats, is_k_feasible, network_stats, node_depths
 from .transform import (
     collapse_network,
     collapse_node,
+    extract_cone,
     propagate_constant_inputs,
     simplify_local,
     sweep,
@@ -42,6 +43,7 @@ __all__ = [
     "sweep",
     "collapse_node",
     "collapse_network",
+    "extract_cone",
     "propagate_constant_inputs",
     "simplify_local",
     "NetworkStats",

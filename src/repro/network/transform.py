@@ -7,6 +7,8 @@
 * :func:`propagate_constant_inputs` — specialise a network for constant
   values on some inputs (used to recover hyper-function ingredients).
 * :func:`simplify_local` — per-node support minimisation.
+* :func:`extract_cone` — the standalone sub-network feeding a set of
+  outputs (the serialization unit of the parallel group mapper).
 """
 
 from __future__ import annotations
@@ -22,7 +24,36 @@ __all__ = [
     "collapse_network",
     "propagate_constant_inputs",
     "simplify_local",
+    "extract_cone",
 ]
+
+
+def extract_cone(
+    net: Network,
+    output_names: Sequence[str],
+    name: Optional[str] = None,
+) -> Network:
+    """Standalone sub-network computing the given primary outputs.
+
+    The cone keeps only the nodes in the transitive fan-in of the selected
+    outputs and only the primary inputs that cone reads (in the original
+    declaration order, so BDD variable orders derived from the cone agree
+    with the parent's relative order).  Node names are preserved.
+    """
+    drivers = [net.output_driver(out) for out in output_names]
+    cone = net.transitive_fanin(drivers)
+    sub = Network(name or f"{net.name}_cone")
+    for pi in net.inputs:
+        if pi in cone:
+            sub.add_input(pi)
+    for node_name in net.topological_order():
+        if node_name not in cone:
+            continue
+        node = net.node(node_name)
+        sub.add_node(node_name, list(node.fanins), node.table)
+    for out, driver in zip(output_names, drivers):
+        sub.add_output(driver, out)
+    return sub
 
 
 def simplify_local(net: Network) -> int:

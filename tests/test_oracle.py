@@ -1,0 +1,164 @@
+"""Tests for the memoized class-count oracle (repro.decompose.oracle).
+
+The oracle must be *invisible* apart from speed: every count it serves
+has to equal what the uncached :func:`count_classes` computes on the same
+``(on, dc, bound)`` triple.  The tests drive it with seeded random truth
+tables — with and without don't-care sets — and also pin down the sharing
+and ablation contracts (per-manager singleton, sorted-key permutation
+hits, ``use_oracle=False`` bound-set equivalence).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.bdd import FALSE, BddManager
+from repro.decompose import (
+    ClassCountOracle,
+    DecompositionOptions,
+    count_classes,
+    decompose_step,
+    select_bound_set,
+)
+
+N = 6
+
+
+def random_function(m: BddManager, rng: random.Random) -> int:
+    bits = rng.getrandbits(1 << N)
+    return m.from_truth_table(bits, list(range(N)))
+
+
+def random_bound(rng: random.Random, size: int):
+    return tuple(rng.sample(range(N), size))
+
+
+class TestSyntacticCount:
+    def test_matches_uncached_no_dontcares(self):
+        rng = random.Random(1)
+        m = BddManager(N)
+        oracle = ClassCountOracle.for_manager(m)
+        for _ in range(25):
+            f = random_function(m, rng)
+            bound = random_bound(rng, rng.randint(1, 4))
+            expected = count_classes(m, f, list(bound))
+            assert oracle.syntactic_count(f, FALSE, bound) == expected
+            # Second query must hit the memo and return the same value.
+            hits_before = oracle.hits
+            assert oracle.syntactic_count(f, FALSE, bound) == expected
+            assert oracle.hits == hits_before + 1
+
+    def test_matches_uncached_with_dontcares(self):
+        rng = random.Random(2)
+        m = BddManager(N)
+        oracle = ClassCountOracle.for_manager(m)
+        for _ in range(25):
+            f = random_function(m, rng)
+            dc = random_function(m, rng)
+            dc = m.apply_and(dc, m.apply_not(f))  # disjoint dc-set
+            bound = random_bound(rng, rng.randint(1, 4))
+            # Syntactic tier: distinct (on, dc) pairs == count_classes
+            # with don't-care merging disabled.
+            expected = count_classes(
+                m, f, list(bound), dc, use_dontcares=False
+            )
+            assert oracle.syntactic_count(f, dc, bound) == expected
+
+    def test_permutations_share_an_entry(self):
+        rng = random.Random(3)
+        m = BddManager(N)
+        oracle = ClassCountOracle.for_manager(m)
+        f = random_function(m, rng)
+        assert oracle.syntactic_count(f, FALSE, (2, 0, 3)) == \
+            oracle.syntactic_count(f, FALSE, (3, 2, 0))
+        assert oracle.stats()["syntactic_entries"] == 1
+        assert oracle.hits == 1
+
+
+class TestExactCount:
+    def test_matches_uncached_with_dontcares(self):
+        rng = random.Random(4)
+        m = BddManager(N)
+        oracle = ClassCountOracle.for_manager(m)
+        for _ in range(15):
+            f = random_function(m, rng)
+            dc = m.apply_and(random_function(m, rng), m.apply_not(f))
+            bound = random_bound(rng, rng.randint(1, 4))
+            expected = count_classes(m, f, list(bound), dc)
+            assert oracle.exact_count(f, dc, bound) == expected
+            assert oracle.exact_count(f, dc, bound) == expected  # memo hit
+
+    def test_degenerates_to_syntactic_without_dc(self):
+        m = BddManager(N)
+        f = m.apply_and(m.var_at_level(0), m.var_at_level(1))
+        oracle = ClassCountOracle.for_manager(m)
+        assert oracle.exact_count(f, FALSE, (0, 1)) == \
+            oracle.syntactic_count(f, FALSE, (0, 1))
+        # The dc-free exact query shares the syntactic memo.
+        assert oracle.stats()["exact_entries"] == 0
+
+
+class TestSharing:
+    def test_for_manager_is_singleton(self):
+        m = BddManager(N)
+        assert ClassCountOracle.for_manager(m) is \
+            ClassCountOracle.for_manager(m)
+        assert m._class_oracle is ClassCountOracle.for_manager(m)
+
+    def test_managers_do_not_share(self):
+        m1, m2 = BddManager(N), BddManager(N)
+        assert ClassCountOracle.for_manager(m1) is not \
+            ClassCountOracle.for_manager(m2)
+
+    def test_select_bound_set_populates_shared_oracle(self):
+        rng = random.Random(5)
+        m = BddManager(N)
+        f = random_function(m, rng)
+        select_bound_set(m, f, list(range(N)), 3)
+        oracle = ClassCountOracle.for_manager(m)
+        assert oracle.stats()["syntactic_entries"] > 0
+
+    def test_clear_drops_entries(self):
+        m = BddManager(N)
+        oracle = ClassCountOracle.for_manager(m)
+        oracle.syntactic_count(m.var_at_level(0), FALSE, (1,))
+        oracle.clear()
+        assert oracle.stats()["syntactic_entries"] == 0
+
+
+class TestAblation:
+    """use_oracle=False must reproduce the oracle-enabled results."""
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_select_bound_set_equivalent(self, seed):
+        rng = random.Random(seed)
+        bits = rng.getrandbits(1 << N)
+        m_on = BddManager(N)
+        f_on = m_on.from_truth_table(bits, list(range(N)))
+        m_off = BddManager(N)
+        f_off = m_off.from_truth_table(bits, list(range(N)))
+        vp_on = select_bound_set(m_on, f_on, list(range(N)), 3)
+        vp_off = select_bound_set(
+            m_off, f_off, list(range(N)), 3, use_oracle=False
+        )
+        assert vp_on.bound_levels == vp_off.bound_levels
+        assert vp_on.num_classes == vp_off.num_classes
+
+    def test_decompose_step_equivalent(self):
+        rng = random.Random(21)
+        bits = rng.getrandbits(1 << N)
+        results = []
+        for use_oracle in (True, False):
+            m = BddManager(N)
+            f = m.from_truth_table(bits, list(range(N)))
+            step = decompose_step(
+                m, f, list(range(N)),
+                DecompositionOptions(k=4, use_oracle=use_oracle),
+            )
+            results.append(
+                (step.bound_levels, step.num_classes,
+                 len(step.alpha_tables))
+            )
+        assert results[0] == results[1]
