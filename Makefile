@@ -8,7 +8,7 @@ install:
 	$(PYTHON) setup.py develop
 
 test:
-	$(PYTHON) -m pytest tests/
+	PYTHONPATH=src $(PYTHON) -m pytest tests/
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
@@ -22,11 +22,11 @@ bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 examples:
-	for f in examples/*.py; do echo "== $$f"; $(PYTHON) $$f || exit 1; done
+	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done
 
 tables:
-	$(PYTHON) -m repro.cli table1 --classes medium
-	$(PYTHON) -m repro.cli table2 --classes medium
+	PYTHONPATH=src $(PYTHON) -m repro.cli table1 --classes medium
+	PYTHONPATH=src $(PYTHON) -m repro.cli table2 --classes medium
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true

@@ -9,7 +9,7 @@ Public surface:
 * :mod:`repro.bdd.io` — DOT / cube-list export.
 """
 
-from .manager import FALSE, TRUE, BddManager, build_cube
+from .manager import FALSE, TRUE, BddBudgetExceeded, BddManager, build_cube
 from .ops import (
     conjoin,
     count_distinct_cofactors,
@@ -29,6 +29,7 @@ __all__ = [
     "FALSE",
     "TRUE",
     "BddManager",
+    "BddBudgetExceeded",
     "build_cube",
     "conjoin",
     "disjoin",

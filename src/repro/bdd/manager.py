@@ -24,11 +24,12 @@ Design notes
 from __future__ import annotations
 
 import sys
+import time
 from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..perf import PerfCounters
 
-__all__ = ["BddManager", "FALSE", "TRUE"]
+__all__ = ["BddManager", "BddBudgetExceeded", "FALSE", "TRUE"]
 
 #: Terminal node ids (the same in every manager).
 FALSE = 0
@@ -38,6 +39,30 @@ TRUE = 1
 _OP_AND = 0
 _OP_OR = 1
 _OP_XOR = 2
+
+
+class BddBudgetExceeded(RuntimeError):
+    """A manager grew past its armed node or wall-clock budget.
+
+    Raised from :meth:`BddManager.check_budget` (and from node allocation
+    once a budget is armed) so a governed flow can catch it and degrade
+    instead of grinding on a BDD blow-up.  The message embeds the kind
+    (``nodes`` or ``seconds``), the limit and the usage at the moment of
+    the raise; the same values are available as attributes for callers
+    that survived a process boundary only when the exception was raised
+    locally (pickling keeps just the message).
+    """
+
+    def __init__(self, kind: str, limit: float, used: float):
+        super().__init__(
+            f"BDD budget exceeded: {used:g} {kind} > limit {limit:g}"
+        )
+        self.kind = kind
+        self.limit = limit
+        self.used = used
+
+    def __reduce__(self):
+        return (type(self), (self.kind, self.limit, self.used))
 
 
 class BddManager:
@@ -79,8 +104,71 @@ class BddManager:
         self._class_oracle = None
         # Highest variable count the recursion limit has been sized for.
         self._depth_guard = 0
+        # Resource budget (disarmed by default: both None).  The node
+        # limit is enforced on allocation in _mk; the deadline is checked
+        # there too (amortised) and at the flows' cooperative check
+        # points via check_budget().
+        self._max_nodes: Optional[int] = None
+        self._max_seconds: Optional[float] = None
+        self._deadline: Optional[float] = None
         for _ in range(num_vars):
             self.add_var()
+
+    # ------------------------------------------------------------------ #
+    # Resource budget
+    # ------------------------------------------------------------------ #
+
+    def set_budget(
+        self,
+        max_nodes: Optional[int] = None,
+        max_seconds: Optional[float] = None,
+    ) -> None:
+        """Arm (or, with both ``None``, disarm) the resource budget.
+
+        ``max_nodes`` caps the total allocated node count (terminals
+        included); ``max_seconds`` starts a wall-clock deadline measured
+        from this call.  Once a limit is crossed, node allocation and
+        :meth:`check_budget` raise :class:`BddBudgetExceeded`.  With no
+        budget armed (the default) the manager behaves exactly as before:
+        the only cost is two ``is None`` tests per fresh allocation.
+        """
+        self._max_nodes = max_nodes
+        self._max_seconds = max_seconds
+        self._deadline = (
+            time.monotonic() + max_seconds if max_seconds is not None else None
+        )
+
+    @property
+    def budget(self) -> Dict[str, Optional[float]]:
+        """The armed limits (``max_nodes`` / ``seconds_left``)."""
+        return {
+            "max_nodes": self._max_nodes,
+            "seconds_left": (
+                self._deadline - time.monotonic()
+                if self._deadline is not None
+                else None
+            ),
+        }
+
+    def check_budget(self) -> None:
+        """Raise :class:`BddBudgetExceeded` if a limit has been crossed.
+
+        Cooperative check point: the decomposition searches call this in
+        their loops so a time budget fires even when the work is all
+        cache hits and no node is ever allocated.
+        """
+        if self._max_nodes is not None and len(self._var) > self._max_nodes:
+            self.perf.budget_exceeded += 1
+            raise BddBudgetExceeded("nodes", self._max_nodes, len(self._var))
+        if self._deadline is not None:
+            now = time.monotonic()
+            if now > self._deadline:
+                self.perf.budget_exceeded += 1
+                raise BddBudgetExceeded(
+                    "seconds",
+                    self._max_seconds or 0.0,
+                    round((self._max_seconds or 0.0) + now - self._deadline, 3),
+                )
 
     # ------------------------------------------------------------------ #
     # Variable management
@@ -144,6 +232,13 @@ class BddManager:
         node = self._unique.get(key)
         if node is None:
             node = len(self._var)
+            if self._max_nodes is not None and node >= self._max_nodes:
+                self.perf.budget_exceeded += 1
+                raise BddBudgetExceeded("nodes", self._max_nodes, node + 1)
+            # Amortised deadline probe: one clock read per 256 fresh nodes
+            # keeps a runaway build bounded without taxing the hot path.
+            if self._deadline is not None and (node & 0xFF) == 0:
+                self.check_budget()
             self._var.append(level)
             self._lo.append(lo)
             self._hi.append(hi)

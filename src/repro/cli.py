@@ -38,30 +38,66 @@ from .mapping import (
 from .network import read_blif, write_blif
 
 FLOWS: Dict[str, Callable] = {
-    "hyde": lambda net, k, verify="bdd", jobs=1: hyde_map(
-        net, k, verify=verify, jobs=jobs
+    "hyde": lambda net, k, verify="bdd", jobs=1, **kw: hyde_map(
+        net, k, verify=verify, jobs=jobs, **kw
     ),
-    "per-output": lambda net, k, verify="bdd", jobs=1: map_per_output(
-        net, k, encoding_policy="chart", verify=verify, jobs=jobs
+    "per-output": lambda net, k, verify="bdd", jobs=1, **kw: map_per_output(
+        net, k, encoding_policy="chart", verify=verify, jobs=jobs, **kw
     ),
-    "random": lambda net, k, verify="bdd", jobs=1: map_per_output(
-        net, k, encoding_policy="random", verify=verify, jobs=jobs
+    "random": lambda net, k, verify="bdd", jobs=1, **kw: map_per_output(
+        net, k, encoding_policy="random", verify=verify, jobs=jobs, **kw
     ),
-    "resub": lambda net, k, verify="bdd", jobs=1: map_per_output_resub(
-        net, k, verify=verify, jobs=jobs
+    "resub": lambda net, k, verify="bdd", jobs=1, **kw: map_per_output_resub(
+        net, k, verify=verify, jobs=jobs, **kw
     ),
-    "column": lambda net, k, verify="bdd", jobs=1: map_column_encoding(
-        net, k, verify=verify, jobs=jobs
+    "column": lambda net, k, verify="bdd", jobs=1, **kw: map_column_encoding(
+        net, k, verify=verify, jobs=jobs, **kw
     ),
-    # Flows below have no group-level parallelism; ``jobs`` is accepted
-    # (so ``--flow all --jobs N`` works) and ignored.
-    "shannon": lambda net, k, verify="bdd", jobs=1: map_shannon(
+    # Flows below have no group-level parallelism (and hence no fault
+    # tolerance); ``jobs`` and the governance kwargs are accepted (so
+    # ``--flow all --jobs N`` works) and ignored.
+    "shannon": lambda net, k, verify="bdd", jobs=1, **kw: map_shannon(
         net, k, verify=verify
     ),
-    "structural": lambda net, k, verify="bdd", jobs=1: map_structural(
+    "structural": lambda net, k, verify="bdd", jobs=1, **kw: map_structural(
         net, k, verify=verify
     ),
 }
+
+
+def _governance_kwargs(args) -> Dict[str, object]:
+    """Map the fault-tolerance CLI flags to flow keyword arguments."""
+    from .mapping import TaskPolicy
+
+    kw: Dict[str, object] = {}
+    if getattr(args, "max_bdd_nodes", None) is not None:
+        kw["max_bdd_nodes"] = args.max_bdd_nodes
+    timeout = getattr(args, "timeout", None)
+    retries = getattr(args, "retries", None)
+    if timeout is not None or retries is not None:
+        kw["policy"] = TaskPolicy(
+            timeout_seconds=timeout,
+            retries=retries if retries is not None else 1,
+        )
+    if getattr(args, "inject_faults", None):
+        from .testing import FaultPlan
+
+        kw["faults"] = FaultPlan.parse(args.inject_faults)
+    return kw
+
+
+def _print_degradation(result: MapResult) -> None:
+    """Surface what the fault-tolerance layer had to recover from."""
+    fallback = result.details.get("pool_fallback")
+    if fallback:
+        print(f"  [pool fallback to serial: {fallback}]")
+    for entry in result.details.get("degraded") or []:
+        outs = ", ".join(entry["group"])
+        causes = "; ".join(entry["causes"])
+        print(
+            f"  [group {entry['gi']} ({outs}) recovered via "
+            f"{entry['resolution']} after: {causes}]"
+        )
 
 
 def _cmd_circuits(args: argparse.Namespace) -> int:
@@ -81,12 +117,14 @@ def _cmd_circuits(args: argparse.Namespace) -> int:
 def _run_flows(net, args) -> int:
     labels = list(FLOWS) if args.flow == "all" else [args.flow]
     jobs = getattr(args, "jobs", 1)
+    governance = _governance_kwargs(args)
     rows = []
     last: MapResult | None = None
     for label in labels:
         result = FLOWS[label](
-            net.copy(), args.k, verify=args.verify, jobs=jobs
+            net.copy(), args.k, verify=args.verify, jobs=jobs, **governance
         )
+        _print_degradation(result)
         rows.append(
             [label, result.lut_count, result.clb_count,
              round(result.seconds, 2)]
@@ -109,8 +147,10 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 
     net = build(args.circuit)
     result = FLOWS[args.flow](
-        net, args.k, verify=args.verify, jobs=args.jobs
+        net, args.k, verify=args.verify, jobs=args.jobs,
+        **_governance_kwargs(args),
     )
+    _print_degradation(result)
     print(
         f"{args.flow} on {net.name}: {result.lut_count} LUTs, "
         f"{result.seconds:.2f}s total"
@@ -178,6 +218,28 @@ def _cmd_table(args: argparse.Namespace, table: int) -> int:
     return 0
 
 
+def _add_governance_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-group wall-clock timeout; failures walk the "
+        "degradation ladder (retry, per-output, structural)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="in-process retries (with decaying budgets) per failed group",
+    )
+    p.add_argument(
+        "--max-bdd-nodes", type=int, default=None, metavar="N",
+        help="BDD node budget per decomposition manager",
+    )
+    p.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="deterministic fault injection, e.g. 'crash@0,hang@1:2' "
+        "(kind@group[:times]; kinds: crash, hang, oversized_bdd, "
+        "corrupt_blif)",
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="HYDE (DAC 1998) reproduction CLI"
@@ -202,6 +264,7 @@ def main(argv=None) -> int:
                        choices=["bdd", "sim", "none"])
         p.add_argument("--jobs", type=int, default=1,
                        help="decompose ingredient groups in N processes")
+        _add_governance_flags(p)
         p.add_argument("-o", "--output", help="write mapped BLIF here")
 
     p = sub.add_parser(
@@ -214,6 +277,7 @@ def main(argv=None) -> int:
                    choices=["bdd", "sim", "none"])
     p.add_argument("--jobs", type=int, default=1,
                    help="decompose ingredient groups in N processes")
+    _add_governance_flags(p)
 
     for table in (1, 2):
         p = sub.add_parser(f"table{table}",

@@ -99,6 +99,9 @@ class ClassCountOracle:
         self.misses += 1
         perf.oracle_misses += 1
         manager = self.manager
+        # A miss is about to sweep 2**|bound| cofactors — the natural
+        # place to notice an expired budget before spending the work.
+        manager.check_budget()
         on_parts = manager.cofactor_enumerate(on, list(bound))
         if dc == FALSE:
             count = len(set(on_parts))

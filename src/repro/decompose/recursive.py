@@ -54,6 +54,11 @@ def decompose_to_network(
     if trace is None:
         trace = DecompositionTrace()
 
+    # Cooperative budget check point: one per recursion level keeps a
+    # governed decomposition responsive even when all BDD work below is
+    # cache hits (no allocation, so _mk never probes the deadline).
+    manager.check_budget()
+
     support = sorted(
         set(manager.support(on)) | set(manager.support(dc))
     )

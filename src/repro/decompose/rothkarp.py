@@ -9,7 +9,7 @@ codes) ready for recursion.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..bdd import FALSE, BddManager
@@ -59,6 +59,14 @@ class DecompositionOptions:
         Memoize class counts in the manager's shared
         :class:`~repro.decompose.oracle.ClassCountOracle` (default).
         Disable for ablations that need every count re-enumerated.
+    max_bdd_nodes / max_seconds:
+        Resource budget for one governed decomposition: callers that own
+        the manager (the group workers, the fault-tolerant flows) arm it
+        via :meth:`~repro.bdd.BddManager.set_budget` before decomposing,
+        and a blow-up then raises a catchable
+        :class:`~repro.bdd.BddBudgetExceeded` instead of grinding.  Both
+        ``None`` (the default) keeps every path byte-for-byte identical
+        to the unbudgeted flow.
     """
 
     k: int = 5
@@ -68,6 +76,34 @@ class DecompositionOptions:
     preferred_free_levels: Tuple[int, ...] = ()
     bound_size_search: bool = False
     use_oracle: bool = True
+    max_bdd_nodes: Optional[int] = None
+    max_seconds: Optional[float] = None
+
+    @property
+    def has_budget(self) -> bool:
+        """True when either resource limit is set."""
+        return self.max_bdd_nodes is not None or self.max_seconds is not None
+
+    def arm_budget(self, manager: BddManager) -> None:
+        """Arm this options' budget on ``manager`` (no-op without one)."""
+        if self.has_budget:
+            manager.set_budget(self.max_bdd_nodes, self.max_seconds)
+
+    def decayed(self, factor: float) -> "DecompositionOptions":
+        """A copy with both budgets scaled by ``factor`` (retry decay)."""
+        return replace(
+            self,
+            max_bdd_nodes=(
+                max(8, int(self.max_bdd_nodes * factor))
+                if self.max_bdd_nodes is not None
+                else None
+            ),
+            max_seconds=(
+                self.max_seconds * factor
+                if self.max_seconds is not None
+                else None
+            ),
+        )
 
 
 @dataclass
@@ -107,6 +143,7 @@ def decompose_step(
     k = options.k
     if len(support) <= k:
         raise ValueError("function is already k-feasible; nothing to do")
+    manager.check_budget()
 
     oracle = (
         ClassCountOracle.for_manager(manager) if options.use_oracle else None

@@ -241,6 +241,7 @@ def _exhaustive_bound_set(
     def dfs(start: int, chosen: List[int], distinct) -> None:
         need = bound_size - len(chosen)
         last_level = need == 1
+        manager.check_budget()
         for i in range(start, len(ordered) - need + 1):
             lv = ordered[i]
             bound = tuple(chosen + [lv])
@@ -289,6 +290,7 @@ def _greedy_bound_set(
         best_lv: Optional[int] = None
         best_key: Optional[Tuple] = None
         best_distinct: Optional[Set[Tuple[int, int]]] = None
+        manager.check_budget()
         for lv in remaining:
             new_set: Optional[Set[Tuple[int, int]]] = None
             count: Optional[int] = None
@@ -332,6 +334,7 @@ def _swap_improve(
     current_key = key_of(current)
     for _ in range(max_rounds):
         improved = False
+        manager.check_budget()
         outside = [lv for lv in candidates if lv not in current]
         for inside in current:
             for lv in outside:

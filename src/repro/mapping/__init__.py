@@ -10,6 +10,7 @@ from .baselines import (
 from .clb import ClbPacking, can_pair, pack_xc3000
 from .hyde import MapResult, cluster_outputs, hyde_map
 from .lut import absorb_inverters, cleanup_for_lut_count, count_luts, dedup_nodes
+from .parallel import RunReport, TaskPolicy, run_group_tasks, structural_fragment
 from .resub import functionally_dependent, resubstitute
 from .structural import map_structural
 from .time_multiplex import TimeMultiplexResult, map_time_multiplexed
@@ -37,4 +38,8 @@ __all__ = [
     "map_structural",
     "TimeMultiplexResult",
     "map_time_multiplexed",
+    "TaskPolicy",
+    "RunReport",
+    "run_group_tasks",
+    "structural_fragment",
 ]

@@ -28,7 +28,7 @@ from ..network import GlobalBdds, Network, extract_cone, parse_blif, to_blif
 from .clb import pack_xc3000
 from .hyde import MapResult, _check, _splice, hyde_map
 from .lut import cleanup_for_lut_count, count_luts
-from .parallel import GroupTask, run_group_tasks
+from .parallel import GroupTask, TaskPolicy, run_group_tasks
 from .resub import resubstitute
 
 __all__ = [
@@ -48,11 +48,19 @@ def map_per_output(
     pack_clbs: bool = True,
     jobs: int = 1,
     use_oracle: bool = True,
+    policy: Optional[TaskPolicy] = None,
+    faults: Optional[object] = None,
+    max_bdd_nodes: Optional[int] = None,
+    max_seconds: Optional[float] = None,
 ) -> MapResult:
     """Decompose every output independently (no hyper-function).
 
     ``jobs > 1`` decomposes the output cones in a process pool (each
     output is its own task; see :mod:`repro.mapping.parallel`).
+    ``policy`` / ``faults`` behave as in :func:`~repro.mapping.hyde.hyde_map`:
+    either routes the outputs through the fault-tolerant task runner
+    (even at ``jobs=1``) and recovery shows up in
+    ``details["degraded"]`` / ``details["pool_fallback"]``.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -63,6 +71,8 @@ def map_per_output(
         encoding_policy=encoding_policy,
         use_dontcares=use_dontcares,
         use_oracle=use_oracle,
+        max_bdd_nodes=max_bdd_nodes,
+        max_seconds=max_seconds,
     )
     result = Network(f"{net.name}_po_{encoding_policy}")
     for pi in net.inputs:
@@ -86,7 +96,12 @@ def map_per_output(
             seen[bdd] = out
             unique.append((oi, out))
     jobs_used = 1
-    if jobs > 1 and len(unique) > 1:
+    degraded: list = []
+    pool_fallback: Optional[str] = None
+    use_tasks = (jobs > 1 and len(unique) > 1) or policy is not None or bool(
+        faults
+    )
+    if use_tasks and unique:
         tasks = [
             GroupTask(
                 blif_text=to_blif(
@@ -97,11 +112,15 @@ def map_per_output(
                 options=options,
                 fallback_per_output=False,
                 base_name=f"{net.name}_o{oi}",
+                inject=faults.spec_for(oi) if faults else None,
             )
             for oi, out in unique
         ]
         with perf.phase("decompose"):
-            results, jobs_used = run_group_tasks(tasks, jobs)
+            results, run_report = run_group_tasks(tasks, jobs, policy)
+        jobs_used = run_report.jobs_used
+        degraded = run_report.degraded
+        pool_fallback = run_report.pool_fallback
         with perf.phase("splice"):
             for (oi, out), res in zip(unique, results):
                 fragment = parse_blif(res.blif_text)
@@ -109,6 +128,7 @@ def map_per_output(
                 driver_of[out] = rename[fragment.output_driver(out)]
                 perf.merge_dict(res.perf)
     else:
+        options.arm_budget(manager)  # serial path: budget on our manager
         with perf.phase("decompose"):
             for oi, out in unique:
                 signal_of_level = {
@@ -144,7 +164,11 @@ def map_per_output(
         seconds=time.time() - start,
         groups=[[out] for out in net.output_names],
         flow=f"per-output/{encoding_policy}",
-        details={"perf": perf_report},
+        details={
+            "perf": perf_report,
+            "degraded": degraded,
+            "pool_fallback": pool_fallback,
+        },
     )
 
 
@@ -157,6 +181,9 @@ def map_per_output_resub(
     pack_clbs: bool = True,
     max_pis: int = 14,
     jobs: int = 1,
+    policy: Optional[TaskPolicy] = None,
+    faults: Optional[object] = None,
+    max_bdd_nodes: Optional[int] = None,
 ) -> MapResult:
     """Per-output decomposition followed by support-minimising resub."""
     start = time.time()
@@ -168,6 +195,9 @@ def map_per_output_resub(
         verify="none",
         pack_clbs=False,
         jobs=jobs,
+        policy=policy,
+        faults=faults,
+        max_bdd_nodes=max_bdd_nodes,
     )
     result = base.network
     rewrites = resubstitute(result, k, max_pis=max_pis)
@@ -181,7 +211,12 @@ def map_per_output_resub(
         seconds=time.time() - start,
         groups=base.groups,
         flow=f"per-output+resub/{encoding_policy}",
-        details={"rewrites": rewrites, "perf": base.details.get("perf")},
+        details={
+            "rewrites": rewrites,
+            "perf": base.details.get("perf"),
+            "degraded": base.details.get("degraded", []),
+            "pool_fallback": base.details.get("pool_fallback"),
+        },
     )
 
 
@@ -192,6 +227,9 @@ def map_column_encoding(
     verify: str = "bdd",
     pack_clbs: bool = True,
     jobs: int = 1,
+    policy: Optional[TaskPolicy] = None,
+    faults: Optional[object] = None,
+    max_bdd_nodes: Optional[int] = None,
 ) -> MapResult:
     """FGSyn-like column encoding: PPIs never enter a bound set."""
     result = hyde_map(
@@ -202,6 +240,9 @@ def map_column_encoding(
         verify=verify,
         pack_clbs=pack_clbs,
         jobs=jobs,
+        policy=policy,
+        faults=faults,
+        max_bdd_nodes=max_bdd_nodes,
     )
     result.flow = "column-encoding"
     return result

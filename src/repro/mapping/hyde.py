@@ -37,7 +37,7 @@ from ..network import (
 )
 from .clb import pack_xc3000
 from .lut import cleanup_for_lut_count, count_luts
-from .parallel import GroupTask, build_group_fragment, run_group_tasks
+from .parallel import GroupTask, TaskPolicy, build_group_fragment, run_group_tasks
 
 __all__ = ["MapResult", "hyde_map", "cluster_outputs"]
 
@@ -125,6 +125,10 @@ def hyde_map(
     fallback_per_output: bool = True,
     jobs: int = 1,
     use_oracle: bool = True,
+    policy: Optional[TaskPolicy] = None,
+    faults: Optional[object] = None,
+    max_bdd_nodes: Optional[int] = None,
+    max_seconds: Optional[float] = None,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -140,6 +144,22 @@ def hyde_map(
     :mod:`repro.mapping.parallel`).  ``use_oracle=False`` disables the
     memoized class-count oracle for ablation runs.  Counter and phase-time
     telemetry lands in ``MapResult.details["perf"]``.
+
+    ``policy`` (a :class:`~repro.mapping.parallel.TaskPolicy`) turns on
+    fault tolerance: per-group timeouts, reply validation and the
+    degradation ladder.  Groups that needed recovery are listed in
+    ``details["degraded"]``; a refused process pool lands in
+    ``details["pool_fallback"]``.  ``faults`` (a
+    :class:`~repro.testing.FaultPlan`) injects deterministic failures at
+    selected groups — test/CLI machinery for exercising those paths.
+    Either argument routes the flow through the task runner even at
+    ``jobs=1``; with both left ``None`` the serial path is untouched.
+
+    ``max_bdd_nodes`` / ``max_seconds`` put a resource budget on each
+    decomposition manager: blowing it raises
+    :class:`~repro.bdd.BddBudgetExceeded` — which the task runner turns
+    into a ladder step when a ``policy`` is set, and which propagates to
+    the caller (instead of grinding forever) when one is not.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -183,12 +203,21 @@ def hyde_map(
         encoding_policy=encoding_policy,
         use_dontcares=use_dontcares,
         use_oracle=use_oracle,
+        max_bdd_nodes=max_bdd_nodes,
+        max_seconds=max_seconds,
     )
     driver_of: Dict[str, str] = {}
     group_infos: List[Dict[str, object]] = []
     jobs_used = 1
+    degraded: List[Dict[str, object]] = []
+    pool_fallback: Optional[str] = None
 
-    if jobs > 1 and len(groups) > 1:
+    # The task runner is the only path with timeouts / retries / fault
+    # hooks, so a policy or a fault plan routes through it even serially.
+    use_tasks = (jobs > 1 and len(groups) > 1) or policy is not None or bool(
+        faults
+    )
+    if use_tasks and groups:
         tasks = []
         for gi, group in enumerate(groups):
             cone = extract_cone(net, group, name=f"{net.name}_g{gi}_cone")
@@ -202,10 +231,14 @@ def hyde_map(
                     ppi_placement=ppi_placement,
                     fallback_per_output=fallback_per_output,
                     base_name=f"{net.name}_g{gi}",
+                    inject=faults.spec_for(gi) if faults else None,
                 )
             )
         with perf.phase("decompose"):
-            results, jobs_used = run_group_tasks(tasks, jobs)
+            results, run_report = run_group_tasks(tasks, jobs, policy)
+        jobs_used = run_report.jobs_used
+        degraded = run_report.degraded
+        pool_fallback = run_report.pool_fallback
         with perf.phase("splice"):
             for res in results:
                 fragment = parse_blif(res.blif_text)
@@ -215,6 +248,7 @@ def hyde_map(
                 group_infos.append(res.info)
                 perf.merge_dict(res.perf)
     else:
+        options.arm_budget(manager)  # serial path: budget on our manager
         with perf.phase("decompose"):
             for gi, group in enumerate(groups):
                 if len(group) == 1:
@@ -288,6 +322,8 @@ def hyde_map(
             "group_infos": group_infos,
             "aliases": alias_of,
             "perf": perf_report,
+            "degraded": degraded,
+            "pool_fallback": pool_fallback,
         },
     )
 

@@ -15,28 +15,42 @@ oracle), and ships the mapped fragment back as BLIF for the parent to
 splice.  BDD node ids are only canonical within one manager, so nothing
 manager-specific ever crosses the process boundary.
 
+Crossing a process boundary also means trusting what comes back.  With a
+:class:`TaskPolicy` the parent stops trusting: each pooled task gets a
+wall-clock timeout, each reply is parsed, checked against the group's
+output set and (optionally) equivalence-checked against its cone, and any
+failure walks a degradation ladder — in-process retries under decaying
+resource budgets, then plain per-output decomposition, then a BDD-free
+structural remap (:func:`structural_fragment`) that cannot fail.  The
+flow therefore always produces a valid network; what it lost along the
+way is recorded in :class:`RunReport`.
+
 Workers fall back to in-process execution when a pool cannot be created
 (restricted sandboxes without fork/semaphores), so ``jobs>1`` is always
-safe to request.
+safe to request; the fallback is recorded in ``RunReport.pool_fallback``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..bdd import BddManager
+from ..bdd import BddBudgetExceeded, BddManager
+from ..boolfunc import TruthTable
 from ..decompose import DecompositionOptions, decompose_to_network
 from ..hyper import decompose_hyper_function
-from ..network import GlobalBdds, Network, parse_blif, to_blif
+from ..network import GlobalBdds, Network, check_equivalence, parse_blif, to_blif
 from .lut import cleanup_for_lut_count, count_luts
 
 __all__ = [
     "GroupTask",
     "GroupResult",
+    "TaskPolicy",
+    "RunReport",
     "build_group_fragment",
     "per_output_fragment",
+    "structural_fragment",
     "run_group_tasks",
 ]
 
@@ -53,6 +67,9 @@ class GroupTask:
     ppi_placement: str = "prefer_free"
     fallback_per_output: bool = True
     base_name: str = "group"
+    mode: str = "hyper"  # "hyper" | "per_output" (ladder rung 2)
+    attempt: int = 0  # retry ordinal; gates fault injection via fires()
+    inject: Optional[object] = None  # a repro.testing.faults.FaultSpec
 
 
 @dataclass
@@ -63,6 +80,51 @@ class GroupResult:
     blif_text: str  # fragment: inputs ⊆ parent PIs, outputs = group
     info: Dict[str, object] = field(default_factory=dict)
     perf: Dict[str, object] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TaskPolicy:
+    """Fault-tolerance knobs for :func:`run_group_tasks`.
+
+    Passing no policy reproduces the historical fire-and-hope behavior
+    byte for byte; any policy turns on reply validation and, for each
+    failed or timed-out task, the degradation ladder:
+
+    1. re-run in-process with every resource budget multiplied by
+       ``budget_decay`` per attempt, up to ``retries`` times;
+    2. re-run in plain per-output mode (hyper-function machinery skipped);
+    3. rebuild the cone structurally (:func:`structural_fragment`) —
+       BDD-free and budget-free, so it cannot fail.
+
+    ``timeout_seconds`` bounds each pooled task's wall clock (enforced by
+    the parent, so even a hung worker is recovered); in-process attempts
+    reuse it as a cooperative time budget on the worker's manager, since
+    pure Python cannot preempt itself.
+    """
+
+    timeout_seconds: Optional[float] = None
+    retries: int = 1
+    budget_decay: float = 0.5
+    verify_fragments: bool = True
+    per_output_fallback: bool = True
+    structural_fallback: bool = True
+
+
+@dataclass
+class RunReport:
+    """What actually happened while running a batch of group tasks.
+
+    ``degraded`` holds one entry per task that did not succeed on its
+    first attempt: ``{"gi", "group", "causes", "resolution", "attempts"}``
+    where ``resolution`` names the ladder rung that finally produced the
+    fragment (``"retry"`` / ``"per_output"`` / ``"structural"``).
+    """
+
+    jobs_used: int = 1
+    pool_fallback: Optional[str] = None  # why jobs>1 ran serially, if set
+    degraded: List[Dict[str, object]] = field(default_factory=list)
+    timeouts: int = 0
+    retries: int = 0
 
 
 def per_output_fragment(
@@ -145,6 +207,64 @@ def build_group_fragment(
     return fragment, info
 
 
+def structural_fragment(
+    cone: Network, k: int, name: Optional[str] = None
+) -> Network:
+    """BDD-free k-feasible remap of a cone — the ladder's last rung.
+
+    Rebuilds the cone node by node; any node with more than ``k`` fanins
+    is Shannon-expanded on its highest fanin into two cofactor LUTs and a
+    mux until everything fits.  No BDDs, no search, no budgets: nothing
+    here can run out, which is exactly what a final fallback must
+    guarantee.  The quality is whatever the source structure gives —
+    acceptable for a rung that only runs when everything else failed.
+    Needs ``k >= 3`` for the mux nodes.
+    """
+    if k < 3:
+        raise ValueError("structural fallback needs k >= 3 (mux nodes)")
+    frag = Network(name or f"{cone.name}_struct")
+    for pi in cone.inputs:
+        frag.add_input(pi)
+    mux = TruthTable.from_function(3, lambda s, f0, f1: f1 if s else f0)
+
+    def emit(fanins: List[str], table: TruthTable) -> str:
+        # Distinct cone signals can map to one fragment signal (buffers
+        # collapse), so merge duplicate fanins before anything else.
+        if len(set(fanins)) != len(fanins):
+            position = {sig: j for j, sig in enumerate(dict.fromkeys(fanins))}
+            table = table.remap_inputs(
+                len(position), [position[sig] for sig in fanins]
+            )
+            fanins = list(dict.fromkeys(fanins))
+        reduced, kept = table.minimize_support()
+        fanins = [fanins[j] for j in kept]
+        if reduced.num_inputs == 0:
+            return frag.add_constant(
+                frag.fresh_name("sc"), 1 if reduced.mask else 0
+            )
+        if reduced.num_inputs == 1 and reduced.mask == 0b10:  # identity
+            return fanins[0]
+        if reduced.num_inputs <= k:
+            return frag.add_node(frag.fresh_name("sn"), fanins, reduced)
+        j = reduced.num_inputs - 1
+        lo = emit(fanins[:-1], reduced.cofactor(j, 0).drop_input(j))
+        hi = emit(fanins[:-1], reduced.cofactor(j, 1).drop_input(j))
+        return emit([fanins[j], lo, hi], mux)
+
+    signal_map: Dict[str, str] = {pi: pi for pi in cone.inputs}
+    for node_name in cone.topological_order():
+        if cone.is_input(node_name):
+            continue
+        node = cone.node(node_name)
+        signal_map[node_name] = emit(
+            [signal_map[fi] for fi in node.fanins], node.table
+        )
+    for out, driver in cone.outputs:
+        frag.add_output(signal_map[driver], out)
+    cleanup_for_lut_count(frag)
+    return frag
+
+
 def decompose_group_task(task: GroupTask) -> GroupResult:
     """Pool worker: cone BLIF in, mapped fragment BLIF out.
 
@@ -152,11 +272,19 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
     shared class-count oracle and the decomposition all live and die with
     this call.  The cone's primary inputs keep the parent's relative
     order, so bound-set selection (whose ties break on level order) makes
-    the same choices the serial flow would.
+    the same choices the serial flow would.  Any resource budget in
+    ``task.options`` is armed on the private manager, so a blow-up raises
+    :class:`~repro.bdd.BddBudgetExceeded` here and crosses back to the
+    parent as an ordinary (picklable) exception.
     """
     net = parse_blif(task.blif_text)
     gb = GlobalBdds(net)
     manager = gb.manager
+    task.options.arm_budget(manager)
+    if task.inject is not None:
+        from ..testing import faults  # lazy: test machinery stays optional
+
+        faults.before_decompose(task.inject, manager, task.attempt)
     output_bdds = {out: gb.of_output(out) for out in net.output_names}
     support_union = sorted(
         {
@@ -166,48 +294,294 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
         }
     )
     group_inputs = [manager.name_of(lv) for lv in support_union]
-    fragment, info = build_group_fragment(
-        manager,
-        output_bdds,
-        task.group,
-        group_inputs,
-        task.options,
-        ingredient_policy=task.ingredient_policy,
-        ppi_placement=task.ppi_placement,
-        fallback_per_output=task.fallback_per_output,
-        base_name=task.base_name,
-    )
+    if task.mode == "per_output" and len(task.group) > 1:
+        ingredients = [(out, output_bdds[out]) for out in task.group]
+        fragment = per_output_fragment(
+            manager, ingredients, group_inputs, task.options,
+            f"{task.base_name}_po",
+        )
+        cleanup_for_lut_count(fragment)
+        info: Dict[str, object] = {
+            "outputs": list(task.group),
+            "hyper": False,
+            "mode": "per_output",
+        }
+    else:
+        fragment, info = build_group_fragment(
+            manager,
+            output_bdds,
+            task.group,
+            group_inputs,
+            task.options,
+            ingredient_policy=task.ingredient_policy,
+            ppi_placement=task.ppi_placement,
+            fallback_per_output=task.fallback_per_output,
+            base_name=task.base_name,
+        )
+    blif_text = to_blif(fragment)
+    if task.inject is not None:
+        from ..testing import faults
+
+        blif_text = faults.after_decompose(task.inject, blif_text, task.attempt)
     return GroupResult(
         gi=task.gi,
-        blif_text=to_blif(fragment),
+        blif_text=blif_text,
         info=info,
         perf=manager.perf.snapshot(),
     )
 
 
+def _validate_reply(
+    task: GroupTask, result: GroupResult, policy: TaskPolicy
+) -> Optional[str]:
+    """``None`` when the reply is usable, else a short cause string.
+
+    Validation depth: the BLIF must parse, the fragment must drive
+    exactly the group's outputs from (a subset of) the cone's inputs,
+    and — unless ``verify_fragments`` is off — it must be BDD-equivalent
+    to the cone it was derived from.
+    """
+    try:
+        fragment = parse_blif(result.blif_text)
+    except ValueError as exc:
+        return f"corrupt_reply: {exc}"
+    if sorted(fragment.output_names) != sorted(task.group):
+        return "corrupt_reply: output set mismatch"
+    if not policy.verify_fragments:
+        return None
+    cone = parse_blif(task.blif_text)
+    if not set(fragment.inputs) <= set(cone.inputs):
+        return "corrupt_reply: fragment reads unknown inputs"
+    padded = fragment.copy()
+    for pi in cone.inputs:
+        if not padded.has_signal(pi):
+            padded.add_input(pi)  # vacuous PI the BDD support dropped
+    try:
+        bad = check_equivalence(cone, padded)
+    except ValueError as exc:
+        return f"corrupt_reply: {exc}"
+    if bad is not None:
+        return f"nonequivalent_reply: output {bad!r}"
+    return None
+
+
+def _effective_task(
+    task: GroupTask, policy: TaskPolicy, attempt: int, mode: str
+) -> GroupTask:
+    """The task as actually attempted in-process: decayed budgets.
+
+    Retries shrink every budget by ``budget_decay`` per attempt, and the
+    pool timeout (if any) is mirrored as a cooperative time budget so an
+    in-process hang is still bounded.
+    """
+    options = task.options
+    factor = policy.budget_decay ** attempt
+    if attempt > 0:
+        options = options.decayed(factor)
+    if options.max_seconds is None and policy.timeout_seconds is not None:
+        options = replace(options, max_seconds=policy.timeout_seconds * factor)
+    return replace(task, options=options, attempt=attempt, mode=mode)
+
+
+def _attempt_inprocess(
+    task: GroupTask, policy: TaskPolicy, attempt: int, mode: str = "hyper"
+) -> Tuple[Optional[str], Optional[GroupResult]]:
+    """Run one in-process attempt; returns ``(cause, result)``."""
+    trial = _effective_task(task, policy, attempt, mode)
+    try:
+        result = decompose_group_task(trial)
+    except BddBudgetExceeded as exc:
+        prefix = "timeout" if exc.kind == "seconds" else "budget"
+        return f"{prefix}: {exc}", None
+    except Exception as exc:  # noqa: BLE001 - the ladder owns recovery
+        return f"crash: {type(exc).__name__}: {exc}", None
+    cause = _validate_reply(task, result, policy)
+    if cause is not None:
+        return cause, None
+    return None, result
+
+
+def _make_pool(workers: int):
+    # fork shares the already-imported interpreter state — cheap worker
+    # start-up; fall back to the platform default elsewhere.
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        ctx = multiprocessing.get_context()
+    return ctx.Pool(workers)
+
+
+def _run_governed(
+    tasks: List[GroupTask],
+    jobs: int,
+    policy: TaskPolicy,
+    report: RunReport,
+) -> Tuple[List[GroupResult], RunReport]:
+    """The policy path: timeouts, validation, and the degradation ladder."""
+    results: List[Optional[GroupResult]] = [None] * len(tasks)
+    causes: Dict[int, List[str]] = {i: [] for i in range(len(tasks))}
+    pending: List[int] = []
+
+    pool = None
+    workers = min(jobs, len(tasks))
+    if jobs > 1 and len(tasks) > 1:
+        try:
+            pool = _make_pool(workers)
+        except (OSError, PermissionError, RuntimeError) as exc:
+            report.pool_fallback = f"{type(exc).__name__}: {exc}"
+    report.jobs_used = workers if pool is not None else 1
+
+    if pool is not None:
+        try:
+            handles = [
+                pool.apply_async(decompose_group_task, (tasks[i],))
+                for i in range(len(tasks))
+            ]
+            for i, handle in enumerate(handles):
+                try:
+                    result = handle.get(timeout=policy.timeout_seconds)
+                except multiprocessing.TimeoutError:
+                    report.timeouts += 1
+                    causes[i].append(
+                        f"timeout: exceeded {policy.timeout_seconds:g}s"
+                        " wall clock"
+                    )
+                    pending.append(i)
+                    continue
+                except BddBudgetExceeded as exc:
+                    prefix = "timeout" if exc.kind == "seconds" else "budget"
+                    if prefix == "timeout":
+                        report.timeouts += 1
+                    causes[i].append(f"{prefix}: {exc}")
+                    pending.append(i)
+                    continue
+                except Exception as exc:  # noqa: BLE001 - worker died
+                    causes[i].append(f"crash: {type(exc).__name__}: {exc}")
+                    pending.append(i)
+                    continue
+                cause = _validate_reply(tasks[i], result, policy)
+                if cause is None:
+                    results[i] = result
+                else:
+                    causes[i].append(cause)
+                    pending.append(i)
+        finally:
+            # terminate, not close: a hung worker would block join forever.
+            pool.terminate()
+            pool.join()
+    else:
+        for i in range(len(tasks)):
+            cause, result = _attempt_inprocess(tasks[i], policy, attempt=0)
+            if cause is None:
+                results[i] = result
+            else:
+                if cause.startswith("timeout"):
+                    report.timeouts += 1
+                causes[i].append(cause)
+                pending.append(i)
+
+    # The ladder, per still-failing task (in-process from here on: the
+    # remaining work is recovery, not throughput).
+    for i in pending:
+        task = tasks[i]
+        resolution: Optional[str] = None
+        attempt = 0
+        for retry in range(1, policy.retries + 1):
+            attempt = retry
+            report.retries += 1
+            cause, result = _attempt_inprocess(task, policy, attempt)
+            if cause is None:
+                results[i] = result
+                resolution = "retry"
+                break
+            if cause.startswith("timeout"):
+                report.timeouts += 1
+            causes[i].append(cause)
+        if (
+            resolution is None
+            and policy.per_output_fallback
+            and task.mode == "hyper"
+            and len(task.group) > 1
+        ):
+            attempt += 1
+            cause, result = _attempt_inprocess(
+                task, policy, attempt, mode="per_output"
+            )
+            if cause is None:
+                results[i] = result
+                resolution = "per_output"
+            else:
+                if cause.startswith("timeout"):
+                    report.timeouts += 1
+                causes[i].append(cause)
+        if resolution is None and policy.structural_fallback:
+            # Parent-side and deterministic: immune to worker faults.
+            cone = parse_blif(task.blif_text)
+            fragment = structural_fragment(
+                cone, task.options.k, name=f"{task.base_name}_struct"
+            )
+            results[i] = GroupResult(
+                gi=task.gi,
+                blif_text=to_blif(fragment),
+                info={
+                    "outputs": list(task.group),
+                    "hyper": False,
+                    "mode": "structural",
+                },
+            )
+            resolution = "structural"
+        if resolution is None:
+            raise RuntimeError(
+                f"group {task.gi} ({', '.join(task.group)}) failed every "
+                "recovery rung: " + "; ".join(causes[i])
+            )
+        report.degraded.append(
+            {
+                "gi": task.gi,
+                "group": list(task.group),
+                "causes": list(causes[i]),
+                "resolution": resolution,
+                "attempts": attempt + 1,
+            }
+        )
+
+    return [r for r in results if r is not None], report
+
+
 def run_group_tasks(
-    tasks: Sequence[GroupTask], jobs: int
-) -> Tuple[List[GroupResult], int]:
+    tasks: Sequence[GroupTask],
+    jobs: int,
+    policy: Optional[TaskPolicy] = None,
+) -> Tuple[List[GroupResult], RunReport]:
     """Execute group tasks, fanning out to ``jobs`` processes when >1.
 
-    Returns ``(results, jobs_used)`` with results in task order.
-    ``jobs_used`` is 1 when the tasks ran in-process — either because
-    parallelism was not requested / not useful, or because the platform
-    refused to give us a pool (the flow then degrades to serial instead
-    of failing).
+    Returns ``(results, report)`` with results in task order.  Without a
+    ``policy`` (and with no task carrying a fault injection) this is the
+    historical fire-and-hope path — no timeouts, no reply validation,
+    workers trusted absolutely — except that a refused pool is now
+    *recorded* in ``report.pool_fallback`` instead of being silently
+    swallowed.  With a policy, every reply is validated and failures walk
+    the degradation ladder (see :class:`TaskPolicy`): the call then
+    returns one usable fragment per task, or raises only after every
+    rung, including the cannot-fail structural one, was disabled or
+    exhausted.
     """
+    tasks = list(tasks)
+    report = RunReport()
+    if policy is None and any(t.inject is not None for t in tasks):
+        policy = TaskPolicy()  # injected faults need the recovery ladder
+    if policy is not None:
+        return _run_governed(tasks, jobs, policy, report)
     if jobs <= 1 or len(tasks) <= 1:
-        return [decompose_group_task(t) for t in tasks], 1
+        return [decompose_group_task(t) for t in tasks], report
     workers = min(jobs, len(tasks))
     try:
-        # fork shares the already-imported interpreter state — cheap
-        # worker start-up; fall back to the platform default elsewhere.
-        try:
-            ctx = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            ctx = multiprocessing.get_context()
-        with ctx.Pool(workers) as pool:
-            return list(pool.map(decompose_group_task, tasks)), workers
-    except (OSError, PermissionError, RuntimeError):  # pragma: no cover
+        with _make_pool(workers) as pool:
+            results = list(pool.map(decompose_group_task, tasks))
+        report.jobs_used = workers
+        return results, report
+    except (OSError, PermissionError, RuntimeError) as exc:
         # No usable process pool (sandboxed /dev/shm, missing sem_open…).
-        return [decompose_group_task(t) for t in tasks], 1
+        report.jobs_used = 1
+        report.pool_fallback = f"{type(exc).__name__}: {exc}"
+        return [decompose_group_task(t) for t in tasks], report

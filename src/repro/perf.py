@@ -42,6 +42,7 @@ class PerfCounters:
         "cofactor_enumerations",
         "oracle_hits",
         "oracle_misses",
+        "budget_exceeded",
         "phase_seconds",
     )
 
@@ -59,6 +60,7 @@ class PerfCounters:
         self.cofactor_enumerations = 0
         self.oracle_hits = 0
         self.oracle_misses = 0
+        self.budget_exceeded = 0
         self.phase_seconds: Dict[str, float] = {}
 
     # ------------------------------------------------------------------ #
@@ -93,6 +95,7 @@ class PerfCounters:
         self.cofactor_enumerations += other.cofactor_enumerations
         self.oracle_hits += other.oracle_hits
         self.oracle_misses += other.oracle_misses
+        self.budget_exceeded += other.budget_exceeded
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = (
                 self.phase_seconds.get(name, 0.0) + seconds
@@ -110,6 +113,7 @@ class PerfCounters:
             "cofactor_enumerations",
             "oracle_hits",
             "oracle_misses",
+            "budget_exceeded",
         ):
             setattr(self, slot, getattr(self, slot) + int(data.get(slot, 0)))
         for name, seconds in data.get("phase_seconds", {}).items():  # type: ignore[union-attr]
@@ -144,6 +148,7 @@ class PerfCounters:
             "oracle_hit_rate": self._rate(
                 self.oracle_hits, self.oracle_hits + self.oracle_misses
             ),
+            "budget_exceeded": self.budget_exceeded,
             "phase_seconds": {
                 name: round(seconds, 6)
                 for name, seconds in sorted(self.phase_seconds.items())

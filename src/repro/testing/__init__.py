@@ -1,0 +1,21 @@
+"""Test-support machinery: deterministic fault injection and the
+failing-case shrinker.
+
+Everything in this package is production code in the sense that the CLI
+exposes it (``--inject-faults``) and the fault-tolerance layer is
+validated through it — but nothing in the mapping flows *depends* on it:
+:mod:`repro.mapping.parallel` imports it lazily and only when a task
+actually carries an injection spec.
+"""
+
+from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+from .shrink import save_repro, shrink_network
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "shrink_network",
+    "save_repro",
+]

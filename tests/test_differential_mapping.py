@@ -1,0 +1,120 @@
+"""Differential fuzzing of the mapping flows on seeded random networks.
+
+Every flow under test — HYDE serial, HYDE through the task runner
+(``jobs=2``), per-output, and the structural baseline — must produce a
+network equivalent to the same source and k-feasible.  Running them on
+the *same* seeded random inputs makes any disagreement a one-command
+repro: a failure shrinks the witness with :mod:`repro.testing.shrink`
+and writes it to ``tests/_repros/`` before failing the test, so CI
+leaves behind a minimized BLIF instead of just a seed number.
+
+Seeds are fixed (this is the CI ``fuzz-smoke`` suite, not an open-ended
+fuzzer); widen ``SEEDS`` locally for a deeper sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.circuits.synthetic import layered_network, windowed_network
+from repro.mapping import hyde_map, map_per_output, map_structural
+from repro.network import Network, check_equivalence
+from repro.testing import save_repro, shrink_network
+
+K = 4
+SEEDS = range(30)
+REPRO_DIR = os.path.join(os.path.dirname(__file__), "_repros")
+
+
+def _make_network(seed: int) -> Network:
+    """A small seeded multi-output network; alternate generator shapes."""
+    if seed % 2 == 0:
+        return layered_network(
+            f"fuzz{seed}",
+            num_inputs=6 + seed % 3,
+            num_outputs=3 + seed % 2,
+            nodes_per_layer=4,
+            num_layers=2 + seed % 2,
+            fanin=3 + seed % 3,
+            seed=seed,
+        )
+    return windowed_network(
+        f"fuzz{seed}",
+        num_inputs=7 + seed % 3,
+        num_outputs=3 + seed % 3,
+        window=5,
+        seed=seed,
+    )
+
+
+def _k_feasible(net: Network, k: int) -> bool:
+    return all(len(node.fanins) <= k for node in net.nodes())
+
+
+FLOWS = {
+    "hyde": lambda net: hyde_map(net, k=K, verify="none", pack_clbs=False),
+    "hyde-jobs2": lambda net: hyde_map(
+        net, k=K, verify="none", pack_clbs=False, jobs=2
+    ),
+    "per-output": lambda net: map_per_output(
+        net, k=K, verify="none", pack_clbs=False
+    ),
+    "structural": lambda net: map_structural(
+        net, k=K, verify="none", pack_clbs=False
+    ),
+}
+
+
+def _run_and_check(flow_label: str, source: Network) -> None:
+    """Run one flow; on any failure shrink the witness and save a repro."""
+
+    def fails(net: Network) -> bool:
+        try:
+            result = FLOWS[flow_label](net.copy())
+        except Exception:
+            return True  # the crash itself is the failure to preserve
+        if not _k_feasible(result.network, K):
+            return True
+        return check_equivalence(net, result.network) is not None
+
+    if not fails(source):
+        return
+    shrunk = shrink_network(source, fails)
+    path = save_repro(
+        shrunk,
+        REPRO_DIR,
+        f"{source.name}_{flow_label}",
+        note=(
+            f"flow {flow_label} (k={K}) fails on this network\n"
+            f"shrunk from {source.name} "
+            f"({source.num_nodes} nodes -> {shrunk.num_nodes})"
+        ),
+    )
+    pytest.fail(
+        f"flow {flow_label!r} failed on {source.name}; "
+        f"minimized repro written to {path}"
+    )
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+def test_flows_agree_on_seeded_network(seed):
+    source = _make_network(seed)
+    for label in FLOWS:
+        # jobs=2 on every seed would fork ~2 pools per case; sample it.
+        if label == "hyde-jobs2" and seed % 3 != 0:
+            continue
+        _run_and_check(label, source)
+
+
+def test_repro_dir_artifacts_parse_back():
+    """Anything a failed run left behind must itself be a valid witness."""
+    from repro.network import read_blif
+
+    if not os.path.isdir(REPRO_DIR):
+        pytest.skip("no repro artifacts")
+    blifs = [f for f in os.listdir(REPRO_DIR) if f.endswith(".blif")]
+    for name in blifs:
+        net = read_blif(os.path.join(REPRO_DIR, name))
+        assert net.inputs and net.outputs

@@ -73,9 +73,12 @@ class TestGroupWorker:
                     base_name=f"w{gi}",
                 )
             )
-        serial, used1 = run_group_tasks(tasks, jobs=1)
-        pooled, used2 = run_group_tasks(tasks, jobs=2)
-        assert used1 == 1 and used2 >= 1
+        serial, report1 = run_group_tasks(tasks, jobs=1)
+        pooled, report2 = run_group_tasks(tasks, jobs=2)
+        assert report1.jobs_used == 1 and report2.jobs_used >= 1
+        # A refused pool is a recorded (not silent) serial fallback.
+        if report2.jobs_used == 1:
+            assert report2.pool_fallback is not None
         assert [r.gi for r in serial] == [r.gi for r in pooled]
         for a, b in zip(serial, pooled):
             assert a.blif_text == b.blif_text

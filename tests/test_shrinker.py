@@ -1,0 +1,86 @@
+"""Unit tests for the failing-case shrinker (repro.testing.shrink).
+
+A synthetic "known-bad" property — the network contains a wide XOR node
+— stands in for a real mapper bug: the shrinker must strip everything
+that is not needed to keep the property true, and the saved repro must
+round-trip through BLIF.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.boolfunc import TruthTable
+from repro.circuits.synthetic import layered_network
+from repro.network import Network, read_blif
+from repro.testing import save_repro, shrink_network
+
+
+def _wide_xor(n: int) -> TruthTable:
+    return TruthTable.from_function(n, lambda *bits: sum(bits) % 2)
+
+
+def _bad_network() -> Network:
+    """Lots of irrelevant logic around one 5-input XOR node."""
+    net = layered_network(
+        "bad", num_inputs=8, num_outputs=3, nodes_per_layer=5, seed=7
+    )
+    xor = net.add_node("wide_xor", net.inputs[:5], _wide_xor(5))
+    net.add_output(xor, "bug_out")
+    return net
+
+
+def _has_wide_xor(net: Network) -> bool:
+    return any(
+        node.table.num_inputs >= 5 and node.table == _wide_xor(5)
+        for node in net.nodes()
+    )
+
+
+class TestShrinkNetwork:
+    def test_shrinks_to_essential_core(self):
+        net = _bad_network()
+        assert _has_wide_xor(net)
+        shrunk = shrink_network(net, _has_wide_xor)
+        assert _has_wide_xor(shrunk)  # property preserved
+        # Everything unrelated to the XOR is gone: the three random
+        # outputs dropped, unread inputs removed.
+        assert shrunk.num_nodes < net.num_nodes
+        assert len(shrunk.output_names) == 1
+        assert len(shrunk.inputs) <= 5
+
+    def test_predicate_must_hold_on_input(self):
+        net = layered_network("ok", 4, 2, 3, seed=1)
+        with pytest.raises(ValueError, match="does not hold"):
+            shrink_network(net, lambda n: False)
+
+    def test_raising_predicate_counts_as_not_failing(self):
+        net = _bad_network()
+
+        def fragile(candidate: Network) -> bool:
+            if len(candidate.output_names) < 2:
+                raise RuntimeError("flow crashed on candidate")
+            return _has_wide_xor(candidate)
+
+        shrunk = shrink_network(net, fragile)
+        # Candidates on which the predicate raised were discarded, so
+        # the invariant the predicate enforces still holds at the end.
+        assert len(shrunk.output_names) >= 2
+        assert _has_wide_xor(shrunk)
+
+
+class TestSaveRepro:
+    def test_round_trips_with_note(self, tmp_path):
+        net = _bad_network()
+        shrunk = shrink_network(net, _has_wide_xor)
+        path = save_repro(
+            shrunk, str(tmp_path), "wide_xor_case", note="flow X, seed 7"
+        )
+        assert os.path.basename(path) == "wide_xor_case.blif"
+        with open(path, encoding="utf-8") as handle:
+            assert handle.readline().startswith("# flow X")
+        replayed = read_blif(path)
+        assert _has_wide_xor(replayed)
+        assert sorted(replayed.output_names) == sorted(shrunk.output_names)
