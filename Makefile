@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-full examples tables clean
+.PHONY: install test bench bench-smoke bench-full trace-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -20,6 +20,16 @@ bench-smoke:
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# Observability gate: map a small BLIF with tracing in a 2-process pool,
+# then validate the JSONL trace (schema, >=90% root coverage, non-zero
+# merged worker counters).
+trace-smoke:
+	PYTHONPATH=src $(PYTHON) -m repro.cli blif examples/misex1.blif \
+		--jobs 2 --trace trace_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace trace_smoke.jsonl
+	PYTHONPATH=src $(PYTHON) -m repro.cli trace trace_smoke.jsonl \
+		--check --min-coverage 0.9
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done

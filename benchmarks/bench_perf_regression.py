@@ -66,6 +66,10 @@ def _timed_map(name: str, repeats: int = REPEATS, **kwargs) -> Dict[str, object]
         "luts": result.lut_count,
         "seconds": round(best, 4),
         "oracle_hit_rate": perf.get("oracle_hit_rate"),
+        # Per-phase wall times of the *last* run (phases are re-timed each
+        # repeat; the breakdown is for reading where time goes, the
+        # headline number stays the min of the repeats).
+        "phase_seconds": perf.get("phase_seconds", {}),
         "network": result.network,
     }
 
@@ -85,6 +89,7 @@ def run_suite(
             "no_oracle_seconds": no_oracle["seconds"],
             "oracle_seconds": with_oracle["seconds"],
             "oracle_hit_rate": with_oracle["oracle_hit_rate"],
+            "phase_seconds": with_oracle["phase_seconds"],
             "oracle_speedup": (
                 round(no_oracle["seconds"] / with_oracle["seconds"], 2)
                 if with_oracle["seconds"]

@@ -16,8 +16,10 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+import time
+from typing import Callable, Dict, List, Optional
 
+from . import obs
 from .circuits import CIRCUITS, build
 from .harness import (
     TABLE1_CLB,
@@ -114,29 +116,75 @@ def _cmd_circuits(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_trace_file(
+    path: str,
+    recorder: "obs.TraceRecorder",
+    results: List[MapResult],
+    flow: str,
+    circuit: str,
+    k: int,
+    jobs: int,
+    wall_seconds: float,
+) -> None:
+    """Dump a run's trace as JSONL with a merged-perf meta header."""
+    from .perf import PerfCounters
+
+    merged = PerfCounters()
+    for result in results:
+        perf = result.details.get("perf")
+        if perf:
+            merged.merge_dict(perf)
+    count = obs.write_trace(
+        path,
+        recorder,
+        {
+            "flow": flow,
+            "circuit": circuit,
+            "k": k,
+            "jobs": jobs,
+            "wall_seconds": round(wall_seconds, 6),
+            "perf": merged.snapshot(),
+        },
+    )
+    print(f"wrote {count} trace records to {path}")
+
+
 def _run_flows(net, args) -> int:
     labels = list(FLOWS) if args.flow == "all" else [args.flow]
     jobs = getattr(args, "jobs", 1)
     governance = _governance_kwargs(args)
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    recorder = obs.TraceRecorder() if trace_path else None
     rows = []
-    last: MapResult | None = None
-    for label in labels:
-        result = FLOWS[label](
-            net.copy(), args.k, verify=args.verify, jobs=jobs, **governance
-        )
-        _print_degradation(result)
-        rows.append(
-            [label, result.lut_count, result.clb_count,
-             round(result.seconds, 2)]
-        )
-        last = result
+    results: List[MapResult] = []
+    wall_start = time.time()
+    with obs.installed(recorder):
+        for label in labels:
+            with obs.span(
+                f"flow:{label}", circuit=net.name, k=args.k, jobs=jobs
+            ):
+                result = FLOWS[label](
+                    net.copy(), args.k, verify=args.verify, jobs=jobs,
+                    **governance,
+                )
+            _print_degradation(result)
+            rows.append(
+                [label, result.lut_count, result.clb_count,
+                 round(result.seconds, 2)]
+            )
+            results.append(result)
     print(render_table(
         f"mapping {net.name} (k={args.k})",
         ["flow", "LUTs", "CLBs", "seconds"],
         rows,
     ))
-    if args.output and last is not None:
-        write_blif(last.network, args.output)
+    if recorder is not None:
+        _write_trace_file(
+            trace_path, recorder, results, args.flow, net.name, args.k,
+            jobs, time.time() - wall_start,
+        )
+    if args.output and results:
+        write_blif(results[-1].network, args.output)
         print(f"wrote {args.output}")
     return 0
 
@@ -146,10 +194,22 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     from .perf import format_perf_report
 
     net = build(args.circuit)
-    result = FLOWS[args.flow](
-        net, args.k, verify=args.verify, jobs=args.jobs,
-        **_governance_kwargs(args),
-    )
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    recorder = obs.TraceRecorder() if trace_path else None
+    wall_start = time.time()
+    with obs.installed(recorder):
+        with obs.span(
+            f"flow:{args.flow}", circuit=net.name, k=args.k, jobs=args.jobs
+        ):
+            result = FLOWS[args.flow](
+                net, args.k, verify=args.verify, jobs=args.jobs,
+                **_governance_kwargs(args),
+            )
+    if recorder is not None:
+        _write_trace_file(
+            trace_path, recorder, [result], args.flow, net.name, args.k,
+            args.jobs, time.time() - wall_start,
+        )
     _print_degradation(result)
     print(
         f"{args.flow} on {net.name}: {result.lut_count} LUTs, "
@@ -170,6 +230,58 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             f"jobs: requested {perf['jobs_requested']}, "
             f"used {perf['jobs_used']}"
         )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render (or, with --check, gate on) a JSONL trace file."""
+    records = obs.read_trace(args.path)
+    problems = obs.validate_trace(records)
+    if not args.check:
+        print(obs.render_trace_summary(records))
+        if problems:
+            print(
+                f"\n[{len(problems)} schema problem(s); "
+                "run with --check for details]"
+            )
+        return 0
+
+    failed = False
+    for problem in problems:
+        print(f"schema: {problem}")
+        failed = True
+    cov = obs.coverage(records)
+    if args.min_coverage is not None:
+        if cov is None:
+            print("coverage: no root span with positive duration")
+            failed = True
+        elif cov < args.min_coverage:
+            print(
+                f"coverage: {cov:.1%} below required "
+                f"{args.min_coverage:.1%}"
+            )
+            failed = True
+    has_tasks = any(
+        str(r.get("proc", "")).startswith("task:")
+        for r in records
+        if r.get("type") in ("span", "event")
+    )
+    if has_tasks:
+        totals = obs.worker_perf_totals(records)
+        if totals.get("apply_calls", 0) <= 0:
+            print(
+                "worker counters: task spans present but merged "
+                "apply_calls is zero"
+            )
+            failed = True
+    if failed:
+        return 1
+    cov_text = f"{cov:.1%}" if cov is not None else "n/a"
+    spans = sum(1 for r in records if r.get("type") in ("span", "event"))
+    print(
+        f"trace ok: {spans} spans, coverage {cov_text}, "
+        f"task trees {'present' if has_tasks else 'absent'}"
+    )
     return 0
 
 
@@ -265,6 +377,8 @@ def main(argv=None) -> int:
         p.add_argument("--jobs", type=int, default=1,
                        help="decompose ingredient groups in N processes")
         _add_governance_flags(p)
+        p.add_argument("--trace", default=None, metavar="FILE",
+                       help="write a JSONL span trace of the run here")
         p.add_argument("-o", "--output", help="write mapped BLIF here")
 
     p = sub.add_parser(
@@ -278,6 +392,23 @@ def main(argv=None) -> int:
     p.add_argument("--jobs", type=int, default=1,
                    help="decompose ingredient groups in N processes")
     _add_governance_flags(p)
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL span trace of the run here")
+
+    p = sub.add_parser(
+        "trace", help="render a JSONL trace file as a flame-style summary"
+    )
+    p.add_argument("path", help="trace file written by --trace")
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate instead of render: schema, coverage floor and "
+        "merged worker counters; non-zero exit on failure",
+    )
+    p.add_argument(
+        "--min-coverage", type=float, default=None, metavar="FRACTION",
+        help="with --check: require children of each root span to cover "
+        "at least this fraction of its wall time (e.g. 0.9)",
+    )
 
     for table in (1, 2):
         p = sub.add_parser(f"table{table}",
@@ -295,6 +426,8 @@ def main(argv=None) -> int:
         return _cmd_blif(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     if args.command == "table1":
         return _cmd_table(args, 1)
     if args.command == "table2":

@@ -28,6 +28,20 @@ class EncodingChart:
     num_rows: int
     num_cols: int
     cells: List[List[Optional[int]]]
+    # Maintained class -> (row, col) index; position_of is called per
+    # class inside chart scoring, so the O(R*C) cell scan it replaces
+    # was quadratic in practice.
+    _position_of_class: Dict[int, Tuple[int, int]] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+
+    def __post_init__(self) -> None:
+        self._position_of_class = {
+            cell: (r, c)
+            for r, row in enumerate(self.cells)
+            for c, cell in enumerate(row)
+            if cell is not None
+        }
 
     @classmethod
     def empty(cls, num_rows: int, num_cols: int) -> "EncodingChart":
@@ -41,14 +55,11 @@ class EncodingChart:
         if self.cells[row][col] is not None:
             raise ValueError(f"cell ({row},{col}) already occupied")
         self.cells[row][col] = class_index
+        self._position_of_class[class_index] = (row, col)
 
     def position_of(self, class_index: int) -> Tuple[int, int]:
         """(row, col) of a placed class."""
-        for r in range(self.num_rows):
-            for c in range(self.num_cols):
-                if self.cells[r][c] == class_index:
-                    return (r, c)
-        raise KeyError(class_index)
+        return self._position_of_class[class_index]
 
     def placed_classes(self) -> List[int]:
         """All class indices present in the chart."""

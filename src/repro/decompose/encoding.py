@@ -41,6 +41,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from .. import obs
 from ..bdd import FALSE, TRUE, BddManager, build_cube
 from .chart import EncodingChart, pack_chart
 from .compatible import Column, count_classes
@@ -157,6 +158,9 @@ def combine_column_sets(
             for i in members:
                 edges.append(WeightedEdge(("class", i), u, weight))
 
+    # ``matched`` holds each original edge at most once (the b-matching
+    # deduplicates its clone fold-back), so summing weights here cannot
+    # over-count an edge whose endpoints both had spare capacity.
     matched = max_weight_b_matching(edges, capacity)
     by_u: Dict[object, List[int]] = {}
     vc_weight: Dict[int, float] = {}
@@ -234,8 +238,15 @@ def _absorb_singletons(
     A class whose column set is a singleton and whose row set also holds a
     pinned class must take some other column; absorb it into the first
     multi-member set with spare capacity (#R) and no member in its row.
+
+    ``column_set_of_class`` is repaired immediately after every
+    absorption: the ``pinned_present`` probe and the member-in-row clash
+    checks of later rows consult it, and leaving the absorbed class
+    pointing at its now-emptied set would make them read a singleton
+    (or, worse, re-absorb the class into a second set).  Indices stay
+    valid throughout because empty sets are only compacted away at the
+    end, when the whole mapping is rebuilt.
     """
-    multi = [s for s in state.column_sets if len(s) >= 2]
     for row in state.row_sets:
         if len(row) < 2:
             continue
@@ -249,13 +260,14 @@ def _absorb_singletons(
             cs_index = state.column_set_of_class[cls]
             if len(state.column_sets[cs_index]) >= 2:
                 continue
-            for target in state.column_sets:
+            for target_index, target in enumerate(state.column_sets):
                 if len(target) < 2 or len(target) >= num_rows:
                     continue
                 if any(member in row for member in target):
                     continue
                 target.append(cls)
                 state.column_sets[cs_index] = []
+                state.column_set_of_class[cls] = target_index
                 break
     state.column_sets = [s for s in state.column_sets if s]
     state.column_set_of_class = {
@@ -446,11 +458,15 @@ def encode_classes(
             f"for {n} classes, got {t}"
         )
 
-    codes = canonical_codes(n, t)
-    draft = build_image_function(manager, alpha_levels, codes, class_functions)
-    draft_support = sorted(
-        set(manager.support(draft.on)) | set(manager.support(draft.dc))
-    )
+    perf = manager.perf
+    with perf.phase("encode.draft"), obs.span("encode.draft", manager=manager):
+        codes = canonical_codes(n, t)
+        draft = build_image_function(
+            manager, alpha_levels, codes, class_functions
+        )
+        draft_support = sorted(
+            set(manager.support(draft.on)) | set(manager.support(draft.dc))
+        )
     result = EncodingResult(
         codes=codes, num_alpha=t, policy_used="trivial", image=draft
     )
@@ -463,17 +479,20 @@ def encode_classes(
     chosen_bound_size = bound_size if bound_size is not None else min(
         k, len(draft_support) - 1
     )
-    vp = select_bound_set(
-        manager,
-        draft.on,
-        draft_support,
-        chosen_bound_size,
-        dc=draft.dc,
-        use_dontcares=use_dontcares,
-        forbidden=forbidden_bound_levels,
-        preferred_free=preferred_free_levels,
-        use_oracle=use_oracle,
-    )
+    with perf.phase("encode.varpart"), obs.span(
+        "encode.varpart", manager=manager
+    ):
+        vp = select_bound_set(
+            manager,
+            draft.on,
+            draft_support,
+            chosen_bound_size,
+            dc=draft.dc,
+            use_dontcares=use_dontcares,
+            forbidden=forbidden_bound_levels,
+            preferred_free=preferred_free_levels,
+            use_oracle=use_oracle,
+        )
     result.suggested_bound = vp.bound_levels
     alpha_set = set(alpha_levels)
     alphas_in_bound = [
@@ -491,11 +510,19 @@ def encode_classes(
     num_cols = 1 << len(alphas_in_bound)
     num_rows = 1 << len(alphas_in_free)
 
-    partitions = [
-        _partition_of(manager, fc, y1_levels) for fc in class_functions
-    ]
-    column_result = combine_column_sets(partitions, num_rows)
-    rows = combine_row_sets(partitions, column_result, num_rows, num_cols)
+    with perf.phase("encode.column_sets"), obs.span(
+        "encode.column_sets", manager=manager
+    ):
+        partitions = [
+            _partition_of(manager, fc, y1_levels) for fc in class_functions
+        ]
+        column_result = combine_column_sets(partitions, num_rows)
+    with perf.phase("encode.row_sets"), obs.span(
+        "encode.row_sets", manager=manager
+    ):
+        rows = combine_row_sets(
+            partitions, column_result, num_rows, num_cols
+        )
     result.trace.update(
         partitions=partitions,
         column_sets=column_result.column_sets,
@@ -504,36 +531,46 @@ def encode_classes(
         num_cols=num_cols,
     )
 
-    random_classes = count_classes(
-        manager, draft.on, list(vp.bound_levels), draft.dc, use_dontcares
-    )
+    with perf.phase("encode.image_rebuild"), obs.span(
+        "encode.image_rebuild", manager=manager
+    ):
+        random_classes = count_classes(
+            manager, draft.on, list(vp.bound_levels), draft.dc, use_dontcares
+        )
     result.image_classes_random = random_classes
     if rows is None:
         result.policy_used = "random"
         return result
 
     row_sets, column_set_of_class = rows
-    column_set_sizes: Dict[int, int] = {}
-    for cls, cs in column_set_of_class.items():
-        column_set_sizes[cs] = column_set_sizes.get(cs, 0) + 1
-    chart = pack_chart(
-        row_sets, column_set_of_class, column_set_sizes, num_rows, num_cols
-    )
+    with perf.phase("encode.chart"), obs.span(
+        "encode.chart", manager=manager
+    ):
+        column_set_sizes: Dict[int, int] = {}
+        for cls, cs in column_set_of_class.items():
+            column_set_sizes[cs] = column_set_sizes.get(cs, 0) + 1
+        chart = pack_chart(
+            row_sets, column_set_of_class, column_set_sizes,
+            num_rows, num_cols,
+        )
     if chart is None:
         result.policy_used = "random"
         return result
 
-    chart_codes = chart.codes(n, alphas_in_bound, alphas_in_free)
-    chart_image = build_image_function(
-        manager, alpha_levels, chart_codes, class_functions
-    )
-    chart_classes = count_classes(
-        manager,
-        chart_image.on,
-        list(vp.bound_levels),
-        chart_image.dc,
-        use_dontcares,
-    )
+    with perf.phase("encode.image_rebuild"), obs.span(
+        "encode.image_rebuild", manager=manager
+    ):
+        chart_codes = chart.codes(n, alphas_in_bound, alphas_in_free)
+        chart_image = build_image_function(
+            manager, alpha_levels, chart_codes, class_functions
+        )
+        chart_classes = count_classes(
+            manager,
+            chart_image.on,
+            list(vp.bound_levels),
+            chart_image.dc,
+            use_dontcares,
+        )
     result.image_classes_chart = chart_classes
     result.trace["row_sets"] = row_sets
     result.chart = chart

@@ -90,7 +90,16 @@ def max_weight_b_matching(
 
     Solved by cloning each vertex of capacity ``b`` into ``b`` unit
     copies, taking an exact max-weight matching over the cloned graph,
-    and folding the copies back.
+    and folding the copies back.  Each *original* edge appears at most
+    once in the result: when both endpoints have capacity >= 2 the cloned
+    graph contains vertex-disjoint copies of the same edge (e.g. a single
+    u-v edge with capacities 2/2 yields the clones (u0,v0) and (u1,v1),
+    both of which a matching may take), so folding back must deduplicate
+    or the edge's weight is double-counted and b-matching edge semantics
+    (each edge used at most once) are violated.  Deduplication keeps the
+    heaviest fold-back per original endpoint pair; the result is exact
+    whenever one side of every edge has unit capacity (the chart
+    encoder's column graph: classes have capacity 1).
     """
     cloned: List[WeightedEdge] = []
     for e in edges:
@@ -102,12 +111,12 @@ def max_weight_b_matching(
                     WeightedEdge(("clone", e.u, iu), ("clone", e.v, iv), e.weight)
                 )
     matched = max_weight_matching(cloned)
-    result: List[WeightedEdge] = []
+    best: Dict[Tuple[Vertex, Vertex], WeightedEdge] = {}
     for e in matched:
         (_, u, _iu) = e.u
         (_, v, _iv) = e.v
-        result.append(WeightedEdge(u, v, e.weight))
-    # Folding copies back can in principle create duplicates of the same
-    # original edge (only if parallel edges were supplied); keep them all —
-    # the caller's semantics (grouping) is idempotent in that case.
-    return result
+        key = tuple(sorted((u, v), key=repr))
+        kept = best.get(key)
+        if kept is None or kept.weight < e.weight:
+            best[key] = WeightedEdge(u, v, e.weight)
+    return [best[key] for key in sorted(best, key=repr)]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bdd import FALSE, BddManager
 from ..boolfunc import TruthTable
 from ..network import Network
@@ -67,50 +68,57 @@ def decompose_to_network(
     if len(support) <= options.k:
         return _emit_node(manager, on, support, net, signal_of_level, prefix, trace)
 
-    step = decompose_step(manager, on, support, options, dc=dc)
+    # One span per recursion level (nesting depth == recursion depth);
+    # a no-op unless a trace recorder is installed.
+    with obs.span("recurse", manager=manager, support=len(support)):
+        step = decompose_step(manager, on, support, options, dc=dc)
 
-    if step.alpha_levels and len(step.alpha_levels) >= len(step.bound_levels):
-        # No progress: as many alpha functions as bound variables (the
-        # function is essentially undecomposable for this bound set).
-        # Fall back to a Shannon split, which always shrinks the support.
-        return _shannon_split(
-            manager, on, dc, support, net, signal_of_level, options, prefix, trace
-        )
-    trace.steps.append(step)
+        if step.alpha_levels and len(step.alpha_levels) >= len(
+            step.bound_levels
+        ):
+            # No progress: as many alpha functions as bound variables (the
+            # function is essentially undecomposable for this bound set).
+            # Fall back to a Shannon split, which always shrinks the
+            # support.
+            return _shannon_split(
+                manager, on, dc, support, net, signal_of_level, options,
+                prefix, trace,
+            )
+        trace.steps.append(step)
 
-    if step.num_classes < 2:
-        # f is (by don't-care assignment) independent of the bound set.
-        fc = step.image
+        if step.num_classes < 2:
+            # f is (by don't-care assignment) independent of the bound set.
+            fc = step.image
+            return decompose_to_network(
+                manager, fc.on, net, signal_of_level, options,
+                dc=fc.dc, prefix=prefix, trace=trace,
+            )
+
+        # Emit the α functions as LUT nodes over the bound-set signals.
+        for j, (alpha_level, table) in enumerate(
+            zip(step.alpha_levels, step.alpha_tables)
+        ):
+            fanins = [signal_of_level[lv] for lv in step.bound_levels]
+            reduced, kept = table.minimize_support()
+            name = net.fresh_name(f"{prefix}_a")
+            if reduced.num_inputs == 0:
+                net.add_constant(name, 1 if reduced.mask else 0)
+            else:
+                net.add_node(name, [fanins[i] for i in kept], reduced)
+            signal_of_level[alpha_level] = name
+            trace.emitted_nodes.append(name)
+
+        # Recurse on the image function.
         return decompose_to_network(
-            manager, fc.on, net, signal_of_level, options,
-            dc=fc.dc, prefix=prefix, trace=trace,
+            manager,
+            step.image.on,
+            net,
+            signal_of_level,
+            options,
+            dc=step.image.dc,
+            prefix=prefix,
+            trace=trace,
         )
-
-    # Emit the α functions as LUT nodes over the bound-set signals.
-    for j, (alpha_level, table) in enumerate(
-        zip(step.alpha_levels, step.alpha_tables)
-    ):
-        fanins = [signal_of_level[lv] for lv in step.bound_levels]
-        reduced, kept = table.minimize_support()
-        name = net.fresh_name(f"{prefix}_a")
-        if reduced.num_inputs == 0:
-            net.add_constant(name, 1 if reduced.mask else 0)
-        else:
-            net.add_node(name, [fanins[i] for i in kept], reduced)
-        signal_of_level[alpha_level] = name
-        trace.emitted_nodes.append(name)
-
-    # Recurse on the image function.
-    return decompose_to_network(
-        manager,
-        step.image.on,
-        net,
-        signal_of_level,
-        options,
-        dc=step.image.dc,
-        prefix=prefix,
-        trace=trace,
-    )
 
 
 def _shannon_split(

@@ -12,6 +12,7 @@ import math
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bdd import FALSE, BddManager
 from ..boolfunc import TruthTable
 from .compatible import Column, CompatibleClasses, compute_classes
@@ -145,6 +146,7 @@ def decompose_step(
         raise ValueError("function is already k-feasible; nothing to do")
     manager.check_budget()
 
+    perf = manager.perf
     oracle = (
         ClassCountOracle.for_manager(manager) if options.use_oracle else None
     )
@@ -157,34 +159,41 @@ def decompose_step(
             )
         best_bound: Optional[Tuple[int, ...]] = None
         best_key: Optional[Tuple[int, int]] = None
-        for bound_size in sizes:
-            vp = select_bound_set(
-                manager,
-                on,
-                support,
-                bound_size,
-                dc=dc,
-                use_dontcares=options.use_dontcares,
-                forbidden=options.forbidden_bound_levels,
-                preferred_free=options.preferred_free_levels,
-                oracle=oracle,
-                use_oracle=options.use_oracle,
-            )
-            t = max(1, math.ceil(math.log2(max(2, vp.num_classes))))
-            # Progress objective: fewest image inputs, then fewest alphas.
-            image_inputs = t + len(support) - bound_size
-            key = (image_inputs, t)
-            if best_key is None or key < best_key:
-                best_key = key
-                best_bound = vp.bound_levels
+        with perf.phase("step.varpart"), obs.span(
+            "step.varpart", manager=manager, support=len(support)
+        ):
+            for bound_size in sizes:
+                vp = select_bound_set(
+                    manager,
+                    on,
+                    support,
+                    bound_size,
+                    dc=dc,
+                    use_dontcares=options.use_dontcares,
+                    forbidden=options.forbidden_bound_levels,
+                    preferred_free=options.preferred_free_levels,
+                    oracle=oracle,
+                    use_oracle=options.use_oracle,
+                )
+                t = max(1, math.ceil(math.log2(max(2, vp.num_classes))))
+                # Progress objective: fewest image inputs, then fewest
+                # alphas.
+                image_inputs = t + len(support) - bound_size
+                key = (image_inputs, t)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_bound = vp.bound_levels
         bound = best_bound  # type: ignore[assignment]
     else:
         bound = tuple(sorted(bound_levels))
     free = tuple(lv for lv in support if lv not in set(bound))
 
-    classes = compute_classes(
-        manager, on, list(bound), dc, options.use_dontcares
-    )
+    with perf.phase("step.classes"), obs.span(
+        "step.classes", manager=manager
+    ):
+        classes = compute_classes(
+            manager, on, list(bound), dc, options.use_dontcares
+        )
     n = classes.num_classes
     if oracle is not None:
         # Future searches touching this exact (function, bound) pair —
@@ -210,26 +219,33 @@ def decompose_step(
     t = max(1, math.ceil(math.log2(n)))
     alpha_levels = tuple(_fresh_levels(manager, t))
 
-    if options.encoding_policy == "worst":
-        encoding = _worst_encoding(
-            manager, classes.class_functions, alpha_levels, options
-        )
-    elif options.encoding_policy == "cubes":
-        encoding = _cube_minimizing_encoding(
-            manager, classes.class_functions, alpha_levels
-        )
-    else:
-        encoding = encode_classes(
-            manager,
-            classes.class_functions,
-            alpha_levels,
-            k,
-            use_dontcares=options.use_dontcares,
-            policy=("random" if options.encoding_policy == "random" else "chart"),
-            forbidden_bound_levels=options.forbidden_bound_levels,
-            preferred_free_levels=options.preferred_free_levels,
-            use_oracle=options.use_oracle,
-        )
+    with perf.phase("step.encode"), obs.span(
+        "step.encode", manager=manager, classes=n
+    ):
+        if options.encoding_policy == "worst":
+            encoding = _worst_encoding(
+                manager, classes.class_functions, alpha_levels, options
+            )
+        elif options.encoding_policy == "cubes":
+            encoding = _cube_minimizing_encoding(
+                manager, classes.class_functions, alpha_levels
+            )
+        else:
+            encoding = encode_classes(
+                manager,
+                classes.class_functions,
+                alpha_levels,
+                k,
+                use_dontcares=options.use_dontcares,
+                policy=(
+                    "random"
+                    if options.encoding_policy == "random"
+                    else "chart"
+                ),
+                forbidden_bound_levels=options.forbidden_bound_levels,
+                preferred_free_levels=options.preferred_free_levels,
+                use_oracle=options.use_oracle,
+            )
 
     alpha_tables = _alpha_tables(
         len(bound), classes.class_of_position, encoding.codes, t

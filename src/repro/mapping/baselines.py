@@ -22,6 +22,7 @@ from __future__ import annotations
 import time
 from typing import Dict, Optional
 
+from .. import obs
 from ..bdd import FALSE, TRUE
 from ..decompose import DecompositionOptions, decompose_to_network
 from ..network import GlobalBdds, Network, extract_cone, parse_blif, to_blif
@@ -81,7 +82,7 @@ def map_per_output(
     alias_of: Dict[str, str] = {}  # duplicate output -> representative
     seen: Dict[int, str] = {}
     unique: list = []  # (oi, out) pairs that actually need decomposing
-    with perf.phase("bdd_build"):
+    with perf.phase("bdd_build"), obs.span("bdd_build", manager=manager):
         for oi, out in enumerate(net.output_names):
             bdd = gb.of_output(out)
             if bdd in (FALSE, TRUE):
@@ -102,6 +103,7 @@ def map_per_output(
         faults
     )
     if use_tasks and unique:
+        recorder = obs.active()
         tasks = [
             GroupTask(
                 blif_text=to_blif(
@@ -113,43 +115,65 @@ def map_per_output(
                 fallback_per_output=False,
                 base_name=f"{net.name}_o{oi}",
                 inject=faults.spec_for(oi) if faults else None,
+                trace=recorder is not None,
             )
             for oi, out in unique
         ]
-        with perf.phase("decompose"):
+        with perf.phase("decompose"), obs.span(
+            "decompose", manager=manager, groups=len(tasks), jobs=jobs
+        ) as dspan:
             results, run_report = run_group_tasks(tasks, jobs, policy)
+            if recorder is not None:
+                for res in results:
+                    if res.spans:
+                        recorder.graft(
+                            res.spans, parent=dspan, offset=dspan.start
+                        )
         jobs_used = run_report.jobs_used
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
-        with perf.phase("splice"):
+        if pool_fallback is not None:
+            obs.event("pool_fallback", reason=pool_fallback)
+        for entry in degraded:
+            obs.event(
+                "degraded",
+                gi=entry.get("gi"),
+                resolution=entry.get("resolution"),
+                attempts=entry.get("attempts"),
+                causes=entry.get("causes"),
+            )
+        perf.merge_dict(run_report.perf)
+        with perf.phase("splice"), obs.span("splice", manager=manager):
             for (oi, out), res in zip(unique, results):
                 fragment = parse_blif(res.blif_text)
                 rename = _splice(result, fragment, f"o{oi}_")
                 driver_of[out] = rename[fragment.output_driver(out)]
-                perf.merge_dict(res.perf)
     else:
         options.arm_budget(manager)  # serial path: budget on our manager
-        with perf.phase("decompose"):
+        with perf.phase("decompose"), obs.span(
+            "decompose", manager=manager, groups=len(unique), jobs=1
+        ):
             for oi, out in unique:
-                signal_of_level = {
-                    manager.level_of(pi): pi for pi in net.inputs
-                }
-                driver_of[out] = decompose_to_network(
-                    manager,
-                    gb.of_output(out),
-                    result,
-                    signal_of_level,
-                    options,
-                    prefix=f"o{oi}",
-                )
+                with obs.span("group", manager=manager, gi=oi, outputs=1):
+                    signal_of_level = {
+                        manager.level_of(pi): pi for pi in net.inputs
+                    }
+                    driver_of[out] = decompose_to_network(
+                        manager,
+                        gb.of_output(out),
+                        result,
+                        signal_of_level,
+                        options,
+                        prefix=f"o{oi}",
+                    )
     for out in net.output_names:
         driver = driver_of.get(out)
         if driver is None:
             driver = driver_of[alias_of[out]]
         result.add_output(driver, out)
-    with perf.phase("cleanup"):
+    with perf.phase("cleanup"), obs.span("cleanup", manager=manager):
         cleanup_for_lut_count(result)
-    with perf.phase("verify"):
+    with perf.phase("verify"), obs.span("verify", manager=manager):
         _check(net, result, verify)
     perf_report = perf.snapshot(manager)
     if manager._class_oracle is not None:

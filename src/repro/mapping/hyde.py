@@ -24,6 +24,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bdd import FALSE, TRUE
 from ..decompose import DecompositionOptions, decompose_to_network
 from ..network import (
@@ -165,7 +166,7 @@ def hyde_map(
     gb = GlobalBdds(net)
     manager = gb.manager
     perf = manager.perf
-    with perf.phase("bdd_build"):
+    with perf.phase("bdd_build"), obs.span("bdd_build", manager=manager):
         output_bdds = {out: gb.of_output(out) for out in net.output_names}
 
     # Deduplicate identical output functions; constants are split off.
@@ -184,7 +185,7 @@ def hyde_map(
         else:
             alias_of[out] = rep
 
-    with perf.phase("cluster"):
+    with perf.phase("cluster"), obs.span("cluster", manager=manager):
         supports = {
             out: [
                 manager.name_of(lv)
@@ -218,6 +219,7 @@ def hyde_map(
         faults
     )
     if use_tasks and groups:
+        recorder = obs.active()
         tasks = []
         for gi, group in enumerate(groups):
             cone = extract_cone(net, group, name=f"{net.name}_g{gi}_cone")
@@ -232,61 +234,95 @@ def hyde_map(
                     fallback_per_output=fallback_per_output,
                     base_name=f"{net.name}_g{gi}",
                     inject=faults.spec_for(gi) if faults else None,
+                    trace=recorder is not None,
                 )
             )
-        with perf.phase("decompose"):
+        with perf.phase("decompose"), obs.span(
+            "decompose", manager=manager, groups=len(tasks), jobs=jobs
+        ) as dspan:
             results, run_report = run_group_tasks(tasks, jobs, policy)
+            if recorder is not None:
+                # Worker span trees come back rebased to 0; anchor each at
+                # the decompose span's start (perf_counter bases are
+                # process-local, so relative placement is the best truth
+                # available).
+                for res in results:
+                    if res.spans:
+                        recorder.graft(
+                            res.spans, parent=dspan, offset=dspan.start
+                        )
         jobs_used = run_report.jobs_used
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
-        with perf.phase("splice"):
+        if pool_fallback is not None:
+            obs.event("pool_fallback", reason=pool_fallback)
+        for entry in degraded:
+            obs.event(
+                "degraded",
+                gi=entry.get("gi"),
+                resolution=entry.get("resolution"),
+                attempts=entry.get("attempts"),
+                causes=entry.get("causes"),
+            )
+        # Worker counters cross the process boundary merged once in the
+        # run report (the per-reply snapshots would double-count retries'
+        # partial work only in `degraded`; the report merges final
+        # replies only).
+        perf.merge_dict(run_report.perf)
+        with perf.phase("splice"), obs.span("splice", manager=manager):
             for res in results:
                 fragment = parse_blif(res.blif_text)
                 rename = _splice(result, fragment, f"g{res.gi}_")
                 for out in groups[res.gi]:
                     driver_of[out] = rename[fragment.output_driver(out)]
                 group_infos.append(res.info)
-                perf.merge_dict(res.perf)
     else:
         options.arm_budget(manager)  # serial path: budget on our manager
-        with perf.phase("decompose"):
+        with perf.phase("decompose"), obs.span(
+            "decompose", manager=manager, groups=len(groups), jobs=1
+        ):
             for gi, group in enumerate(groups):
-                if len(group) == 1:
-                    out = group[0]
-                    signal_of_level = {
-                        manager.level_of(pi): pi for pi in net.inputs
-                    }
-                    root = decompose_to_network(
-                        manager,
-                        output_bdds[out],
-                        result,
-                        signal_of_level,
-                        options,
-                        prefix=f"g{gi}",
-                    )
-                    driver_of[out] = root
-                    group_infos.append({"outputs": group, "hyper": False})
-                    continue
+                with obs.span(
+                    "group", manager=manager, gi=gi, outputs=len(group)
+                ):
+                    if len(group) == 1:
+                        out = group[0]
+                        signal_of_level = {
+                            manager.level_of(pi): pi for pi in net.inputs
+                        }
+                        root = decompose_to_network(
+                            manager,
+                            output_bdds[out],
+                            result,
+                            signal_of_level,
+                            options,
+                            prefix=f"g{gi}",
+                        )
+                        driver_of[out] = root
+                        group_infos.append(
+                            {"outputs": group, "hyper": False}
+                        )
+                        continue
 
-                group_inputs = sorted(
-                    {pi for out in group for pi in supports[out]},
-                    key=net.inputs.index,
-                )
-                fragment, info = build_group_fragment(
-                    manager,
-                    output_bdds,
-                    group,
-                    group_inputs,
-                    options,
-                    ingredient_policy=ingredient_policy,
-                    ppi_placement=ppi_placement,
-                    fallback_per_output=fallback_per_output,
-                    base_name=f"{net.name}_g{gi}",
-                )
-                rename = _splice(result, fragment, f"g{gi}_")
-                for out in group:
-                    driver_of[out] = rename[fragment.output_driver(out)]
-                group_infos.append(info)
+                    group_inputs = sorted(
+                        {pi for out in group for pi in supports[out]},
+                        key=net.inputs.index,
+                    )
+                    fragment, info = build_group_fragment(
+                        manager,
+                        output_bdds,
+                        group,
+                        group_inputs,
+                        options,
+                        ingredient_policy=ingredient_policy,
+                        ppi_placement=ppi_placement,
+                        fallback_per_output=fallback_per_output,
+                        base_name=f"{net.name}_g{gi}",
+                    )
+                    rename = _splice(result, fragment, f"g{gi}_")
+                    for out in group:
+                        driver_of[out] = rename[fragment.output_driver(out)]
+                    group_infos.append(info)
 
     for out, value in const_outputs.items():
         name = result.fresh_name(f"{out}_const")
@@ -298,13 +334,14 @@ def hyde_map(
             driver = driver_of[alias_of[out]]
         result.add_output(driver, out)
 
-    with perf.phase("cleanup"):
+    with perf.phase("cleanup"), obs.span("cleanup", manager=manager):
         cleanup_for_lut_count(result)
-    with perf.phase("verify"):
+    with perf.phase("verify"), obs.span("verify", manager=manager):
         _check(net, result, verify)
 
-    luts = count_luts(result, k)
-    clbs = pack_xc3000(result).num_clbs if pack_clbs else None
+    with perf.phase("cost"), obs.span("cost", manager=manager):
+        luts = count_luts(result, k)
+        clbs = pack_xc3000(result).num_clbs if pack_clbs else None
     perf_report = perf.snapshot(manager)
     if manager._class_oracle is not None:
         perf_report["oracle"] = manager._class_oracle.stats()

@@ -36,11 +36,13 @@ import multiprocessing
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..bdd import BddBudgetExceeded, BddManager
 from ..boolfunc import TruthTable
 from ..decompose import DecompositionOptions, decompose_to_network
 from ..hyper import decompose_hyper_function
 from ..network import GlobalBdds, Network, check_equivalence, parse_blif, to_blif
+from ..perf import PerfCounters
 from .lut import cleanup_for_lut_count, count_luts
 
 __all__ = [
@@ -70,6 +72,7 @@ class GroupTask:
     mode: str = "hyper"  # "hyper" | "per_output" (ladder rung 2)
     attempt: int = 0  # retry ordinal; gates fault injection via fires()
     inject: Optional[object] = None  # a repro.testing.faults.FaultSpec
+    trace: bool = False  # record a span tree in the worker, ship it back
 
 
 @dataclass
@@ -80,6 +83,10 @@ class GroupResult:
     blif_text: str  # fragment: inputs ⊆ parent PIs, outputs = group
     info: Dict[str, object] = field(default_factory=dict)
     perf: Dict[str, object] = field(default_factory=dict)
+    # Flat span records (obs.TraceRecorder.to_dicts(rebase=True)); times
+    # start at 0 because perf_counter bases are process-local — the
+    # parent grafts them with an offset into its own tree.
+    spans: List[Dict[str, object]] = field(default_factory=list)
 
 
 @dataclass(frozen=True)
@@ -125,6 +132,9 @@ class RunReport:
     degraded: List[Dict[str, object]] = field(default_factory=list)
     timeouts: int = 0
     retries: int = 0
+    # Merged PerfCounters snapshot across every task reply — the one
+    # place worker-side counters survive the process boundary.
+    perf: Dict[str, object] = field(default_factory=dict)
 
 
 def per_output_fragment(
@@ -276,53 +286,85 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
     ``task.options`` is armed on the private manager, so a blow-up raises
     :class:`~repro.bdd.BddBudgetExceeded` here and crosses back to the
     parent as an ordinary (picklable) exception.
+
+    With ``task.trace`` set the worker records its own span tree under a
+    task-local :class:`~repro.obs.TraceRecorder` and ships it back in
+    ``GroupResult.spans`` (rebased to 0; the parent re-anchors it).  The
+    recorder is installed around the body and restored afterwards, so an
+    in-process run (pool fallback, ladder retries) nests correctly inside
+    the parent's own recorder.
     """
+    if not task.trace:
+        return _decompose_group(task)
+    rec = obs.TraceRecorder(proc=f"task:{task.gi}")
+    prev = obs.install(rec)
+    try:
+        result = _decompose_group(task)
+    finally:
+        obs.restore(prev)
+    result.spans = rec.to_dicts(rebase=True)
+    return result
+
+
+def _decompose_group(task: GroupTask) -> GroupResult:
     net = parse_blif(task.blif_text)
     gb = GlobalBdds(net)
     manager = gb.manager
-    task.options.arm_budget(manager)
-    if task.inject is not None:
-        from ..testing import faults  # lazy: test machinery stays optional
+    # Global BDDs are lazy (built at of_output below), so this root span's
+    # perf delta covers essentially all BDD work the task performs.
+    with obs.span(
+        "task.group",
+        manager=manager,
+        gi=task.gi,
+        outputs=len(task.group),
+        mode=task.mode,
+        attempt=task.attempt,
+    ):
+        task.options.arm_budget(manager)
+        if task.inject is not None:
+            from ..testing import faults  # lazy: test machinery stays optional
 
-        faults.before_decompose(task.inject, manager, task.attempt)
-    output_bdds = {out: gb.of_output(out) for out in net.output_names}
-    support_union = sorted(
-        {
-            lv
-            for out in task.group
-            for lv in manager.support(output_bdds[out])
-        }
-    )
-    group_inputs = [manager.name_of(lv) for lv in support_union]
-    if task.mode == "per_output" and len(task.group) > 1:
-        ingredients = [(out, output_bdds[out]) for out in task.group]
-        fragment = per_output_fragment(
-            manager, ingredients, group_inputs, task.options,
-            f"{task.base_name}_po",
+            faults.before_decompose(task.inject, manager, task.attempt)
+        output_bdds = {out: gb.of_output(out) for out in net.output_names}
+        support_union = sorted(
+            {
+                lv
+                for out in task.group
+                for lv in manager.support(output_bdds[out])
+            }
         )
-        cleanup_for_lut_count(fragment)
-        info: Dict[str, object] = {
-            "outputs": list(task.group),
-            "hyper": False,
-            "mode": "per_output",
-        }
-    else:
-        fragment, info = build_group_fragment(
-            manager,
-            output_bdds,
-            task.group,
-            group_inputs,
-            task.options,
-            ingredient_policy=task.ingredient_policy,
-            ppi_placement=task.ppi_placement,
-            fallback_per_output=task.fallback_per_output,
-            base_name=task.base_name,
-        )
-    blif_text = to_blif(fragment)
-    if task.inject is not None:
-        from ..testing import faults
+        group_inputs = [manager.name_of(lv) for lv in support_union]
+        if task.mode == "per_output" and len(task.group) > 1:
+            ingredients = [(out, output_bdds[out]) for out in task.group]
+            fragment = per_output_fragment(
+                manager, ingredients, group_inputs, task.options,
+                f"{task.base_name}_po",
+            )
+            cleanup_for_lut_count(fragment)
+            info: Dict[str, object] = {
+                "outputs": list(task.group),
+                "hyper": False,
+                "mode": "per_output",
+            }
+        else:
+            fragment, info = build_group_fragment(
+                manager,
+                output_bdds,
+                task.group,
+                group_inputs,
+                task.options,
+                ingredient_policy=task.ingredient_policy,
+                ppi_placement=task.ppi_placement,
+                fallback_per_output=task.fallback_per_output,
+                base_name=task.base_name,
+            )
+        blif_text = to_blif(fragment)
+        if task.inject is not None:
+            from ..testing import faults
 
-        blif_text = faults.after_decompose(task.inject, blif_text, task.attempt)
+            blif_text = faults.after_decompose(
+                task.inject, blif_text, task.attempt
+            )
     return GroupResult(
         gi=task.gi,
         blif_text=blif_text,
@@ -409,6 +451,17 @@ def _make_pool(workers: int):
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
     return ctx.Pool(workers)
+
+
+def _merge_result_perf(
+    results: Sequence[GroupResult], report: RunReport
+) -> None:
+    """Fold every reply's counter snapshot into ``report.perf``."""
+    merged = PerfCounters()
+    for result in results:
+        if result.perf:
+            merged.merge_dict(result.perf)
+    report.perf = merged.snapshot()
 
 
 def _run_governed(
@@ -545,7 +598,9 @@ def _run_governed(
             }
         )
 
-    return [r for r in results if r is not None], report
+    final = [r for r in results if r is not None]
+    _merge_result_perf(final, report)
+    return final, report
 
 
 def run_group_tasks(
@@ -573,15 +628,20 @@ def run_group_tasks(
     if policy is not None:
         return _run_governed(tasks, jobs, policy, report)
     if jobs <= 1 or len(tasks) <= 1:
-        return [decompose_group_task(t) for t in tasks], report
+        results = [decompose_group_task(t) for t in tasks]
+        _merge_result_perf(results, report)
+        return results, report
     workers = min(jobs, len(tasks))
     try:
         with _make_pool(workers) as pool:
             results = list(pool.map(decompose_group_task, tasks))
         report.jobs_used = workers
+        _merge_result_perf(results, report)
         return results, report
     except (OSError, PermissionError, RuntimeError) as exc:
         # No usable process pool (sandboxed /dev/shm, missing sem_open…).
         report.jobs_used = 1
         report.pool_fallback = f"{type(exc).__name__}: {exc}"
-        return [decompose_group_task(t) for t in tasks], report
+        results = [decompose_group_task(t) for t in tasks]
+        _merge_result_perf(results, report)
+        return results, report

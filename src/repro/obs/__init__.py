@@ -1,0 +1,50 @@
+"""Observability for the HYDE flow: spans, JSONL traces, trace reports.
+
+See :mod:`repro.obs.spans` for the recording model (hierarchical spans
+with per-span :class:`~repro.perf.PerfCounters` deltas, one process-wide
+active recorder, worker trees grafted across the pickle boundary),
+:mod:`repro.obs.export` for the JSONL schema and validation, and
+:mod:`repro.obs.report` for the ``repro trace`` text summary.
+"""
+
+from .export import (
+    TRACE_VERSION,
+    coverage,
+    read_trace,
+    trace_records,
+    validate_trace,
+    worker_perf_totals,
+    write_trace,
+)
+from .report import render_trace_summary
+from .spans import (
+    PERF_INT_SLOTS,
+    Span,
+    TraceRecorder,
+    active,
+    event,
+    install,
+    installed,
+    restore,
+    span,
+)
+
+__all__ = [
+    "PERF_INT_SLOTS",
+    "Span",
+    "TraceRecorder",
+    "active",
+    "event",
+    "install",
+    "installed",
+    "restore",
+    "span",
+    "TRACE_VERSION",
+    "trace_records",
+    "write_trace",
+    "read_trace",
+    "validate_trace",
+    "coverage",
+    "worker_perf_totals",
+    "render_trace_summary",
+]

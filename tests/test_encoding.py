@@ -123,6 +123,53 @@ class TestRowSets:
         assert row_merge_benefit(a, b, n, 1, 0) > row_merge_benefit(a, c, n, 1, 0)
 
 
+class TestAbsorbSingletons:
+    """The in-place singleton absorption of Step 6/7's fitting loop."""
+
+    @staticmethod
+    def _invariants(state):
+        flat = [c for s in state.column_sets for c in s]
+        assert len(flat) == len(set(flat)), (
+            f"class in two column sets: {state.column_sets}"
+        )
+        for cls, idx in state.column_set_of_class.items():
+            assert cls in state.column_sets[idx], (
+                f"class {cls} mapped to set {idx} it is not a member of"
+            )
+
+    def test_two_absorptions_disjoint_rows(self):
+        from repro.decompose.encoding import _absorb_singletons, _RowState
+
+        state = _RowState(
+            row_sets=[[0, 1], [3, 5]],
+            column_sets=[[0], [1, 2], [3, 4], [5]],
+            column_set_of_class={0: 0, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3},
+        )
+        _absorb_singletons(state, num_rows=4)
+        self._invariants(state)
+        # 0 joins [3, 4] (the only multi set without a member in its row);
+        # 5 joins [1, 2] likewise.  Both singleton sets are compacted away.
+        assert sorted(map(sorted, state.column_sets)) == [
+            [0, 3, 4], [1, 2, 5],
+        ]
+
+    def test_mapping_repaired_between_rows(self):
+        # Regression: the absorbed class's column_set_of_class entry used
+        # to stay pointing at its emptied singleton set until the end of
+        # the call.  A later row consulting the mapping then saw the class
+        # as still-singleton and absorbed it a *second* time, leaving it a
+        # member of two column sets.
+        from repro.decompose.encoding import _absorb_singletons, _RowState
+
+        state = _RowState(
+            row_sets=[[0, 1], [0, 3]],
+            column_sets=[[0], [1, 2], [3, 4], [5]],
+            column_set_of_class={0: 0, 1: 1, 2: 1, 3: 2, 4: 2, 5: 3},
+        )
+        _absorb_singletons(state, num_rows=4)
+        self._invariants(state)
+
+
 def _decomposable_function(m: BddManager):
     """f over 8 vars with bound {0..4} giving a handful of classes."""
     a = [m.var_at_level(i) for i in range(8)]

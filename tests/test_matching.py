@@ -105,6 +105,66 @@ class TestBMatching:
         matched = max_weight_b_matching(edges, {})
         assert sum(e.weight for e in matched) == 8
 
+    def test_single_edge_both_capacities_two_not_duplicated(self):
+        # Regression: with capacity >= 2 on both endpoints the cloned
+        # graph holds vertex-disjoint copies (u0,v0) and (u1,v1) of the
+        # one original edge, and the blossom matching happily takes both.
+        # Folding back must not report the edge twice.
+        edges = [WeightedEdge("u", "v", 10)]
+        matched = max_weight_b_matching(edges, {"u": 2, "v": 2})
+        assert len(matched) == 1
+        assert matched[0].weight == 10
+        assert {matched[0].u, matched[0].v} == {"u", "v"}
+
+    def test_result_is_deterministic(self):
+        edges = [
+            WeightedEdge("a", "x", 3),
+            WeightedEdge("b", "x", 2),
+            WeightedEdge("a", "y", 1),
+        ]
+        runs = [
+            max_weight_b_matching(edges, {"x": 2, "a": 2}) for _ in range(3)
+        ]
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_property_capacities_and_multiplicity(self):
+        # On random graphs with random capacities, the fold-back must
+        # honour (a) each original edge at most once and (b) each vertex's
+        # capacity.  Capacities >= 2 on both endpoints are common here,
+        # which is exactly the regime the duplicate-fold-back bug lived in.
+        from collections import Counter
+
+        rng = random.Random(1998)
+        for trial in range(25):
+            n = rng.randint(2, 7)
+            vertices = [f"v{i}" for i in range(n)]
+            edges = [
+                WeightedEdge(vertices[i], vertices[j], rng.randint(1, 9))
+                for i in range(n)
+                for j in range(i + 1, n)
+                if rng.random() < 0.6
+            ]
+            if not edges:
+                continue
+            capacity = {
+                v: rng.randint(1, 3) for v in vertices if rng.random() < 0.7
+            }
+            matched = max_weight_b_matching(edges, capacity)
+            pair_count = Counter(
+                tuple(sorted((e.u, e.v))) for e in matched
+            )
+            assert all(c == 1 for c in pair_count.values()), (
+                f"trial {trial}: edge matched twice: {pair_count}"
+            )
+            degree = Counter()
+            for e in matched:
+                degree[e.u] += 1
+                degree[e.v] += 1
+            for v, d in degree.items():
+                assert d <= capacity.get(v, 1), (
+                    f"trial {trial}: {v} degree {d} exceeds capacity"
+                )
+
     def test_paper_figure5_weight(self):
         # The Figure-5 column graph of Example 3.2: u13 (weight-7 edges to
         # 5 partitions, capacity 4), u03 (weight 4, 2 partitions), u02

@@ -1,0 +1,313 @@
+"""Tests for the observability subsystem (spans, export, CLI rendering)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.circuits import build
+from repro.mapping import hyde_map
+from repro.network import to_blif
+from repro.obs import (
+    TraceRecorder,
+    coverage,
+    read_trace,
+    render_trace_summary,
+    trace_records,
+    validate_trace,
+    worker_perf_totals,
+    write_trace,
+)
+
+
+class TestRecorder:
+    def test_nesting_and_times(self):
+        rec = TraceRecorder()
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+            with rec.span("inner"):
+                pass
+        assert len(rec.roots) == 1
+        outer = rec.roots[0]
+        assert outer.name == "outer"
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert outer.total_seconds >= sum(
+            c.total_seconds for c in outer.children
+        )
+        assert outer.self_seconds >= 0.0
+
+    def test_attrs_and_events(self):
+        rec = TraceRecorder(proc="main")
+        with rec.span("phase", gi=3) as s:
+            rec.event("degraded", resolution="retry")
+        assert s.attrs == {"gi": 3}
+        event = s.children[0]
+        assert event.name == "degraded"
+        assert event.total_seconds == 0.0
+        assert event.attrs["resolution"] == "retry"
+
+    def test_exception_closes_stray_children(self):
+        rec = TraceRecorder()
+        with pytest.raises(RuntimeError):
+            with rec.span("outer"):
+                rec._stack[-1]  # outer open
+                handle = rec.span("leaked")
+                handle.__enter__()
+                raise RuntimeError("boom")
+        assert rec.roots[0].end is not None
+        assert rec.roots[0].children[0].end is not None
+        assert not rec._stack
+
+    def test_perf_delta_from_manager(self):
+        from repro.bdd import BddManager
+
+        m = BddManager(4)
+        rec = TraceRecorder()
+        with rec.span("work", manager=m):
+            m.apply_and(m.var_at_level(0), m.var_at_level(1))
+        perf = rec.roots[0].perf
+        assert perf is not None and perf["apply_calls"] >= 1
+        # Only changed slots are recorded.
+        assert "budget_exceeded" not in perf
+
+    def test_module_functions_are_noops_when_uninstalled(self):
+        assert obs.active() is None
+        with obs.span("nothing"):
+            pass
+        assert obs.event("nothing") is None
+
+    def test_install_restore(self):
+        rec = TraceRecorder()
+        with obs.installed(rec):
+            assert obs.active() is rec
+            with obs.span("seen"):
+                pass
+        assert obs.active() is None
+        assert rec.roots[0].name == "seen"
+
+
+class TestSerialisation:
+    def _sample(self):
+        rec = TraceRecorder()
+        with rec.span("root", k=5):
+            with rec.span("child"):
+                pass
+            rec.event("mark")
+        return rec
+
+    def test_to_dicts_shape(self):
+        records = self._sample().to_dicts()
+        assert [r["name"] for r in records] == ["root", "child", "mark"]
+        root, child, mark = records
+        assert root["parent"] is None
+        assert child["parent"] == root["id"]
+        assert mark["type"] == "event"
+        assert root["attrs"] == {"k": 5}
+
+    def test_rebase_starts_at_zero(self):
+        records = self._sample().to_dicts(rebase=True)
+        assert records[0]["t0"] == 0.0
+        assert all(r["t0"] >= 0 for r in records)
+
+    def test_graft_under_open_span(self):
+        worker = self._sample().to_dicts(rebase=True)
+        parent = TraceRecorder()
+        with parent.span("decompose") as d:
+            parent.graft(worker, parent=d, offset=d.start)
+        grafted = parent.roots[0].children[0]
+        assert grafted.name == "root"
+        assert grafted.start >= parent.roots[0].start
+        assert [c.name for c in grafted.children] == ["child", "mark"]
+
+    def test_round_trip_via_file(self, tmp_path):
+        rec = self._sample()
+        path = str(tmp_path / "t.jsonl")
+        count = write_trace(path, rec, {"flow": "hyde", "circuit": "x"})
+        assert count == 4  # meta + 3 spans
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        assert records[0]["flow"] == "hyde"
+
+
+class TestValidation:
+    def _valid(self):
+        return trace_records(self._rec(), {"circuit": "x"})
+
+    def _rec(self):
+        rec = TraceRecorder()
+        with rec.span("root"):
+            with rec.span("child"):
+                pass
+        return rec
+
+    def test_valid_trace_passes(self):
+        assert validate_trace(self._valid()) == []
+
+    def test_missing_meta(self):
+        records = [r for r in self._valid() if r["type"] != "meta"]
+        assert any("meta" in p for p in validate_trace(records))
+
+    def test_bad_version(self):
+        records = self._valid()
+        records[0]["version"] = 99
+        assert any("version" in p for p in validate_trace(records))
+
+    def test_duplicate_id(self):
+        records = self._valid()
+        records[2]["id"] = records[1]["id"]
+        assert any("duplicate" in p for p in validate_trace(records))
+
+    def test_child_escaping_parent(self):
+        records = self._valid()
+        records[2]["t1"] = records[1]["t1"] + 1.0
+        assert any("escapes" in p for p in validate_trace(records))
+
+    def test_unknown_perf_counter(self):
+        records = self._valid()
+        records[1]["perf"] = {"not_a_counter": 3}
+        assert any("unknown perf" in p for p in validate_trace(records))
+
+    def test_negative_counter(self):
+        records = self._valid()
+        records[1]["perf"] = {"apply_calls": -1}
+        assert any("non-negative" in p for p in validate_trace(records))
+
+
+class TestCoverageAndTotals:
+    def test_coverage_full_and_partial(self):
+        meta = {"type": "meta", "version": 1}
+        base = {"type": "span", "proc": "main", "parent": None}
+        root = dict(base, id=0, name="root", t0=0.0, t1=10.0)
+        half = dict(base, id=1, name="a", parent=0, t0=0.0, t1=5.0)
+        assert coverage([meta, root, half]) == pytest.approx(0.5)
+        rest = dict(base, id=2, name="b", parent=0, t0=4.0, t1=10.0)
+        assert coverage([meta, root, half, rest]) == pytest.approx(1.0)
+
+    def test_coverage_ignores_worker_children(self):
+        meta = {"type": "meta", "version": 1}
+        root = {"type": "span", "proc": "main", "parent": None, "id": 0,
+                "name": "root", "t0": 0.0, "t1": 10.0}
+        task = {"type": "span", "proc": "task:0", "parent": 0, "id": 1,
+                "name": "task.group", "t0": 0.0, "t1": 10.0}
+        assert coverage([meta, root, task]) == pytest.approx(0.0)
+
+    def test_coverage_none_without_roots(self):
+        assert coverage([{"type": "meta", "version": 1}]) is None
+
+    def test_worker_totals_sum_tree_roots_only(self):
+        records = [
+            {"type": "span", "proc": "main", "parent": None, "id": 0,
+             "name": "root", "t0": 0.0, "t1": 1.0},
+            {"type": "span", "proc": "task:0", "parent": 0, "id": 1,
+             "name": "task.group", "t0": 0.0, "t1": 1.0,
+             "perf": {"apply_calls": 10}},
+            # Child delta already included in its root's snapshot diff.
+            {"type": "span", "proc": "task:0", "parent": 1, "id": 2,
+             "name": "recurse", "t0": 0.0, "t1": 0.5,
+             "perf": {"apply_calls": 4}},
+            {"type": "span", "proc": "task:1", "parent": 0, "id": 3,
+             "name": "task.group", "t0": 0.0, "t1": 1.0,
+             "perf": {"apply_calls": 7}},
+        ]
+        totals = worker_perf_totals(records)
+        assert totals["apply_calls"] == 17
+
+
+class TestFlowIntegration:
+    def _traced_map(self, jobs):
+        net = build("misex1")
+        rec = TraceRecorder()
+        with obs.installed(rec):
+            with rec.span("flow:hyde", circuit="misex1", k=5, jobs=jobs):
+                result = hyde_map(net, k=5, jobs=jobs)
+        return rec, result
+
+    def test_serial_trace_covers_run(self):
+        rec, result = self._traced_map(jobs=1)
+        records = trace_records(rec, {"circuit": "misex1"})
+        assert validate_trace(records) == []
+        assert coverage(records) >= 0.9
+        names = {r["name"] for r in records if r.get("type") == "span"}
+        # Every Figure-3 / flow phase shows up.
+        for expected in (
+            "bdd_build", "decompose", "group", "recurse", "step.varpart",
+            "encode.column_sets", "cleanup", "verify", "cost",
+        ):
+            assert expected in names, f"missing span {expected!r}"
+
+    def test_parallel_trace_merges_worker_counters(self):
+        rec, result = self._traced_map(jobs=2)
+        records = trace_records(rec, {"circuit": "misex1"})
+        assert validate_trace(records) == []
+        assert coverage(records) >= 0.9
+        totals = worker_perf_totals(records)
+        assert totals["apply_calls"] > 0
+        # The flow's merged perf includes the workers' counters.
+        assert result.details["perf"]["apply_calls"] >= totals["apply_calls"]
+        procs = {
+            r["proc"] for r in records if r.get("type") in ("span", "event")
+        }
+        assert any(p.startswith("task:") for p in procs)
+
+    def test_tracing_does_not_change_output(self):
+        base = to_blif(hyde_map(build("misex1"), k=5).network)
+        _, traced = self._traced_map(jobs=1)
+        assert to_blif(traced.network) == base
+
+    def test_report_renders(self):
+        rec, _ = self._traced_map(jobs=2)
+        records = trace_records(
+            rec,
+            {"flow": "hyde", "circuit": "misex1", "k": 5, "jobs": 2,
+             "perf": {"apply_calls": 123, "apply_hit_rate": 0.5}},
+        )
+        text = render_trace_summary(records)
+        assert "hyde on misex1" in text
+        assert "span tree" in text
+        assert "task.group" in text
+        assert "worker apply calls" in text
+
+
+class TestCli:
+    def test_map_trace_and_check(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "out.jsonl")
+        assert main(
+            ["map", "misex1", "--jobs", "2", "--trace", path]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        records = read_trace(path)
+        assert validate_trace(records) == []
+        assert records[0]["circuit"] == "misex1"
+        assert records[0]["perf"]["apply_calls"] > 0
+
+        assert main(["trace", path]) == 0
+        rendered = capsys.readouterr().out
+        assert "span tree" in rendered
+
+        assert main(
+            ["trace", path, "--check", "--min-coverage", "0.9"]
+        ) == 0
+        assert "trace ok" in capsys.readouterr().out
+
+    def test_check_rejects_corrupt_trace(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = str(tmp_path / "bad.jsonl")
+        records = [
+            {"type": "meta", "version": 1},
+            {"type": "span", "id": 0, "parent": None, "name": "r",
+             "proc": "main", "t0": 0.0, "t1": 1.0},
+            {"type": "span", "id": 0, "parent": None, "name": "dup",
+             "proc": "main", "t0": 0.0, "t1": 1.0},
+        ]
+        with open(path, "w") as handle:
+            for record in records:
+                handle.write(json.dumps(record) + "\n")
+        assert main(["trace", path, "--check"]) == 1
+        assert "duplicate" in capsys.readouterr().out

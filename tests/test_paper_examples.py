@@ -53,6 +53,27 @@ class TestExample32:
         assert len(parts) == 10
         assert all(p.num_positions == 4 for p in parts)
 
+    def test_chart_is_byte_identical(self):
+        # Pin the full Figure-3 pipeline on the paper's Example 3.2: the
+        # b-matching fold-back fix and the singleton-absorption mapping
+        # repair must leave this chart (and the matching weight the paper
+        # quotes as 40) exactly as before.
+        from repro.decompose import combine_column_sets, combine_row_sets
+        from repro.decompose.chart import pack_chart
+
+        parts = example_3_2_partitions()
+        col_result = combine_column_sets(parts, num_rows=4)
+        assert col_result.matching_weight == 40.0
+        rows = combine_row_sets(parts, col_result, num_rows=4, num_cols=4)
+        assert rows is not None
+        row_sets, column_set_of_class = rows
+        sizes: dict = {}
+        for idx in column_set_of_class.values():
+            sizes[idx] = sizes.get(idx, 0) + 1
+        chart = pack_chart(row_sets, column_set_of_class, sizes, 4, 4)
+        assert chart is not None
+        assert chart.render() == "6 0 1 9\n4 2 - -\n3 5 - -\n8 7 - -"
+
 
 class TestExample41:
     def test_support_profile(self):
