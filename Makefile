@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-full trace-smoke examples tables clean
+.PHONY: install test bench bench-smoke bench-full trace-smoke resume-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -31,6 +31,11 @@ trace-smoke:
 	PYTHONPATH=src $(PYTHON) -m repro.cli trace trace_smoke.jsonl \
 		--check --min-coverage 0.9
 
+# Crash-safety gate: checkpoint a mapping run, SIGTERM it mid-flight,
+# resume it, and validate the journal + equivalence verdict.
+resume-smoke:
+	PYTHONPATH=src $(PYTHON) tools/resume_smoke.py
+
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done
 
@@ -40,4 +45,4 @@ tables:
 
 clean:
 	find . -name __pycache__ -type d -exec rm -rf {} + 2>/dev/null; true
-	rm -rf .pytest_cache .benchmarks build *.egg-info
+	rm -rf .pytest_cache .benchmarks build *.egg-info resume_smoke_ckpt

@@ -152,7 +152,11 @@ def run_suite(
 
 
 def write_record(record: Dict[str, object]) -> None:
-    BENCH_FILE.write_text(json.dumps(record, indent=2) + "\n")
+    from repro.runstate import atomic_write
+
+    # Atomic: a crash mid-dump must not clobber the previous trajectory.
+    with atomic_write(BENCH_FILE) as handle:
+        handle.write(json.dumps(record, indent=2) + "\n")
     print(f"wrote {BENCH_FILE}")
 
 

@@ -38,6 +38,11 @@ from .mapping import (
     map_structural,
 )
 from .network import read_blif, write_blif
+from .runstate import RunInterrupted, load_journal, open_journal, validate_journal
+
+#: Exit code of an interrupted (but journaled and resumable) run —
+#: EX_TEMPFAIL, the sysexits convention for "try again later".
+EXIT_INTERRUPTED = 75
 
 FLOWS: Dict[str, Callable] = {
     "hyde": lambda net, k, verify="bdd", jobs=1, **kw: hyde_map(
@@ -56,8 +61,8 @@ FLOWS: Dict[str, Callable] = {
         net, k, verify=verify, jobs=jobs, **kw
     ),
     # Flows below have no group-level parallelism (and hence no fault
-    # tolerance); ``jobs`` and the governance kwargs are accepted (so
-    # ``--flow all --jobs N`` works) and ignored.
+    # tolerance or checkpointing); ``jobs`` and the governance kwargs
+    # are accepted (so ``--flow all --jobs N`` works) and ignored.
     "shannon": lambda net, k, verify="bdd", jobs=1, **kw: map_shannon(
         net, k, verify=verify
     ),
@@ -65,6 +70,20 @@ FLOWS: Dict[str, Callable] = {
         net, k, verify=verify
     ),
 }
+
+#: Flows that accept a ``journal=`` kwarg (checkpoint/resume support).
+JOURNALED_FLOWS = {"hyde", "per-output", "random", "resub", "column"}
+
+
+def _open_flow_journal(args, circuit: str, label: str):
+    """Open the checkpoint journal for one (circuit, flow) run, or None."""
+    directory = getattr(args, "checkpoint", None)
+    if directory is None or label not in JOURNALED_FLOWS:
+        return None
+    return open_journal(
+        directory, circuit, label, args.k,
+        resume=getattr(args, "resume", False),
+    )
 
 
 def _governance_kwargs(args) -> Dict[str, object]:
@@ -160,13 +179,34 @@ def _run_flows(net, args) -> int:
     wall_start = time.time()
     with obs.installed(recorder):
         for label in labels:
-            with obs.span(
-                f"flow:{label}", circuit=net.name, k=args.k, jobs=jobs
-            ):
-                result = FLOWS[label](
-                    net.copy(), args.k, verify=args.verify, jobs=jobs,
-                    **governance,
+            journal = _open_flow_journal(args, net.name, label)
+            flow_kwargs = dict(governance)
+            if journal is not None:
+                flow_kwargs["journal"] = journal
+            try:
+                with obs.span(
+                    f"flow:{label}", circuit=net.name, k=args.k, jobs=jobs
+                ):
+                    result = FLOWS[label](
+                        net.copy(), args.k, verify=args.verify, jobs=jobs,
+                        **flow_kwargs,
+                    )
+            except RunInterrupted as exc:
+                print(
+                    f"interrupted ({exc.reason}): {exc.completed}/"
+                    f"{exc.total} groups journaled"
+                    + (f" in {exc.journal_path}" if exc.journal_path else "")
                 )
+                print("re-run with --resume to pick up where this left off")
+                return EXIT_INTERRUPTED
+            if journal is not None:
+                info = result.details.get("journal") or {}
+                if info.get("replayed"):
+                    print(
+                        f"  [resumed: {info['replayed']} group(s) replayed "
+                        f"from journal, {info['executed']} executed; "
+                        "equivalence gate passed]"
+                    )
             _print_degradation(result)
             rows.append(
                 [label, result.lut_count, result.clb_count,
@@ -196,15 +236,29 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     net = build(args.circuit)
     trace_path: Optional[str] = getattr(args, "trace", None)
     recorder = obs.TraceRecorder() if trace_path else None
+    journal = _open_flow_journal(args, net.name, args.flow)
+    flow_kwargs = _governance_kwargs(args)
+    if journal is not None:
+        flow_kwargs["journal"] = journal
     wall_start = time.time()
-    with obs.installed(recorder):
-        with obs.span(
-            f"flow:{args.flow}", circuit=net.name, k=args.k, jobs=args.jobs
-        ):
-            result = FLOWS[args.flow](
-                net, args.k, verify=args.verify, jobs=args.jobs,
-                **_governance_kwargs(args),
-            )
+    try:
+        with obs.installed(recorder):
+            with obs.span(
+                f"flow:{args.flow}", circuit=net.name, k=args.k,
+                jobs=args.jobs,
+            ):
+                result = FLOWS[args.flow](
+                    net, args.k, verify=args.verify, jobs=args.jobs,
+                    **flow_kwargs,
+                )
+    except RunInterrupted as exc:
+        print(
+            f"interrupted ({exc.reason}): {exc.completed}/{exc.total} "
+            "groups journaled"
+            + (f" in {exc.journal_path}" if exc.journal_path else "")
+        )
+        print("re-run with --resume to pick up where this left off")
+        return EXIT_INTERRUPTED
     if recorder is not None:
         _write_trace_file(
             trace_path, recorder, [result], args.flow, net.name, args.k,
@@ -285,6 +339,79 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_journal(args: argparse.Namespace) -> int:
+    """Render (or, with --check, gate on) a checkpoint journal file."""
+    records, problems = load_journal(args.path)
+    problems = list(problems) + validate_journal(records)
+    if args.check:
+        for problem in problems:
+            print(f"journal: {problem}")
+        if problems:
+            return 1
+        groups = sum(1 for r in records if r.get("type") == "group")
+        verdicts = [r for r in records if r.get("type") == "verdict"]
+        if verdicts and not verdicts[-1].get("equivalent"):
+            print("journal: last equivalence verdict is negative")
+            return 1
+        done = any(r.get("type") == "done" for r in records)
+        print(
+            f"journal ok: {groups} group(s), {len(verdicts)} verdict(s), "
+            f"run {'complete' if done else 'incomplete'}"
+        )
+        return 0
+
+    meta = records[0] if records and records[0].get("type") == "meta" else {}
+    print(
+        f"journal {args.path}: circuit={meta.get('circuit')} "
+        f"flow={meta.get('flow')} k={meta.get('k')} "
+        f"version={meta.get('version')}"
+    )
+    for record in records:
+        kind = record.get("type")
+        if kind == "group":
+            outs = ",".join(record.get("group", []))
+            print(
+                f"  group {record.get('gi'):>3} [{record.get('key')}] "
+                f"({outs}) {record.get('mode')} "
+                f"{record.get('seconds', 0):.3f}s"
+                + (
+                    f" via {record['resolution']}"
+                    if record.get("resolution")
+                    else ""
+                )
+            )
+        elif kind == "event":
+            if record.get("kind") == "interrupted":
+                print(
+                    f"  interrupted ({record.get('reason')}): "
+                    f"{record.get('completed')}/{record.get('total')} groups"
+                )
+            else:
+                print(f"  event: {record.get('kind')}")
+        elif kind == "verdict":
+            status = "equivalent" if record.get("equivalent") else "DIFFERS"
+            print(
+                f"  verdict: {status} (replayed {record.get('replayed')}, "
+                f"executed {record.get('executed')}, "
+                f"engine {record.get('engine')})"
+            )
+        elif kind == "done":
+            print(
+                f"  done: flow={record.get('flow')} "
+                f"luts={record.get('lut_count')} "
+                f"clbs={record.get('clb_count')} "
+                f"seconds={record.get('seconds')}"
+            )
+    if problems:
+        print(
+            f"\n[{len(problems)} problem(s); "
+            "run with --check for a non-zero exit]"
+        )
+        for problem in problems:
+            print(f"  {problem}")
+    return 0
+
+
 def _cmd_map(args: argparse.Namespace) -> int:
     return _run_flows(build(args.circuit), args)
 
@@ -348,7 +475,19 @@ def _add_governance_flags(p: argparse.ArgumentParser) -> None:
         "--inject-faults", default=None, metavar="SPEC",
         help="deterministic fault injection, e.g. 'crash@0,hang@1:2' "
         "(kind@group[:times]; kinds: crash, hang, oversized_bdd, "
-        "corrupt_blif)",
+        "corrupt_blif; parent_kill@N stops the run after N groups)",
+    )
+    p.add_argument(
+        "--checkpoint", default=None, metavar="DIR",
+        help="journal each completed group to DIR so an interrupted run "
+        "can be resumed (one journal file per circuit/flow/k)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="with --checkpoint: replay completed groups from the "
+        "journal instead of re-executing them (the spliced network is "
+        "equivalence-checked against the source before the run counts "
+        "as complete)",
     )
 
 
@@ -410,6 +549,17 @@ def main(argv=None) -> int:
         "at least this fraction of its wall time (e.g. 0.9)",
     )
 
+    p = sub.add_parser(
+        "journal", help="render a checkpoint journal written by --checkpoint"
+    )
+    p.add_argument("path", help="journal file written by --checkpoint")
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate instead of render: schema, record hashes, "
+        "fragment parses and the final equivalence verdict; non-zero "
+        "exit on failure",
+    )
+
     for table in (1, 2):
         p = sub.add_parser(f"table{table}",
                            help=f"regenerate the paper's Table {table}")
@@ -428,6 +578,8 @@ def main(argv=None) -> int:
         return _cmd_stats(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "journal":
+        return _cmd_journal(args)
     if args.command == "table1":
         return _cmd_table(args, 1)
     if args.command == "table2":

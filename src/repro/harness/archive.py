@@ -11,14 +11,21 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..runstate.atomic import atomic_write
 from .records import ExperimentRecord
 
 __all__ = ["save_record", "load_record", "compare_records", "RecordDiff"]
 
 
 def save_record(record: ExperimentRecord, path: Union[str, Path]) -> None:
-    """Write a record to a JSON file."""
-    Path(path).write_text(record.to_json())
+    """Write a record to a JSON file.
+
+    Atomic: serialization happens into a temp file that replaces ``path``
+    only once complete, so a crash mid-save (hours of sweep results!)
+    cannot clobber the previous archive with a truncated one.
+    """
+    with atomic_write(path) as handle:
+        handle.write(record.to_json())
 
 
 def load_record(path: Union[str, Path]) -> ExperimentRecord:

@@ -3,10 +3,17 @@
 The verification mode scales with circuit size: exact BDD equivalence on
 small/medium circuits, random-simulation screening on large ones (the
 global-BDD check would dominate the runtime there).
+
+With ``checkpoint_dir`` set, every (circuit, flow) run keeps a durable
+journal (see :mod:`repro.runstate`): an interrupted sweep stops cleanly
+at the current circuit, and ``resume=True`` replays completed groups —
+and skips entire (circuit, flow) runs whose journal already carries a
+``done`` record behind a positive equivalence verdict.
 """
 
 from __future__ import annotations
 
+import inspect
 import os
 import time
 import traceback
@@ -14,6 +21,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..circuits import CIRCUITS, build
 from ..mapping import MapResult
+from ..runstate import RunInterrupted, open_journal
 from .records import CircuitRecord, ExperimentRecord, FlowRecord
 
 __all__ = ["run_experiment", "default_size_classes", "FlowSpec"]
@@ -29,6 +37,20 @@ def default_size_classes() -> List[str]:
     return classes
 
 
+def _accepts_journal(flow: Callable) -> bool:
+    """True when ``flow`` can take a ``journal=`` keyword argument."""
+    try:
+        sig = inspect.signature(flow)
+    except (TypeError, ValueError):
+        return False
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_KEYWORD:
+            return True
+        if param.name == "journal":
+            return True
+    return False
+
+
 def run_experiment(
     experiment: str,
     flows: Dict[str, Callable],
@@ -36,11 +58,21 @@ def run_experiment(
     metric: str = "lut_count",
     k: int = 5,
     verbose: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> ExperimentRecord:
     """Run every flow on every circuit; failures are recorded, not raised.
 
     ``flows`` maps a flow label to a callable ``fn(net, k, verify=...)``
     returning a :class:`~repro.mapping.MapResult`.
+
+    ``checkpoint_dir`` journals each (circuit, flow) run so a killed
+    sweep can pick up where it left off; with ``resume=True`` a run
+    whose journal is already complete (``done`` record behind a passing
+    equivalence verdict) is skipped outright and its recorded metrics
+    reused.  A :class:`~repro.runstate.RunInterrupted` from a flow is
+    *not* swallowed like other failures — it aborts the sweep so the
+    journal stays the source of truth for what remains.
     """
     record = ExperimentRecord(experiment=experiment, metric=metric)
     for name in circuit_names:
@@ -53,16 +85,41 @@ def run_experiment(
         )
         verify = "bdd" if spec.size_class != "large" else "sim"
         for label, flow in flows.items():
+            journal = None
+            if checkpoint_dir is not None and _accepts_journal(flow):
+                journal = open_journal(
+                    checkpoint_dir, name, label, k, resume=resume
+                )
+                done = journal.completed_run() if resume else None
+                if done is not None:
+                    crec.flows[label] = FlowRecord(
+                        flow=label,
+                        lut_count=done.get("lut_count"),
+                        clb_count=done.get("clb_count"),
+                        seconds=done.get("seconds") or 0.0,
+                    )
+                    if verbose:
+                        print(
+                            f"  {name:8s} {label:24s} skipped "
+                            "(journal already complete)"
+                        )
+                    continue
             net = build(name)
             start = time.time()
+            kwargs = {"journal": journal} if journal is not None else {}
             try:
-                result = flow(net, k, verify=verify)
+                result = flow(net, k, verify=verify, **kwargs)
                 crec.flows[label] = FlowRecord(
                     flow=label,
                     lut_count=result.lut_count,
                     clb_count=result.clb_count,
                     seconds=time.time() - start,
                 )
+            except RunInterrupted:
+                # A graceful shutdown is a sweep-level stop, not a
+                # per-flow failure: surface it so the caller exits and
+                # the journal directory describes what is left.
+                raise
             except Exception as exc:  # record and move on
                 crec.flows[label] = FlowRecord(
                     flow=label,

@@ -26,8 +26,9 @@ from .. import obs
 from ..bdd import FALSE, TRUE
 from ..decompose import DecompositionOptions, decompose_to_network
 from ..network import GlobalBdds, Network, extract_cone, parse_blif, to_blif
+from ..runstate import RunInterrupted, RunJournal
 from .clb import pack_xc3000
-from .hyde import MapResult, _check, _splice, hyde_map
+from .hyde import MapResult, _check, _resume_gate, _splice, hyde_map
 from .lut import cleanup_for_lut_count, count_luts
 from .parallel import GroupTask, TaskPolicy, run_group_tasks
 from .resub import resubstitute
@@ -53,15 +54,18 @@ def map_per_output(
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    journal: Optional[RunJournal] = None,
 ) -> MapResult:
     """Decompose every output independently (no hyper-function).
 
     ``jobs > 1`` decomposes the output cones in a process pool (each
     output is its own task; see :mod:`repro.mapping.parallel`).
-    ``policy`` / ``faults`` behave as in :func:`~repro.mapping.hyde.hyde_map`:
-    either routes the outputs through the fault-tolerant task runner
-    (even at ``jobs=1``) and recovery shows up in
-    ``details["degraded"]`` / ``details["pool_fallback"]``.
+    ``policy`` / ``faults`` / ``journal`` behave as in
+    :func:`~repro.mapping.hyde.hyde_map`: any of them routes the outputs
+    through the fault-tolerant task runner (even at ``jobs=1``);
+    recovery shows up in ``details["degraded"]`` /
+    ``details["pool_fallback"]``, and a journal adds checkpoint/resume
+    with the same interruption and resume-gate contract.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -99,9 +103,13 @@ def map_per_output(
     jobs_used = 1
     degraded: list = []
     pool_fallback: Optional[str] = None
-    use_tasks = (jobs > 1 and len(unique) > 1) or policy is not None or bool(
-        faults
+    use_tasks = (
+        (jobs > 1 and len(unique) > 1)
+        or policy is not None
+        or bool(faults)
+        or journal is not None
     )
+    run_report = None
     if use_tasks and unique:
         recorder = obs.active()
         tasks = [
@@ -122,7 +130,13 @@ def map_per_output(
         with perf.phase("decompose"), obs.span(
             "decompose", manager=manager, groups=len(tasks), jobs=jobs
         ) as dspan:
-            results, run_report = run_group_tasks(tasks, jobs, policy)
+            results, run_report = run_group_tasks(
+                tasks,
+                jobs,
+                policy,
+                journal=journal,
+                shutdown_after=getattr(faults, "parent_kill_after", None),
+            )
             if recorder is not None:
                 for res in results:
                     if res.spans:
@@ -132,6 +146,19 @@ def map_per_output(
         jobs_used = run_report.jobs_used
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
+        if run_report.interrupted:
+            obs.event(
+                "interrupted",
+                reason=run_report.interrupt_reason,
+                completed=len(results),
+                total=len(tasks),
+            )
+            raise RunInterrupted(
+                run_report.interrupt_reason or "shutdown",
+                completed=len(results),
+                total=len(tasks),
+                journal_path=run_report.journal_path,
+            )
         if pool_fallback is not None:
             obs.event("pool_fallback", reason=pool_fallback)
         for entry in degraded:
@@ -175,23 +202,35 @@ def map_per_output(
         cleanup_for_lut_count(result)
     with perf.phase("verify"), obs.span("verify", manager=manager):
         _check(net, result, verify)
+    journal_info = _resume_gate(net, result, journal, run_report, verify, perf)
     perf_report = perf.snapshot(manager)
     if manager._class_oracle is not None:
         perf_report["oracle"] = manager._class_oracle.stats()
     perf_report["jobs_requested"] = jobs
     perf_report["jobs_used"] = jobs_used
+    lut_count = count_luts(result, k)
+    clb_count = pack_xc3000(result).num_clbs if pack_clbs else None
+    seconds = time.time() - start
+    if journal is not None:
+        journal.record_done(
+            flow=f"per-output/{encoding_policy}",
+            lut_count=lut_count,
+            clb_count=clb_count,
+            seconds=round(seconds, 6),
+        )
     return MapResult(
         network=result,
         k=k,
-        lut_count=count_luts(result, k),
-        clb_count=pack_xc3000(result).num_clbs if pack_clbs else None,
-        seconds=time.time() - start,
+        lut_count=lut_count,
+        clb_count=clb_count,
+        seconds=seconds,
         groups=[[out] for out in net.output_names],
         flow=f"per-output/{encoding_policy}",
         details={
             "perf": perf_report,
             "degraded": degraded,
             "pool_fallback": pool_fallback,
+            "journal": journal_info,
         },
     )
 
@@ -208,6 +247,7 @@ def map_per_output_resub(
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
+    journal: Optional[RunJournal] = None,
 ) -> MapResult:
     """Per-output decomposition followed by support-minimising resub."""
     start = time.time()
@@ -222,6 +262,7 @@ def map_per_output_resub(
         policy=policy,
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,
+        journal=journal,
     )
     result = base.network
     rewrites = resubstitute(result, k, max_pis=max_pis)
@@ -254,6 +295,7 @@ def map_column_encoding(
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
+    journal: Optional[RunJournal] = None,
 ) -> MapResult:
     """FGSyn-like column encoding: PPIs never enter a bound set."""
     result = hyde_map(
@@ -267,6 +309,7 @@ def map_column_encoding(
         policy=policy,
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,
+        journal=journal,
     )
     result.flow = "column-encoding"
     return result

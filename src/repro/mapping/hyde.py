@@ -36,6 +36,7 @@ from ..network import (
     simulate_equivalence,
     to_blif,
 )
+from ..runstate import RunInterrupted, RunJournal
 from .clb import pack_xc3000
 from .lut import cleanup_for_lut_count, count_luts
 from .parallel import GroupTask, TaskPolicy, build_group_fragment, run_group_tasks
@@ -130,6 +131,7 @@ def hyde_map(
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
     max_seconds: Optional[float] = None,
+    journal: Optional[RunJournal] = None,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -161,6 +163,16 @@ def hyde_map(
     :class:`~repro.bdd.BddBudgetExceeded` — which the task runner turns
     into a ladder step when a ``policy`` is set, and which propagates to
     the caller (instead of grinding forever) when one is not.
+
+    ``journal`` (a :class:`~repro.runstate.RunJournal`) makes the run
+    crash-safe and resumable: each group's fragment is journaled as it
+    lands, already-journaled groups replay by content-addressed key
+    instead of re-executing, and a SIGINT/SIGTERM mid-run raises
+    :class:`~repro.runstate.RunInterrupted` *after* the journal recorded
+    the interruption.  When a resumed run replayed anything, the spliced
+    network passes a mandatory BDD equivalence gate against ``net``
+    (regardless of ``verify``) and the journal records the verdict;
+    ``details["journal"]`` reports the replayed/executed split.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -213,11 +225,15 @@ def hyde_map(
     degraded: List[Dict[str, object]] = []
     pool_fallback: Optional[str] = None
 
-    # The task runner is the only path with timeouts / retries / fault
-    # hooks, so a policy or a fault plan routes through it even serially.
-    use_tasks = (jobs > 1 and len(groups) > 1) or policy is not None or bool(
-        faults
+    # The task runner is the only path with timeouts / retries / fault /
+    # journal hooks, so any of those routes through it even serially.
+    use_tasks = (
+        (jobs > 1 and len(groups) > 1)
+        or policy is not None
+        or bool(faults)
+        or journal is not None
     )
+    run_report = None
     if use_tasks and groups:
         recorder = obs.active()
         tasks = []
@@ -240,7 +256,13 @@ def hyde_map(
         with perf.phase("decompose"), obs.span(
             "decompose", manager=manager, groups=len(tasks), jobs=jobs
         ) as dspan:
-            results, run_report = run_group_tasks(tasks, jobs, policy)
+            results, run_report = run_group_tasks(
+                tasks,
+                jobs,
+                policy,
+                journal=journal,
+                shutdown_after=getattr(faults, "parent_kill_after", None),
+            )
             if recorder is not None:
                 # Worker span trees come back rebased to 0; anchor each at
                 # the decompose span's start (perf_counter bases are
@@ -254,6 +276,22 @@ def hyde_map(
         jobs_used = run_report.jobs_used
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
+        if run_report.interrupted:
+            # The journal already holds every completed group and the
+            # interruption record; stop before the splice would fail on
+            # missing drivers.
+            obs.event(
+                "interrupted",
+                reason=run_report.interrupt_reason,
+                completed=len(results),
+                total=len(tasks),
+            )
+            raise RunInterrupted(
+                run_report.interrupt_reason or "shutdown",
+                completed=len(results),
+                total=len(tasks),
+                journal_path=run_report.journal_path,
+            )
         if pool_fallback is not None:
             obs.event("pool_fallback", reason=pool_fallback)
         for entry in degraded:
@@ -338,6 +376,9 @@ def hyde_map(
         cleanup_for_lut_count(result)
     with perf.phase("verify"), obs.span("verify", manager=manager):
         _check(net, result, verify)
+    journal_info = _resume_gate(
+        net, result, journal, run_report, verify, perf
+    )
 
     with perf.phase("cost"), obs.span("cost", manager=manager):
         luts = count_luts(result, k)
@@ -347,12 +388,18 @@ def hyde_map(
         perf_report["oracle"] = manager._class_oracle.stats()
     perf_report["jobs_requested"] = jobs
     perf_report["jobs_used"] = jobs_used
+    seconds = time.time() - start
+    if journal is not None:
+        journal.record_done(
+            flow="hyde", lut_count=luts, clb_count=clbs,
+            seconds=round(seconds, 6),
+        )
     return MapResult(
         network=result,
         k=k,
         lut_count=luts,
         clb_count=clbs,
-        seconds=time.time() - start,
+        seconds=seconds,
         groups=groups,
         flow="hyde",
         details={
@@ -361,6 +408,7 @@ def hyde_map(
             "perf": perf_report,
             "degraded": degraded,
             "pool_fallback": pool_fallback,
+            "journal": journal_info,
         },
     )
 
@@ -395,3 +443,57 @@ def _check(original: Network, mapped: Network, verify: str) -> None:
         raise AssertionError(
             f"mapping broke output {bad!r} of {original.name}"
         )
+
+
+def _resume_gate(
+    net: Network,
+    result: Network,
+    journal,
+    run_report,
+    verify: str,
+    perf,
+) -> Optional[Dict[str, object]]:
+    """The resume verification contract, shared by the journaled flows.
+
+    A run that replayed *anything* from a journal must prove the spliced
+    network still computes ``net`` — with the exact BDD engine, even if
+    the caller asked for ``verify="sim"``/``"none"`` — before it may be
+    declared complete, and the journal records the verdict either way.
+    Runs that executed everything fresh record their verdict from the
+    ordinary ``verify`` step (which has already passed by the time this
+    runs).  Returns the ``details["journal"]`` payload, or ``None`` when
+    the flow has no journal.
+    """
+    if journal is None:
+        return None
+    replayed = run_report.replayed if run_report is not None else 0
+    executed = run_report.executed if run_report is not None else 0
+    if replayed > 0:
+        with perf.phase("resume_gate"), obs.span(
+            "resume_gate", replayed=replayed
+        ):
+            bad = check_equivalence(net, result)
+        journal.record_verdict(
+            equivalent=bad is None,
+            replayed=replayed,
+            executed=executed,
+            engine="bdd",
+            detail=None if bad is None else f"output {bad!r} differs",
+        )
+        if bad is not None:
+            raise AssertionError(
+                f"resume gate: journal replay broke output {bad!r} of "
+                f"{net.name} (journal {journal.path})"
+            )
+    else:
+        journal.record_verdict(
+            equivalent=True,
+            replayed=0,
+            executed=executed,
+            engine=f"verify:{verify}",
+        )
+    return {
+        "path": journal.path,
+        "replayed": replayed,
+        "executed": executed,
+    }

@@ -28,11 +28,22 @@ way is recorded in :class:`RunReport`.
 Workers fall back to in-process execution when a pool cannot be created
 (restricted sandboxes without fork/semaphores), so ``jobs>1`` is always
 safe to request; the fallback is recorded in ``RunReport.pool_fallback``.
+
+Runs are additionally *crash-safe* when the caller supplies a
+:class:`~repro.runstate.RunJournal`: every validated fragment is
+journaled as it lands (WAL discipline), already-journaled tasks are
+replayed by content-addressed key instead of re-executed, and a
+SIGINT/SIGTERM while the loop is live unwinds through
+:class:`~repro.runstate.ShutdownRequested` into a partial
+:class:`RunReport` marked ``interrupted`` — workers terminated, journal
+flushed, nothing torn.
 """
 
 from __future__ import annotations
 
+import contextlib
 import multiprocessing
+import time
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -43,6 +54,7 @@ from ..decompose import DecompositionOptions, decompose_to_network
 from ..hyper import decompose_hyper_function
 from ..network import GlobalBdds, Network, check_equivalence, parse_blif, to_blif
 from ..perf import PerfCounters
+from ..runstate import RunJournal, ShutdownRequested, graceful_shutdown, task_key
 from .lut import cleanup_for_lut_count, count_luts
 
 __all__ = [
@@ -87,6 +99,9 @@ class GroupResult:
     # start at 0 because perf_counter bases are process-local — the
     # parent grafts them with an offset into its own tree.
     spans: List[Dict[str, object]] = field(default_factory=list)
+    # Wall-clock of the producing attempt, measured where the work ran
+    # (worker-side for pooled tasks); journaled and restored on replay.
+    seconds: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -125,6 +140,12 @@ class RunReport:
     first attempt: ``{"gi", "group", "causes", "resolution", "attempts"}``
     where ``resolution`` names the ladder rung that finally produced the
     fragment (``"retry"`` / ``"per_output"`` / ``"structural"``).
+
+    With a run journal, ``replayed`` counts tasks satisfied from the
+    journal without execution and ``executed`` counts tasks actually run
+    (and journaled) this time; ``interrupted`` is set when a shutdown
+    request stopped the batch early — the results list is then partial
+    and the journal holds everything that completed.
     """
 
     jobs_used: int = 1
@@ -132,6 +153,11 @@ class RunReport:
     degraded: List[Dict[str, object]] = field(default_factory=list)
     timeouts: int = 0
     retries: int = 0
+    replayed: int = 0
+    executed: int = 0
+    interrupted: bool = False
+    interrupt_reason: Optional[str] = None
+    journal_path: Optional[str] = None
     # Merged PerfCounters snapshot across every task reply — the one
     # place worker-side counters survive the process boundary.
     perf: Dict[str, object] = field(default_factory=dict)
@@ -294,8 +320,11 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
     in-process run (pool fallback, ladder retries) nests correctly inside
     the parent's own recorder.
     """
+    start = time.perf_counter()
     if not task.trace:
-        return _decompose_group(task)
+        result = _decompose_group(task)
+        result.seconds = time.perf_counter() - start
+        return result
     rec = obs.TraceRecorder(proc=f"task:{task.gi}")
     prev = obs.install(rec)
     try:
@@ -303,6 +332,7 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
     finally:
         obs.restore(prev)
     result.spans = rec.to_dicts(rebase=True)
+    result.seconds = time.perf_counter() - start
     return result
 
 
@@ -464,139 +494,247 @@ def _merge_result_perf(
     report.perf = merged.snapshot()
 
 
+def _replay_result(
+    task: GroupTask, record: Dict[str, object]
+) -> Optional[GroupResult]:
+    """Rebuild a :class:`GroupResult` from a journaled group record.
+
+    Returns ``None`` — forcing re-execution — when the journaled
+    fragment does not survive the same checks a live worker reply must
+    pass: the BLIF has to parse and drive exactly the task's outputs.  A
+    corrupt or tampered journal therefore degrades to recomputation,
+    never to splicing garbage.
+    """
+    blif_text = record.get("blif")
+    if not isinstance(blif_text, str):
+        return None
+    try:
+        fragment = parse_blif(blif_text)
+    except ValueError:
+        return None
+    if sorted(fragment.output_names) != sorted(task.group):
+        return None
+    info = dict(record.get("info") or {})
+    info["replayed"] = True
+    try:
+        seconds = float(record.get("seconds") or 0.0)
+    except (TypeError, ValueError):
+        seconds = 0.0
+    return GroupResult(
+        gi=task.gi, blif_text=blif_text, info=info, seconds=seconds
+    )
+
+
 def _run_governed(
     tasks: List[GroupTask],
     jobs: int,
     policy: TaskPolicy,
     report: RunReport,
+    journal: Optional[RunJournal] = None,
+    shutdown_after: Optional[int] = None,
 ) -> Tuple[List[GroupResult], RunReport]:
-    """The policy path: timeouts, validation, and the degradation ladder."""
+    """The policy path: timeouts, validation, and the degradation ladder.
+
+    With a ``journal``, completed tasks are first replayed by
+    content-addressed key (stale keys simply miss), every fragment that
+    lands is journaled before the loop moves on, and SIGINT/SIGTERM —
+    or the test-only ``shutdown_after`` parent-kill injection — stops
+    the batch gracefully: the pool is torn down, the interruption is
+    journaled, and the partial results are returned with
+    ``report.interrupted`` set.
+    """
     results: List[Optional[GroupResult]] = [None] * len(tasks)
     causes: Dict[int, List[str]] = {i: [] for i in range(len(tasks))}
     pending: List[int] = []
+    keys: List[Optional[str]] = [None] * len(tasks)
 
-    pool = None
-    workers = min(jobs, len(tasks))
-    if jobs > 1 and len(tasks) > 1:
-        try:
-            pool = _make_pool(workers)
-        except (OSError, PermissionError, RuntimeError) as exc:
-            report.pool_fallback = f"{type(exc).__name__}: {exc}"
-    report.jobs_used = workers if pool is not None else 1
-
-    if pool is not None:
-        try:
-            handles = [
-                pool.apply_async(decompose_group_task, (tasks[i],))
-                for i in range(len(tasks))
-            ]
-            for i, handle in enumerate(handles):
-                try:
-                    result = handle.get(timeout=policy.timeout_seconds)
-                except multiprocessing.TimeoutError:
-                    report.timeouts += 1
-                    causes[i].append(
-                        f"timeout: exceeded {policy.timeout_seconds:g}s"
-                        " wall clock"
-                    )
-                    pending.append(i)
-                    continue
-                except BddBudgetExceeded as exc:
-                    prefix = "timeout" if exc.kind == "seconds" else "budget"
-                    if prefix == "timeout":
-                        report.timeouts += 1
-                    causes[i].append(f"{prefix}: {exc}")
-                    pending.append(i)
-                    continue
-                except Exception as exc:  # noqa: BLE001 - worker died
-                    causes[i].append(f"crash: {type(exc).__name__}: {exc}")
-                    pending.append(i)
-                    continue
-                cause = _validate_reply(tasks[i], result, policy)
-                if cause is None:
-                    results[i] = result
-                else:
-                    causes[i].append(cause)
-                    pending.append(i)
-        finally:
-            # terminate, not close: a hung worker would block join forever.
-            pool.terminate()
-            pool.join()
-    else:
-        for i in range(len(tasks)):
-            cause, result = _attempt_inprocess(tasks[i], policy, attempt=0)
-            if cause is None:
-                results[i] = result
+    todo = list(range(len(tasks)))
+    if journal is not None:
+        report.journal_path = journal.path
+        keys = [task_key(task) for task in tasks]
+        remaining: List[int] = []
+        for i in todo:
+            record = journal.lookup(keys[i])
+            replayed = (
+                _replay_result(tasks[i], record)
+                if record is not None
+                else None
+            )
+            if replayed is not None:
+                results[i] = replayed
+                report.replayed += 1
             else:
-                if cause.startswith("timeout"):
-                    report.timeouts += 1
-                causes[i].append(cause)
-                pending.append(i)
+                remaining.append(i)
+        todo = remaining
 
-    # The ladder, per still-failing task (in-process from here on: the
-    # remaining work is recovery, not throughput).
-    for i in pending:
-        task = tasks[i]
-        resolution: Optional[str] = None
-        attempt = 0
-        for retry in range(1, policy.retries + 1):
-            attempt = retry
-            report.retries += 1
-            cause, result = _attempt_inprocess(task, policy, attempt)
-            if cause is None:
-                results[i] = result
-                resolution = "retry"
-                break
-            if cause.startswith("timeout"):
-                report.timeouts += 1
-            causes[i].append(cause)
+    def _land(
+        i: int,
+        result: GroupResult,
+        seconds: float,
+        resolution: Optional[str] = None,
+    ) -> None:
+        """Accept a validated fragment: journal it, then check shutdown."""
+        results[i] = result
+        report.executed += 1
+        if journal is not None:
+            journal.record_group(
+                keys[i], tasks[i], result, seconds, resolution=resolution
+            )
         if (
-            resolution is None
-            and policy.per_output_fallback
-            and task.mode == "hyper"
-            and len(task.group) > 1
+            shutdown_after is not None
+            and report.executed >= shutdown_after
         ):
-            attempt += 1
-            cause, result = _attempt_inprocess(
-                task, policy, attempt, mode="per_output"
-            )
-            if cause is None:
-                results[i] = result
-                resolution = "per_output"
+            raise ShutdownRequested("injected_parent_kill")
+
+    guard = (
+        graceful_shutdown()
+        if journal is not None or shutdown_after is not None
+        else contextlib.nullcontext()
+    )
+    try:
+        with guard:
+            pool = None
+            workers = min(jobs, len(todo)) if todo else 1
+            if jobs > 1 and len(todo) > 1:
+                try:
+                    pool = _make_pool(workers)
+                except (OSError, PermissionError, RuntimeError) as exc:
+                    report.pool_fallback = f"{type(exc).__name__}: {exc}"
+            report.jobs_used = workers if pool is not None else 1
+
+            if pool is not None:
+                try:
+                    handles = [
+                        (i, pool.apply_async(decompose_group_task, (tasks[i],)))
+                        for i in todo
+                    ]
+                    for i, handle in handles:
+                        try:
+                            result = handle.get(timeout=policy.timeout_seconds)
+                        except multiprocessing.TimeoutError:
+                            report.timeouts += 1
+                            causes[i].append(
+                                f"timeout: exceeded {policy.timeout_seconds:g}s"
+                                " wall clock"
+                            )
+                            pending.append(i)
+                            continue
+                        except BddBudgetExceeded as exc:
+                            prefix = (
+                                "timeout" if exc.kind == "seconds" else "budget"
+                            )
+                            if prefix == "timeout":
+                                report.timeouts += 1
+                            causes[i].append(f"{prefix}: {exc}")
+                            pending.append(i)
+                            continue
+                        except Exception as exc:  # noqa: BLE001 - worker died
+                            causes[i].append(
+                                f"crash: {type(exc).__name__}: {exc}"
+                            )
+                            pending.append(i)
+                            continue
+                        cause = _validate_reply(tasks[i], result, policy)
+                        if cause is None:
+                            _land(i, result, result.seconds)
+                        else:
+                            causes[i].append(cause)
+                            pending.append(i)
+                finally:
+                    # terminate, not close: a hung worker would block join
+                    # forever (and a shutdown request must not wait either).
+                    pool.terminate()
+                    pool.join()
             else:
-                if cause.startswith("timeout"):
-                    report.timeouts += 1
-                causes[i].append(cause)
-        if resolution is None and policy.structural_fallback:
-            # Parent-side and deterministic: immune to worker faults.
-            cone = parse_blif(task.blif_text)
-            fragment = structural_fragment(
-                cone, task.options.k, name=f"{task.base_name}_struct"
+                for i in todo:
+                    cause, result = _attempt_inprocess(
+                        tasks[i], policy, attempt=0
+                    )
+                    if cause is None:
+                        _land(i, result, result.seconds)
+                    else:
+                        if cause.startswith("timeout"):
+                            report.timeouts += 1
+                        causes[i].append(cause)
+                        pending.append(i)
+
+            # The ladder, per still-failing task (in-process from here on:
+            # the remaining work is recovery, not throughput).
+            for i in pending:
+                task = tasks[i]
+                resolution: Optional[str] = None
+                landed: Optional[GroupResult] = None
+                attempt = 0
+                for retry in range(1, policy.retries + 1):
+                    attempt = retry
+                    report.retries += 1
+                    cause, result = _attempt_inprocess(task, policy, attempt)
+                    if cause is None:
+                        landed = result
+                        resolution = "retry"
+                        break
+                    if cause.startswith("timeout"):
+                        report.timeouts += 1
+                    causes[i].append(cause)
+                if (
+                    resolution is None
+                    and policy.per_output_fallback
+                    and task.mode == "hyper"
+                    and len(task.group) > 1
+                ):
+                    attempt += 1
+                    cause, result = _attempt_inprocess(
+                        task, policy, attempt, mode="per_output"
+                    )
+                    if cause is None:
+                        landed = result
+                        resolution = "per_output"
+                    else:
+                        if cause.startswith("timeout"):
+                            report.timeouts += 1
+                        causes[i].append(cause)
+                if resolution is None and policy.structural_fallback:
+                    # Parent-side and deterministic: immune to worker faults.
+                    struct_start = time.perf_counter()
+                    cone = parse_blif(task.blif_text)
+                    fragment = structural_fragment(
+                        cone, task.options.k, name=f"{task.base_name}_struct"
+                    )
+                    landed = GroupResult(
+                        gi=task.gi,
+                        blif_text=to_blif(fragment),
+                        info={
+                            "outputs": list(task.group),
+                            "hyper": False,
+                            "mode": "structural",
+                        },
+                        seconds=time.perf_counter() - struct_start,
+                    )
+                    resolution = "structural"
+                if resolution is None:
+                    raise RuntimeError(
+                        f"group {task.gi} ({', '.join(task.group)}) failed "
+                        "every recovery rung: " + "; ".join(causes[i])
+                    )
+                report.degraded.append(
+                    {
+                        "gi": task.gi,
+                        "group": list(task.group),
+                        "causes": list(causes[i]),
+                        "resolution": resolution,
+                        "attempts": attempt + 1,
+                    }
+                )
+                _land(i, landed, landed.seconds, resolution=resolution)
+    except ShutdownRequested as exc:
+        report.interrupted = True
+        report.interrupt_reason = exc.reason
+        if journal is not None:
+            journal.record_interrupted(
+                exc.reason,
+                completed=sum(1 for r in results if r is not None),
+                total=len(tasks),
             )
-            results[i] = GroupResult(
-                gi=task.gi,
-                blif_text=to_blif(fragment),
-                info={
-                    "outputs": list(task.group),
-                    "hyper": False,
-                    "mode": "structural",
-                },
-            )
-            resolution = "structural"
-        if resolution is None:
-            raise RuntimeError(
-                f"group {task.gi} ({', '.join(task.group)}) failed every "
-                "recovery rung: " + "; ".join(causes[i])
-            )
-        report.degraded.append(
-            {
-                "gi": task.gi,
-                "group": list(task.group),
-                "causes": list(causes[i]),
-                "resolution": resolution,
-                "attempts": attempt + 1,
-            }
-        )
 
     final = [r for r in results if r is not None]
     _merge_result_perf(final, report)
@@ -607,6 +745,8 @@ def run_group_tasks(
     tasks: Sequence[GroupTask],
     jobs: int,
     policy: Optional[TaskPolicy] = None,
+    journal: Optional[RunJournal] = None,
+    shutdown_after: Optional[int] = None,
 ) -> Tuple[List[GroupResult], RunReport]:
     """Execute group tasks, fanning out to ``jobs`` processes when >1.
 
@@ -620,13 +760,30 @@ def run_group_tasks(
     returns one usable fragment per task, or raises only after every
     rung, including the cannot-fail structural one, was disabled or
     exhausted.
+
+    ``journal`` (a :class:`~repro.runstate.RunJournal`) makes the batch
+    crash-safe and resumable: journaled tasks replay by key, fresh
+    completions are journaled as they land, and shutdown signals stop
+    the batch cleanly (``report.interrupted``).  ``shutdown_after`` is
+    the deterministic test hook for exactly that path: it raises the
+    same :class:`~repro.runstate.ShutdownRequested` after N landed
+    groups that a real SIGTERM would.  Either option implies the
+    governed path (a default :class:`TaskPolicy` is used when none is
+    given) — replies must be validated before they may be journaled.
     """
     tasks = list(tasks)
     report = RunReport()
-    if policy is None and any(t.inject is not None for t in tasks):
-        policy = TaskPolicy()  # injected faults need the recovery ladder
+    if policy is None and (
+        journal is not None
+        or shutdown_after is not None
+        or any(t.inject is not None for t in tasks)
+    ):
+        policy = TaskPolicy()  # journaling/faults need validated replies
     if policy is not None:
-        return _run_governed(tasks, jobs, policy, report)
+        return _run_governed(
+            tasks, jobs, policy, report,
+            journal=journal, shutdown_after=shutdown_after,
+        )
     if jobs <= 1 or len(tasks) <= 1:
         results = [decompose_group_task(t) for t in tasks]
         _merge_result_perf(results, report)

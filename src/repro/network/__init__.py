@@ -1,7 +1,7 @@
 """Boolean network substrate: netlist, I/O formats, simulation,
 equivalence checking, restructuring and statistics."""
 
-from .blif import parse_blif, read_blif, to_blif, write_blif
+from .blif import BlifError, parse_blif, read_blif, to_blif, write_blif
 from .equiv import EquivalenceError, check_equivalence, simulate_equivalence
 from .dot import network_to_dot
 from .equiv import assert_equivalent
@@ -22,6 +22,7 @@ from .transform import (
 __all__ = [
     "Network",
     "Node",
+    "BlifError",
     "parse_blif",
     "read_blif",
     "to_blif",

@@ -4,6 +4,12 @@ The MCNC benchmarks the paper uses are distributed as BLIF; this module
 lets the reproduction exchange circuits with any classical logic-synthesis
 tool (SIS, ABC, ...).  Only the combinational subset is supported:
 ``.model``, ``.inputs``, ``.outputs``, ``.names``, ``.end``.
+
+Parse failures raise :class:`BlifError` (a :class:`ValueError` subclass,
+so existing broad handlers keep working) carrying the 1-based source
+``line`` of the offending construct — essential when the text being
+rejected is a journaled fragment or a worker reply rather than a file a
+human can eyeball.
 """
 
 from __future__ import annotations
@@ -11,27 +17,53 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, TextIO, Tuple
 
 from ..boolfunc import TruthTable
+from ..runstate.atomic import atomic_write
 from .netlist import Network
 
-__all__ = ["parse_blif", "read_blif", "write_blif", "to_blif"]
+__all__ = ["BlifError", "parse_blif", "read_blif", "write_blif", "to_blif"]
 
 
-def _tokenize(text: str) -> List[List[str]]:
-    """Split into logical lines (continuations joined, comments stripped)."""
-    logical: List[str] = []
+class BlifError(ValueError):
+    """Structured BLIF parse failure: message plus source line number.
+
+    ``line`` is the 1-based number of the first physical line of the
+    offending logical line (continuations collapse onto their first
+    line), or ``None`` for whole-file problems reported at EOF.
+    """
+
+    def __init__(self, message: str, line: Optional[int] = None):
+        super().__init__(
+            message if line is None else f"line {line}: {message}"
+        )
+        self.line = line
+        self.reason = message
+
+
+def _tokenize(text: str) -> List[Tuple[int, List[str]]]:
+    """Split into ``(line_number, tokens)`` logical lines.
+
+    Continuations are joined (keeping the first physical line's number),
+    comments stripped, blank lines dropped.
+    """
+    logical: List[Tuple[int, str]] = []
     pending = ""
-    for raw in text.splitlines():
+    pending_start = 0
+    for number, raw in enumerate(text.splitlines(), 1):
         line = raw.split("#", 1)[0].rstrip()
         if not line and not pending:
             continue
+        if not pending:
+            pending_start = number
         if line.endswith("\\"):
             pending += line[:-1] + " "
             continue
-        logical.append(pending + line)
+        logical.append((pending_start, pending + line))
         pending = ""
     if pending:
-        logical.append(pending)
-    return [line.split() for line in logical if line.split()]
+        logical.append((pending_start, pending))
+    return [
+        (number, line.split()) for number, line in logical if line.split()
+    ]
 
 
 def parse_blif(text: str) -> Network:
@@ -40,43 +72,82 @@ def parse_blif(text: str) -> Network:
     Single-output cover semantics: rows are input cubes (``0``, ``1``,
     ``-``) followed by the output value; an all-``1`` output polarity is
     assumed (``0``-polarity covers are complemented, as in SIS).
+
+    Raises :class:`BlifError` (with a line number) for undefined
+    signals, duplicate ``.model``/``.outputs`` lines, unsupported
+    constructs, malformed cubes and truncated input (no ``.end``).
     """
     lines = _tokenize(text)
     model_name = "blif"
+    model_line: Optional[int] = None
+    outputs_line: Optional[int] = None
     inputs: List[str] = []
     outputs: List[str] = []
-    covers: List[Tuple[List[str], str, List[Tuple[str, str]]]] = []
+    # (fanins, target, rows as (cube, out, line), line of .names header)
+    Rows = List[Tuple[str, str, int]]
+    covers: List[Tuple[List[str], str, Rows, int]] = []
 
     i = 0
-    current: Optional[Tuple[List[str], str, List[Tuple[str, str]]]] = None
+    ended = False
+    current: Optional[Tuple[List[str], str, Rows, int]] = None
     while i < len(lines):
-        tokens = lines[i]
+        number, tokens = lines[i]
         i += 1
         keyword = tokens[0]
+        if ended:
+            raise BlifError(
+                f"content after .end: {' '.join(tokens)}", number
+            )
         if keyword == ".model":
+            if model_line is not None:
+                raise BlifError(
+                    f"duplicate .model line (first at line {model_line})",
+                    number,
+                )
+            model_line = number
             model_name = tokens[1] if len(tokens) > 1 else model_name
         elif keyword == ".inputs":
             inputs.extend(tokens[1:])
         elif keyword == ".outputs":
+            if outputs_line is not None:
+                raise BlifError(
+                    f"duplicate .outputs line (first at line {outputs_line})",
+                    number,
+                )
+            outputs_line = number
             outputs.extend(tokens[1:])
         elif keyword == ".names":
             signals = tokens[1:]
-            current = (signals[:-1], signals[-1], [])
+            if not signals:
+                raise BlifError(".names without a target signal", number)
+            current = (signals[:-1], signals[-1], [], number)
             covers.append(current)
         elif keyword == ".end":
             current = None
+            ended = True
         elif keyword.startswith("."):
-            raise ValueError(f"unsupported BLIF construct {keyword!r}")
+            raise BlifError(
+                f"unsupported BLIF construct {keyword!r}", number
+            )
         else:
             if current is None:
-                raise ValueError(f"cube line outside .names: {' '.join(tokens)}")
+                raise BlifError(
+                    f"cube line outside .names: {' '.join(tokens)}", number
+                )
             if len(current[0]) == 0:
                 # Constant: single token '1' or '0'.
-                current[2].append(("", tokens[0]))
+                current[2].append(("", tokens[0], number))
             else:
                 if len(tokens) != 2:
-                    raise ValueError(f"malformed cube line: {' '.join(tokens)}")
-                current[2].append((tokens[0], tokens[1]))
+                    raise BlifError(
+                        f"malformed cube line: {' '.join(tokens)}", number
+                    )
+                current[2].append((tokens[0], tokens[1], number))
+    if not ended:
+        raise BlifError(
+            "truncated BLIF: no .end directive "
+            f"(saw {len(lines)} logical lines)"
+        )
 
     net = Network(model_name)
     for pi in inputs:
@@ -88,38 +159,58 @@ def parse_blif(text: str) -> Network:
     while pending:
         progressed = False
         deferred = []
-        for fanins, target, rows in pending:
+        for fanins, target, rows, number in pending:
             if all(net.has_signal(fi) for fi in fanins):
-                net.add_node(target, fanins, _cover_to_table(fanins, rows))
+                try:
+                    table = _cover_to_table(fanins, rows)
+                except BlifError:
+                    raise  # already carries the offending cube's line
+                except ValueError as exc:
+                    raise BlifError(str(exc), number) from None
+                net.add_node(target, fanins, table)
                 progressed = True
             else:
-                deferred.append((fanins, target, rows))
+                deferred.append((fanins, target, rows, number))
         if not progressed:
             missing = sorted(
-                {fi for fanins, _, _ in deferred for fi in fanins if not net.has_signal(fi)}
+                {
+                    fi
+                    for fanins, _, _, _ in deferred
+                    for fi in fanins
+                    if not net.has_signal(fi)
+                }
             )
-            raise ValueError(f"undefined signals in BLIF: {missing}")
+            first_line = min(number for _, _, _, number in deferred)
+            raise BlifError(
+                f"undefined signals in BLIF: {missing}", first_line
+            )
         pending = deferred
 
     for out in outputs:
         if not net.has_signal(out):
-            raise ValueError(f"output {out!r} has no driver")
+            raise BlifError(
+                f"output {out!r} has no driver", outputs_line
+            )
         net.add_output(out)
     return net
 
 
-def _cover_to_table(fanins: List[str], rows: List[Tuple[str, str]]) -> TruthTable:
+def _cover_to_table(
+    fanins: List[str], rows: List[Tuple[str, str, int]]
+) -> TruthTable:
     n = len(fanins)
     if n == 0:
-        value = any(out == "1" for _, out in rows)
+        value = any(out == "1" for _, out, _ in rows)
         return TruthTable.constant(0, 1 if value else 0)
     on = 0
     polarity = rows[0][1] if rows else "1"
-    for cube, out in rows:
+    for cube, out, number in rows:
         if out != polarity:
-            raise ValueError("mixed output polarity in one cover")
+            raise BlifError("mixed output polarity in one cover", number)
         if len(cube) != n:
-            raise ValueError(f"cube {cube!r} arity mismatch (expect {n})")
+            raise BlifError(
+                f"cube {cube!r} arity mismatch (expect {n})", number
+            )
         # Expand the cube over don't-care positions.
         free = [j for j, ch in enumerate(cube) if ch == "-"]
         base = 0
@@ -127,7 +218,7 @@ def _cover_to_table(fanins: List[str], rows: List[Tuple[str, str]]) -> TruthTabl
             if ch == "1":
                 base |= 1 << j
             elif ch not in "0-":
-                raise ValueError(f"invalid cube character {ch!r}")
+                raise BlifError(f"invalid cube character {ch!r}", number)
         for k in range(1 << len(free)):
             m = base
             for b, j in enumerate(free):
@@ -175,6 +266,6 @@ def to_blif(net: Network) -> str:
 
 
 def write_blif(net: Network, path: str) -> None:
-    """Write a network to a BLIF file."""
-    with open(path, "w") as handle:
+    """Write a network to a BLIF file (atomically: never a torn file)."""
+    with atomic_write(path) as handle:
         handle.write(to_blif(net))

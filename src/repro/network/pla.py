@@ -10,6 +10,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..boolfunc import TruthTable
+from ..runstate.atomic import atomic_write
 from .netlist import Network
 
 __all__ = ["parse_pla", "read_pla", "to_pla", "write_pla"]
@@ -131,6 +132,6 @@ def to_pla(net: Network) -> str:
 
 
 def write_pla(net: Network, path: str) -> None:
-    """Write a network as a PLA file."""
-    with open(path, "w") as handle:
+    """Write a network as a PLA file (atomically: never a torn file)."""
+    with atomic_write(path) as handle:
         handle.write(to_pla(net))

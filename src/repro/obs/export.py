@@ -31,6 +31,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..runstate.atomic import atomic_write
 from .spans import PERF_INT_SLOTS, TraceRecorder
 
 __all__ = [
@@ -68,9 +69,14 @@ def write_trace(
     recorder: TraceRecorder,
     meta: Optional[Dict[str, object]] = None,
 ) -> int:
-    """Write the trace as JSONL; returns the number of records."""
+    """Write the trace as JSONL; returns the number of records.
+
+    The write is atomic: a crash (or a record that fails to serialize
+    halfway through the list) leaves any previous trace at ``path``
+    intact instead of a truncated JSONL file.
+    """
     records = trace_records(recorder, meta)
-    with open(path, "w") as handle:
+    with atomic_write(path) as handle:
         for record in records:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
     return len(records)

@@ -1,0 +1,93 @@
+"""Atomic file writes: no crash ever leaves a half-written artifact.
+
+Every artifact the reproduction persists — mapped BLIF/PLA output,
+JSONL traces, harness records, benchmark trajectories, minimized repro
+witnesses — used to be written with a plain ``open(path, "w")``, which
+truncates the *old* content before the new content exists.  A crash (or
+``kill -9``) between the truncate and the final ``write`` leaves a torn
+file that silently poisons the next consumer.
+
+:func:`atomic_write` is the one shared fix: serialize into a temporary
+file in the *same directory* (so the final rename cannot cross a
+filesystem boundary), ``fsync`` it, then :func:`os.replace` it over the
+destination.  POSIX guarantees the replace is atomic, so a reader — or a
+resumed run — only ever observes the complete old content or the
+complete new content, never a prefix.  Any exception while serializing
+(including ``KeyboardInterrupt``) discards the temporary file and leaves
+the previous artifact untouched.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from typing import IO, Iterator, Union
+
+__all__ = ["atomic_write", "fsync_directory"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory entry to disk (best effort, POSIX only).
+
+    After :func:`os.replace` the *file* contents are durable but the
+    directory entry pointing at them may not be; fsyncing the directory
+    closes that window.  Platforms that cannot open directories simply
+    skip this — the rename is still atomic, just not yet durable.
+    """
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. Windows
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without directory fsync
+        pass
+    finally:
+        os.close(fd)
+
+
+@contextlib.contextmanager
+def atomic_write(
+    path: Union[str, "os.PathLike[str]"],
+    mode: str = "w",
+    encoding: str = "utf-8",
+    fsync: bool = True,
+) -> Iterator[IO]:
+    """Context manager yielding a handle whose content replaces ``path``
+    atomically on a clean exit.
+
+    The handle writes to a temporary file next to ``path``; on normal
+    exit the data is flushed, fsynced (unless ``fsync=False``; tests and
+    throwaway artifacts may skip the physical flush) and renamed over
+    the destination in one atomic :func:`os.replace`.  If the body
+    raises — a serializer choking halfway through, an injected fault, a
+    signal — the temporary file is deleted and the previous content of
+    ``path`` survives byte for byte.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``).
+    """
+    if "r" in mode or "a" in mode or "+" in mode:
+        raise ValueError(f"atomic_write needs a plain write mode, got {mode!r}")
+    path = os.fspath(path)
+    directory = os.path.dirname(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory or ".",
+        prefix=f".{os.path.basename(path)}.",
+        suffix=".tmp",
+    )
+    try:
+        with os.fdopen(
+            fd, mode, encoding=None if "b" in mode else encoding
+        ) as handle:
+            yield handle
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+        if fsync:
+            fsync_directory(directory)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp_path)
+        raise

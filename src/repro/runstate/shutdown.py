@@ -1,0 +1,100 @@
+"""Graceful shutdown: turn SIGINT/SIGTERM into a clean, journaled stop.
+
+A long MCNC sweep killed by a scheduler (SIGTERM) or an operator
+(ctrl-C) should not die mid-splice with a truncated journal: it should
+stop dispatching new group tasks, terminate outstanding workers, flush
+the run journal and surface a partial report marked ``interrupted``.
+
+The mechanism is deliberately exception-shaped: the installed handler
+raises :class:`ShutdownRequested` in the main thread, which unwinds
+whatever blocking call the dispatch loop was in (``AsyncResult.get``,
+an in-process decomposition) through the ordinary ``finally`` chain.
+:class:`ShutdownRequested` derives from :class:`BaseException` — like
+``KeyboardInterrupt`` — precisely so the fault-tolerance ladder's broad
+``except Exception`` recovery arms cannot mistake an operator's stop
+request for a worker crash and "recover" from it.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["ShutdownRequested", "RunInterrupted", "graceful_shutdown"]
+
+
+class ShutdownRequested(BaseException):
+    """Raised in the main thread when a shutdown signal arrives."""
+
+    def __init__(self, reason: str):
+        super().__init__(reason)
+        self.reason = reason
+
+
+class RunInterrupted(RuntimeError):
+    """A mapping run stopped early on a shutdown request.
+
+    Raised by the flows *after* the journal recorded the interruption,
+    so the caller (CLI, harness) knows the checkpoint is consistent and
+    a re-run with ``resume`` will pick up where this one stopped.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        completed: int,
+        total: int,
+        journal_path: Optional[str] = None,
+    ):
+        super().__init__(
+            f"run interrupted ({reason}) after {completed}/{total} groups"
+            + (f"; resume from {journal_path}" if journal_path else "")
+        )
+        self.reason = reason
+        self.completed = completed
+        self.total = total
+        self.journal_path = journal_path
+
+
+_DEFAULT_SIGNALS: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM)
+
+
+@contextlib.contextmanager
+def graceful_shutdown(
+    signals: Tuple[int, ...] = _DEFAULT_SIGNALS
+) -> Iterator[None]:
+    """Install raise-on-signal handlers for the duration of the body.
+
+    Only the main thread may install signal handlers; anywhere else this
+    is a no-op (the run then keeps the process default — no worse than
+    before).  The previous handlers are restored on exit, and a signal
+    delivered *while unwinding* falls back to them rather than raising a
+    second :class:`ShutdownRequested` mid-cleanup: the handler disarms
+    itself after the first delivery.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    fired = {"done": False}
+
+    def _handler(signum, frame):  # noqa: ARG001 - signal API
+        if fired["done"]:  # second delivery: let cleanup finish
+            return
+        fired["done"] = True
+        raise ShutdownRequested(signal.Signals(signum).name)
+
+    previous = {}
+    for signum in signals:
+        try:
+            previous[signum] = signal.signal(signum, _handler)
+        except (ValueError, OSError):  # pragma: no cover - exotic platform
+            pass
+    try:
+        yield
+    finally:
+        for signum, old in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(signum, old)

@@ -81,24 +81,37 @@ class FaultSpec:
 
 @dataclass
 class FaultPlan:
-    """Fault specs keyed by group index (``GroupTask.gi``)."""
+    """Fault specs keyed by group index (``GroupTask.gi``).
+
+    ``parent_kill_after`` is a *parent-side* fault: the dispatch loop in
+    :func:`repro.mapping.parallel.run_group_tasks` raises
+    :class:`~repro.runstate.ShutdownRequested` after that many groups
+    have landed (and been journaled), exercising the exact graceful-
+    shutdown path a real SIGTERM takes — deterministically, with no
+    signal-delivery race.  Interrupted-then-resumed tests are built on
+    it.
+    """
 
     specs: Dict[int, FaultSpec] = field(default_factory=dict)
+    parent_kill_after: Optional[int] = None
 
     def spec_for(self, gi: int) -> Optional[FaultSpec]:
         return self.specs.get(gi)
 
     def __bool__(self) -> bool:
-        return bool(self.specs)
+        return bool(self.specs) or self.parent_kill_after is not None
 
     @classmethod
     def parse(cls, text: str) -> "FaultPlan":
         """Parse a CLI spec like ``crash@0,hang@1,corrupt_blif@2:3``.
 
         Each comma-separated entry is ``kind@group_index`` with an
-        optional ``:times`` suffix (default 1).
+        optional ``:times`` suffix (default 1).  The special entry
+        ``parent_kill@N`` stops the parent-side loop after N completed
+        groups instead of sabotaging a worker.
         """
         specs: Dict[int, FaultSpec] = {}
+        parent_kill_after: Optional[int] = None
         for entry in text.split(","):
             entry = entry.strip()
             if not entry:
@@ -114,8 +127,13 @@ class FaultPlan:
                 raise ValueError(
                     f"bad fault entry {entry!r} (want kind@group[:times])"
                 ) from exc
+            if kind == "parent_kill":
+                if gi < 1:
+                    raise ValueError("parent_kill@N needs N >= 1")
+                parent_kill_after = gi
+                continue
             specs[gi] = FaultSpec(kind=kind, times=times, seed=gi)
-        return cls(specs)
+        return cls(specs, parent_kill_after=parent_kill_after)
 
 
 # --------------------------------------------------------------------- #

@@ -26,7 +26,8 @@ import os
 from typing import Callable, Optional
 
 from ..boolfunc import TruthTable
-from ..network import Network, extract_cone, propagate_constant_inputs, sweep, write_blif
+from ..network import Network, extract_cone, propagate_constant_inputs, sweep, to_blif
+from ..runstate.atomic import atomic_write
 
 __all__ = ["shrink_network", "save_repro"]
 
@@ -143,12 +144,10 @@ def save_repro(
     """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.blif")
-    write_blif(net, path)
-    if note:
-        with open(path, "r", encoding="utf-8") as handle:
-            body = handle.read()
-        with open(path, "w", encoding="utf-8") as handle:
-            for line in note.splitlines():
-                handle.write(f"# {line}\n")
-            handle.write(body)
+    # One atomic write (note header + body together): a crash while
+    # saving a repro never leaves a half-written witness to chase.
+    with atomic_write(path) as handle:
+        for line in note.splitlines():
+            handle.write(f"# {line}\n")
+        handle.write(to_blif(net))
     return path

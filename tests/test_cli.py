@@ -41,3 +41,51 @@ class TestCli:
     def test_unknown_circuit_rejected(self):
         with pytest.raises(SystemExit):
             main(["map", "nonesuch"])
+
+
+class TestCheckpointCli:
+    def test_interrupt_resume_and_journal_subcommand(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        # parent_kill@1 stops after one journaled group -> exit 75.
+        assert main(
+            ["map", "misex1", "--flow", "hyde", "--checkpoint", ckpt,
+             "--inject-faults", "parent_kill@1"]
+        ) == 75
+        out = capsys.readouterr().out
+        assert "interrupted" in out and "--resume" in out
+
+        assert main(
+            ["map", "misex1", "--flow", "hyde", "--checkpoint", ckpt,
+             "--resume"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[resumed: 1 group(s) replayed" in out
+
+        import glob
+        (journal,) = glob.glob(f"{ckpt}/*.journal.jsonl")
+        assert main(["journal", journal]) == 0
+        out = capsys.readouterr().out
+        assert "interrupted (injected_parent_kill)" in out
+        assert "verdict: equivalent" in out
+        assert main(["journal", journal, "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "journal ok" in out and "run complete" in out
+
+    def test_journal_check_rejects_corruption(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        assert main(
+            ["map", "z4ml", "--flow", "hyde", "--checkpoint", ckpt,
+             "--verify", "none"]
+        ) == 0
+        capsys.readouterr()
+        import glob
+        (journal,) = glob.glob(f"{ckpt}/*.journal.jsonl")
+        lines = open(journal).read().splitlines()
+        # Change a value without refreshing the integrity hash.
+        lines[1] = lines[1].replace('"mode":"hyper"', '"mode":"hacked"')
+        assert '"hacked"' in lines[1]
+        with open(journal, "w") as handle:
+            handle.write("\n".join(lines) + "\n")
+        assert main(["journal", journal, "--check"]) == 1
+        out = capsys.readouterr().out
+        assert "journal:" in out
