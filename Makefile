@@ -2,13 +2,25 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench bench-smoke bench-full trace-smoke resume-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-full trace-smoke resume-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest tests/
+
+# Tier-1 minus the fuzz/differential suites (marked @pytest.mark.slow):
+# the sub-minute loop for day-to-day development.
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest tests/ -m "not slow"
+
+# Checker self-validation at nightly depth: >=200 injected mutants across
+# the example circuits plus extended metamorphic fuzz.  Shrunk witnesses
+# land in verify_repros/ (uploaded as CI artifacts on failure).
+verify-fuzz:
+	PYTHONPATH=src VERIFY_MUTANTS=200 VERIFY_FUZZ_SEEDS=12 \
+		$(PYTHON) tools/verify_fuzz.py
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s

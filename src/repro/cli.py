@@ -386,6 +386,13 @@ def _cmd_journal(args: argparse.Namespace) -> int:
                     f"  interrupted ({record.get('reason')}): "
                     f"{record.get('completed')}/{record.get('total')} groups"
                 )
+            elif record.get("kind") == "failing_cone":
+                print(
+                    f"  failing cone: output {record.get('output')!r} at "
+                    f"{record.get('root')!r} "
+                    f"({len(record.get('cone_nodes') or [])} node(s), "
+                    f"{'confirmed' if record.get('confirmed') else 'unconfirmed'})"
+                )
             else:
                 print(f"  event: {record.get('kind')}")
         elif kind == "verdict":
@@ -491,6 +498,75 @@ def _add_governance_flags(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _cmd_verify(args: argparse.Namespace) -> int:
+    """Check a mapped BLIF against its golden source.
+
+    Default engine is the monolithic BDD check; ``--finegrain`` localizes
+    any mismatch to the smallest wrong cone with a simulation-confirmed
+    counterexample, and ``--repro-dir`` additionally shrinks each failing
+    output's XOR miter into a minimal self-contained witness BLIF.
+    ``--mutants N`` instead self-validates the checker: N single-point
+    faults are injected into the mapped network and every one must be
+    caught, localized and confirmed (or proven masked).
+    """
+    from .network import check_equivalence
+    from .verify import (
+        build_miter,
+        finegrain_check,
+        miter_satisfiable,
+        mutation_failures,
+        self_validate,
+    )
+
+    golden = read_blif(args.golden)
+    mapped = read_blif(args.mapped)
+
+    if args.mutants:
+        report = self_validate(
+            mapped,
+            num_mutants=args.mutants,
+            seed=args.seed,
+            num_vectors=args.vectors,
+        )
+        print(report.summary())
+        for problem in mutation_failures(report):
+            print(f"  {problem}")
+        return 0 if report.ok else 1
+
+    if not args.finegrain:
+        bad = check_equivalence(golden, mapped)
+        if bad is None:
+            print(f"equivalent: {args.mapped} matches {args.golden}")
+            return 0
+        print(f"NOT equivalent: output {bad!r} differs")
+        return 1
+
+    report = finegrain_check(
+        golden, mapped, num_vectors=args.vectors, seed=args.seed
+    )
+    print(report.summary())
+    if report.equivalent:
+        return 0
+    if args.repro_dir:
+        from .testing import save_repro, shrink_network
+
+        for cone in report.failing_cones:
+            miter = build_miter(golden, mapped, cone.output)
+            shrunk = shrink_network(miter, miter_satisfiable)
+            path = save_repro(
+                shrunk,
+                args.repro_dir,
+                f"{golden.name}_{cone.output}_miter",
+                note=(
+                    f"XOR miter of output {cone.output!r}: "
+                    f"{args.mapped} vs {args.golden}; satisfiable "
+                    "assignments are counterexamples.\n" + cone.describe()
+                ),
+            )
+            print(f"shrunk witness for {cone.output!r}: {path}")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="HYDE (DAC 1998) reproduction CLI"
@@ -512,7 +588,7 @@ def main(argv=None) -> int:
                        choices=list(FLOWS) + ["all"])
         p.add_argument("-k", type=int, default=5, help="LUT input count")
         p.add_argument("--verify", default="bdd",
-                       choices=["bdd", "sim", "none"])
+                       choices=["bdd", "sim", "none", "finegrain"])
         p.add_argument("--jobs", type=int, default=1,
                        help="decompose ingredient groups in N processes")
         _add_governance_flags(p)
@@ -527,7 +603,7 @@ def main(argv=None) -> int:
     p.add_argument("--flow", default="hyde", choices=list(FLOWS))
     p.add_argument("-k", type=int, default=5, help="LUT input count")
     p.add_argument("--verify", default="bdd",
-                   choices=["bdd", "sim", "none"])
+                   choices=["bdd", "sim", "none", "finegrain"])
     p.add_argument("--jobs", type=int, default=1,
                    help="decompose ingredient groups in N processes")
     _add_governance_flags(p)
@@ -547,6 +623,33 @@ def main(argv=None) -> int:
         "--min-coverage", type=float, default=None, metavar="FRACTION",
         help="with --check: require children of each root span to cover "
         "at least this fraction of its wall time (e.g. 0.9)",
+    )
+
+    p = sub.add_parser(
+        "verify",
+        help="check a mapped BLIF against its golden source "
+        "(fine-grained localization, mutation self-validation)",
+    )
+    p.add_argument("golden", help="golden (source) BLIF file")
+    p.add_argument("mapped", help="mapped BLIF file to verify")
+    p.add_argument(
+        "--finegrain", action="store_true",
+        help="localize any mismatch to the smallest wrong cone with a "
+        "simulation-confirmed counterexample",
+    )
+    p.add_argument(
+        "--mutants", type=int, default=0, metavar="N",
+        help="instead of verifying, self-validate the checker on N "
+        "single-point faults injected into the mapped network",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="seed for simulation vectors / mutant sampling")
+    p.add_argument("--vectors", type=int, default=64,
+                   help="random simulation width for signature pairing")
+    p.add_argument(
+        "--repro-dir", default=None, metavar="DIR",
+        help="with --finegrain: shrink each failing output's XOR miter "
+        "and save it here as a standalone witness BLIF",
     )
 
     p = sub.add_parser(
@@ -578,6 +681,8 @@ def main(argv=None) -> int:
         return _cmd_stats(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "journal":
         return _cmd_journal(args)
     if args.command == "table1":

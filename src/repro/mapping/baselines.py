@@ -20,6 +20,7 @@ under test, so each comparison isolates one of the paper's claims:
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, Optional
 
 from .. import obs
@@ -109,6 +110,13 @@ def map_per_output(
         or bool(faults)
         or journal is not None
     )
+    if verify == "finegrain" and use_tasks:
+        # Mirror hyde_map: fine-grained verification upgrades reply
+        # validation to the cut-point engine (explicit settings win).
+        if policy is None:
+            policy = TaskPolicy(verify_mode="finegrain")
+        elif policy.verify_mode == "bdd":
+            policy = replace(policy, verify_mode="finegrain")
     run_report = None
     if use_tasks and unique:
         recorder = obs.active()

@@ -21,7 +21,7 @@ different policies.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
@@ -233,6 +233,15 @@ def hyde_map(
         or bool(faults)
         or journal is not None
     )
+    if verify == "finegrain" and use_tasks:
+        # Fine-grained verification extends to reply validation: a
+        # rejected worker reply then carries a cone-level cause (and the
+        # journal, when present, a failing_cone event) instead of a bare
+        # output name.  An explicit non-default verify_mode wins.
+        if policy is None:
+            policy = TaskPolicy(verify_mode="finegrain")
+        elif policy.verify_mode == "bdd":
+            policy = replace(policy, verify_mode="finegrain")
     run_report = None
     if use_tasks and groups:
         recorder = obs.active()
@@ -435,6 +444,13 @@ def _splice(dest: Network, fragment: Network, prefix: str) -> Dict[str, str]:
 def _check(original: Network, mapped: Network, verify: str) -> None:
     if verify == "none":
         return
+    if verify == "finegrain":
+        # Cut-point engine: a failure names the smallest wrong cone and
+        # a concrete counterexample, not just the output.
+        from ..verify.finegrain import assert_finegrain
+
+        assert_finegrain(original, mapped)
+        return
     if verify == "sim":
         bad = simulate_equivalence(original, mapped)
     else:
@@ -469,6 +485,52 @@ def _resume_gate(
     replayed = run_report.replayed if run_report is not None else 0
     executed = run_report.executed if run_report is not None else 0
     if replayed > 0:
+        if verify == "finegrain":
+            # Still an exact gate (every output is BDD-proven), but a
+            # failure is journaled with its cone and counterexample.
+            from ..verify.finegrain import finegrain_check
+
+            with perf.phase("resume_gate"), obs.span(
+                "resume_gate", replayed=replayed
+            ):
+                fg = finegrain_check(net, result)
+            detail = None
+            if not fg.equivalent:
+                worst = fg.failing_cones[0] if fg.failing_cones else None
+                if worst is not None:
+                    journal.record_event(
+                        "failing_cone",
+                        output=worst.output,
+                        root=worst.root,
+                        cone_nodes=list(worst.cone_nodes),
+                        counterexample=dict(worst.counterexample),
+                        confirmed=worst.confirmed,
+                    )
+                    detail = (
+                        f"output {worst.output!r} differs; cone at "
+                        f"{worst.root!r} ({len(worst.cone_nodes)} node(s))"
+                    )
+                else:
+                    detail = (
+                        f"outputs {sorted(fg.failing_outputs)} differ"
+                    )
+            journal.record_verdict(
+                equivalent=fg.equivalent,
+                replayed=replayed,
+                executed=executed,
+                engine="finegrain",
+                detail=detail,
+            )
+            if not fg.equivalent:
+                raise AssertionError(
+                    f"resume gate: journal replay broke {net.name}: "
+                    f"{detail} (journal {journal.path})"
+                )
+            return {
+                "path": journal.path,
+                "replayed": replayed,
+                "executed": executed,
+            }
         with perf.phase("resume_gate"), obs.span(
             "resume_gate", replayed=replayed
         ):

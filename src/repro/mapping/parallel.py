@@ -122,6 +122,13 @@ class TaskPolicy:
     the parent, so even a hung worker is recovered); in-process attempts
     reuse it as a cooperative time budget on the worker's manager, since
     pure Python cannot preempt itself.
+
+    ``verify_mode`` selects the reply-equivalence engine: ``"bdd"`` is
+    the monolithic check (pass/fail only); ``"finegrain"`` runs the
+    cut-point checker from :mod:`repro.verify`, so a rejected reply's
+    cause names the smallest non-equivalent cone and its counterexample
+    (and, when a journal is attached, the cone is journaled as a
+    ``failing_cone`` event before the ladder retries).
     """
 
     timeout_seconds: Optional[float] = None
@@ -130,6 +137,7 @@ class TaskPolicy:
     verify_fragments: bool = True
     per_output_fallback: bool = True
     structural_fallback: bool = True
+    verify_mode: str = "bdd"
 
 
 @dataclass
@@ -404,14 +412,20 @@ def _decompose_group(task: GroupTask) -> GroupResult:
 
 
 def _validate_reply(
-    task: GroupTask, result: GroupResult, policy: TaskPolicy
+    task: GroupTask,
+    result: GroupResult,
+    policy: TaskPolicy,
+    journal: Optional[RunJournal] = None,
 ) -> Optional[str]:
     """``None`` when the reply is usable, else a short cause string.
 
     Validation depth: the BLIF must parse, the fragment must drive
     exactly the group's outputs from (a subset of) the cone's inputs,
-    and — unless ``verify_fragments`` is off — it must be BDD-equivalent
-    to the cone it was derived from.
+    and — unless ``verify_fragments`` is off — it must be equivalent to
+    the cone it was derived from, via the engine ``policy.verify_mode``
+    selects.  The fine-grained engine additionally journals the failing
+    cone (root node, cone members, counterexample) so the rejection is
+    diagnosable after the ladder has papered over it.
     """
     try:
         fragment = parse_blif(result.blif_text)
@@ -428,6 +442,37 @@ def _validate_reply(
     for pi in cone.inputs:
         if not padded.has_signal(pi):
             padded.add_input(pi)  # vacuous PI the BDD support dropped
+    if policy.verify_mode == "finegrain":
+        from ..verify.finegrain import finegrain_check
+
+        try:
+            fg = finegrain_check(cone, padded)
+        except ValueError as exc:
+            return f"corrupt_reply: {exc}"
+        if fg.equivalent:
+            return None
+        worst = fg.failing_cones[0] if fg.failing_cones else None
+        if journal is not None and worst is not None:
+            journal.record_event(
+                "failing_cone",
+                gi=task.gi,
+                group=list(task.group),
+                output=worst.output,
+                root=worst.root,
+                cone_nodes=list(worst.cone_nodes),
+                counterexample=dict(worst.counterexample),
+                confirmed=worst.confirmed,
+            )
+        if worst is not None:
+            return (
+                f"nonequivalent_reply: output {worst.output!r}, cone at "
+                f"{worst.root!r} ({len(worst.cone_nodes)} node(s)), "
+                f"counterexample {worst.counterexample}"
+            )
+        return (
+            "nonequivalent_reply: outputs "
+            f"{sorted(fg.failing_outputs)} (no cone localized)"
+        )
     try:
         bad = check_equivalence(cone, padded)
     except ValueError as exc:
@@ -456,7 +501,11 @@ def _effective_task(
 
 
 def _attempt_inprocess(
-    task: GroupTask, policy: TaskPolicy, attempt: int, mode: str = "hyper"
+    task: GroupTask,
+    policy: TaskPolicy,
+    attempt: int,
+    mode: str = "hyper",
+    journal: Optional[RunJournal] = None,
 ) -> Tuple[Optional[str], Optional[GroupResult]]:
     """Run one in-process attempt; returns ``(cause, result)``."""
     trial = _effective_task(task, policy, attempt, mode)
@@ -467,10 +516,32 @@ def _attempt_inprocess(
         return f"{prefix}: {exc}", None
     except Exception as exc:  # noqa: BLE001 - the ladder owns recovery
         return f"crash: {type(exc).__name__}: {exc}", None
-    cause = _validate_reply(task, result, policy)
+    cause = _validate_reply(task, result, policy, journal=journal)
     if cause is not None:
         return cause, None
     return None, result
+
+
+def _worker_signal_reset() -> None:
+    """Restore default signal dispositions in pool workers.
+
+    Fork-started workers inherit whatever handlers the parent has
+    installed — including :func:`~repro.runstate.graceful_shutdown`'s
+    raise-on-SIGTERM handler, since journaled runs create the pool
+    inside that context.  A handler that raises is unsafe inside
+    multiprocessing internals: ``Pool.terminate()`` SIGTERMs idle
+    workers, and the raise can land inside ``SemLock.__enter__`` after
+    the semaphore acquire succeeded but before the ``with`` block can
+    guarantee release, leaking the shared inqueue lock and wedging pool
+    teardown in ``p.join()`` forever.  SIGTERM must simply kill a
+    worker; SIGINT is ignored so a terminal's ctrl-C (delivered to the
+    whole process group) is handled once, by the parent.
+    """
+    import signal
+
+    with contextlib.suppress(ValueError, OSError):
+        signal.signal(signal.SIGTERM, signal.SIG_DFL)
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
 
 
 def _make_pool(workers: int):
@@ -480,7 +551,7 @@ def _make_pool(workers: int):
         ctx = multiprocessing.get_context("fork")
     except ValueError:  # pragma: no cover - non-POSIX platforms
         ctx = multiprocessing.get_context()
-    return ctx.Pool(workers)
+    return ctx.Pool(workers, initializer=_worker_signal_reset)
 
 
 def _merge_result_perf(
@@ -634,7 +705,9 @@ def _run_governed(
                             )
                             pending.append(i)
                             continue
-                        cause = _validate_reply(tasks[i], result, policy)
+                        cause = _validate_reply(
+                            tasks[i], result, policy, journal=journal
+                        )
                         if cause is None:
                             _land(i, result, result.seconds)
                         else:
@@ -648,7 +721,7 @@ def _run_governed(
             else:
                 for i in todo:
                     cause, result = _attempt_inprocess(
-                        tasks[i], policy, attempt=0
+                        tasks[i], policy, attempt=0, journal=journal
                     )
                     if cause is None:
                         _land(i, result, result.seconds)
@@ -668,7 +741,9 @@ def _run_governed(
                 for retry in range(1, policy.retries + 1):
                     attempt = retry
                     report.retries += 1
-                    cause, result = _attempt_inprocess(task, policy, attempt)
+                    cause, result = _attempt_inprocess(
+                        task, policy, attempt, journal=journal
+                    )
                     if cause is None:
                         landed = result
                         resolution = "retry"
@@ -684,7 +759,8 @@ def _run_governed(
                 ):
                     attempt += 1
                     cause, result = _attempt_inprocess(
-                        task, policy, attempt, mode="per_output"
+                        task, policy, attempt, mode="per_output",
+                        journal=journal,
                     )
                     if cause is None:
                         landed = result

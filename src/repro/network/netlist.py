@@ -93,6 +93,23 @@ class Network:
             raise ValueError(f"output {name!r} already declared")
         self._outputs.append((name, driver))
 
+    def reorder_outputs(self, names: Sequence[str]) -> None:
+        """Reorder the output list to ``names`` (a permutation of it).
+
+        Output *order* is part of a network's observable interface (BLIF
+        round-trips preserve it, repro replay validation depends on it);
+        transforms that rebuild the output list use this to restore the
+        source ordering explicitly instead of relying on incidental
+        iteration order.
+        """
+        if sorted(names) != sorted(self.output_names):
+            raise ValueError(
+                f"not a permutation of the outputs: {list(names)} vs "
+                f"{self.output_names}"
+            )
+        driver_of = dict(self._outputs)
+        self._outputs = [(name, driver_of[name]) for name in names]
+
     def fresh_name(self, prefix: str = "n") -> str:
         """A signal name not yet used in the network."""
         i = len(self._nodes)

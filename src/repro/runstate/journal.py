@@ -411,6 +411,16 @@ class RunJournal:
             }
         )
 
+    def record_event(self, kind: str, **payload) -> None:
+        """Journal a free-form diagnostic event (e.g. a failing cone).
+
+        Events are informational: :func:`validate_journal` accepts any
+        record with a ``kind``, and replay ignores them — they exist so
+        a post-mortem can see *why* a fragment was rejected, not just
+        that the ladder recovered from it.
+        """
+        self._append({"type": "event", "kind": kind, **_jsonable(payload)})
+
     def record_verdict(
         self,
         equivalent: bool,

@@ -38,6 +38,22 @@ def _size(net: Network) -> int:
     return net.num_nodes + len(net.inputs) + len(net.outputs)
 
 
+def _restore_output_order(candidate: Network, reference: Network) -> None:
+    """Force ``candidate``'s outputs into ``reference``'s relative order.
+
+    Shrink passes rebuild networks output-by-output; the surviving
+    outputs must keep the source network's relative order or the saved
+    witness would fail the replay validator (output order is part of the
+    BLIF interface).  Enforced explicitly here rather than trusted to
+    each pass's iteration order.
+    """
+    surviving = set(candidate.output_names)
+    order = [o for o in reference.output_names if o in surviving]
+    order += [o for o in candidate.output_names if o not in set(order)]
+    if order != candidate.output_names:
+        candidate.reorder_outputs(order)
+
+
 def _constant_node_variant(
     net: Network, target: str, value: int
 ) -> Optional[Network]:
@@ -77,6 +93,7 @@ def shrink_network(
             return False
         if _size(candidate) >= _size(current):
             return False
+        _restore_output_order(candidate, net)
         try:
             return bool(predicate(candidate))
         except Exception:

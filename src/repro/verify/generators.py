@@ -1,0 +1,133 @@
+"""Seed-stamped random generators for verification and fuzzing.
+
+One home for the random-network builders that used to be duplicated
+across ``test_differential_mapping.py``, ``test_hyper_randomized.py``
+and ad-hoc helpers.  Every generator:
+
+* funnels its seed through :func:`resolve_seed`, which honours the
+  ``REPRO_SEED`` environment override — ``REPRO_SEED=17 pytest -k case``
+  replays one failing generation without editing a parametrize list;
+* records ``(generator, seed)`` in a per-test log that
+  ``tests/conftest.py`` prints in the failure header, so a red CI line
+  always carries the one number needed to reproduce it locally.
+
+:func:`random_network` is bit-for-bit the corpus the differential fuzz
+suite has always used (even seeds → layered shape, odd seeds → windowed
+shape, identical parameter formulas); changing it silently would
+invalidate every historical repro seed.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import List, Tuple
+
+from ..bdd import BddManager
+from ..boolfunc import TruthTable
+from ..circuits.synthetic import layered_network, windowed_network
+from ..network import Network
+
+__all__ = [
+    "SEED_ENV",
+    "clear_seed_log",
+    "random_multi_output",
+    "random_network",
+    "resolve_seed",
+    "seed_log",
+]
+
+SEED_ENV = "REPRO_SEED"
+
+# (generator name, effective seed) per generation since the last clear.
+_seed_log: List[Tuple[str, int]] = []
+
+
+def resolve_seed(seed: int, generator: str = "generator") -> int:
+    """The effective seed: ``REPRO_SEED`` when set, else ``seed``.
+
+    Every call is recorded in the seed log so test reporting can say
+    exactly which generations fed a failing test.
+    """
+    override = os.environ.get(SEED_ENV)
+    if override:
+        seed = int(override)
+    _seed_log.append((generator, seed))
+    return seed
+
+
+def seed_log() -> List[Tuple[str, int]]:
+    """Generations recorded since the last :func:`clear_seed_log`."""
+    return list(_seed_log)
+
+
+def clear_seed_log() -> None:
+    _seed_log.clear()
+
+
+def random_network(seed: int) -> Network:
+    """The differential-fuzz corpus: a small seeded multi-output network.
+
+    Even seeds build a layered shape, odd seeds a windowed shape — the
+    exact historical formulas, so seed numbers stay comparable across
+    runs and repro notes.
+    """
+    seed = resolve_seed(seed, "random_network")
+    if seed % 2 == 0:
+        return layered_network(
+            f"fuzz{seed}",
+            num_inputs=6 + seed % 3,
+            num_outputs=3 + seed % 2,
+            nodes_per_layer=4,
+            num_layers=2 + seed % 2,
+            fanin=3 + seed % 3,
+            seed=seed,
+        )
+    return windowed_network(
+        f"fuzz{seed}",
+        num_inputs=7 + seed % 3,
+        num_outputs=3 + seed % 3,
+        window=5,
+        seed=seed,
+    )
+
+
+def random_multi_output(
+    seed: int, num_inputs: int, num_outputs: int
+) -> Tuple[BddManager, List[str], List[Tuple[str, int]], Network]:
+    """Random decomposable multi-output function group.
+
+    Returns ``(manager, names, ingredients, reference network)`` — the
+    shape :func:`repro.hyper.decompose_hyper_function` consumes, plus a
+    single-node-per-output reference network for equivalence checks.
+    Functions are ORs/XORs of random sub-functions on small input
+    subsets, so they decompose like real logic rather than random noise.
+    """
+    seed = resolve_seed(seed, "random_multi_output")
+    rng = random.Random(seed)
+    manager = BddManager()
+    names = [f"i{j}" for j in range(num_inputs)]
+    for name in names:
+        manager.add_var(name)
+    ref = Network(f"ref{seed}")
+    for name in names:
+        ref.add_input(name)
+    ingredients = []
+    for o in range(num_outputs):
+        parts = []
+        for _ in range(rng.randint(2, 3)):
+            subset = rng.sample(range(num_inputs), rng.randint(3, 4))
+            mask = rng.getrandbits(1 << len(subset))
+            parts.append(manager.from_truth_table(mask, subset))
+        f = parts[0]
+        for p in parts[1:]:
+            f = (
+                manager.apply_and(f, p)
+                if rng.random() < 0.5
+                else manager.apply_xor(f, p)
+            )
+        ingredients.append((f"o{o}", f))
+        table_mask = manager.to_truth_table(f, list(range(num_inputs)))
+        ref.add_node(f"n{o}", names, TruthTable(num_inputs, table_mask))
+        ref.add_output(f"n{o}", f"o{o}")
+    return manager, names, ingredients, ref

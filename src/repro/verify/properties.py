@@ -1,0 +1,260 @@
+"""Metamorphic invariants over the mapping flows, and the strict repro
+validator.
+
+A mapping flow has no oracle for "the right LUT network", but it must
+respect symmetries of its input: permuting the declared primary-input
+order, negating output functions, or re-shuffling the (topologically
+irrelevant) node declaration order must each yield a mapped network
+equivalent to the transformed source — and, for transforms that do not
+change any function being mapped, the same LUT count.  A flow that maps
+``f`` into 9 LUTs but ``f`` with its declaration order shuffled into 11
+is leaking incidental iteration order into its cost function.
+
+:func:`validate_repro` is the replay contract for saved witnesses:
+round-tripping a network through BLIF must preserve input order, output
+order, and every node function — a repro whose outputs come back
+re-ordered would silently test a different property than the one that
+failed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..boolfunc import TruthTable
+from ..network import Network, check_equivalence
+from ..network.blif import parse_blif, to_blif
+
+__all__ = [
+    "MetamorphicReport",
+    "TRANSFORMS",
+    "metamorphic_check",
+    "negate_outputs",
+    "permute_inputs",
+    "shuffle_nodes",
+    "validate_repro",
+]
+
+MapFlow = Callable[[Network], Network]
+
+
+def permute_inputs(net: Network, seed: int = 0) -> Network:
+    """Copy of ``net`` with the primary-input declaration order shuffled.
+
+    Signal names, functions and outputs are untouched — only the order a
+    BDD-based flow will meet the variables in changes.
+    """
+    rng = random.Random(seed)
+    order = list(net.inputs)
+    rng.shuffle(order)
+    out = Network(net.name)
+    for pi in order:
+        out.add_input(pi)
+    for name in net.topological_order():
+        node = net.node(name)
+        out.add_node(name, list(node.fanins), node.table)
+    for name, driver in net.outputs:
+        out.add_output(driver, name)
+    return out
+
+
+def shuffle_nodes(net: Network, seed: int = 0) -> Network:
+    """Copy of ``net`` with a different (still valid) node declaration
+    order: a random topological shuffle via Kahn's algorithm."""
+    rng = random.Random(seed)
+    remaining: Dict[str, set] = {
+        node.name: {fi for fi in node.fanins if not net.is_input(fi)}
+        for node in net.nodes()
+    }
+    out = Network(net.name)
+    for pi in net.inputs:
+        out.add_input(pi)
+    ready = sorted(name for name, deps in remaining.items() if not deps)
+    while ready:
+        name = ready.pop(rng.randrange(len(ready)))
+        del remaining[name]
+        node = net.node(name)
+        out.add_node(name, list(node.fanins), node.table)
+        freed = [
+            other
+            for other, deps in remaining.items()
+            if name in deps and not (deps.discard(name) or deps)
+        ]
+        ready.extend(sorted(freed))
+    if remaining:
+        raise ValueError(f"cycle through {sorted(remaining)}")
+    for name, driver in net.outputs:
+        out.add_output(driver, name)
+    return out
+
+
+def negate_outputs(
+    net: Network, seed: int = 0, which: Optional[Sequence[str]] = None
+) -> Tuple[Network, List[str]]:
+    """Copy of ``net`` with a subset of output functions complemented.
+
+    Returns ``(negated network, names of negated outputs)``.  When the
+    driving node feeds only the negated output its table is complemented
+    in place; otherwise an explicit inverter node is appended (so other
+    consumers keep the original polarity).
+    """
+    rng = random.Random(seed)
+    names = list(which) if which is not None else [
+        name for name in net.output_names if rng.random() < 0.5
+    ]
+    if which is None and not names and net.output_names:
+        names = [rng.choice(net.output_names)]
+    out = net.copy(net.name)
+    consumers: Dict[str, int] = {}
+    for node in out.nodes():
+        for fi in node.fanins:
+            consumers[fi] = consumers.get(fi, 0) + 1
+    for _, driver in out.outputs:
+        consumers[driver] = consumers.get(driver, 0) + 1
+    for name in names:
+        driver = out.output_driver(name)
+        if not out.is_input(driver) and consumers.get(driver, 0) == 1:
+            node = out.node(driver)
+            out.replace_node(driver, list(node.fanins), ~node.table)
+        else:
+            inv = out.add_node(
+                f"{name}_neg", [driver], TruthTable(1, 0b01)
+            )
+            out.reroute_output(name, inv)
+    return out, names
+
+
+@dataclass
+class TransformOutcome:
+    """One metamorphic probe: map the transformed source, compare."""
+
+    transform: str
+    equivalent: bool
+    luts_original: int
+    luts_transformed: int
+    detail: str = ""
+
+    @property
+    def same_luts(self) -> bool:
+        return self.luts_original == self.luts_transformed
+
+
+@dataclass
+class MetamorphicReport:
+    network: str
+    outcomes: List[TransformOutcome] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return all(o.equivalent for o in self.outcomes)
+
+    def summary(self) -> str:
+        parts = []
+        for o in self.outcomes:
+            mark = "ok" if o.equivalent else "NOT EQUIVALENT"
+            parts.append(
+                f"{o.transform}: {mark}, "
+                f"{o.luts_original}->{o.luts_transformed} LUTs"
+            )
+        return f"metamorphic on {self.network}: " + "; ".join(parts)
+
+
+# name -> transform(net, seed) returning a network with identical PI/PO
+# names whose outputs compute the SAME functions (safe to compare LUT
+# counts and check equivalence against the untransformed source).
+TRANSFORMS: Dict[str, Callable[[Network, int], Network]] = {
+    "permute_inputs": permute_inputs,
+    "shuffle_nodes": shuffle_nodes,
+}
+
+
+def metamorphic_check(
+    source: Network,
+    flow: MapFlow,
+    seed: int = 0,
+    transforms: Optional[Sequence[str]] = None,
+    require_same_luts: bool = False,
+) -> MetamorphicReport:
+    """Map ``source`` and its transformed variants; compare the results.
+
+    ``flow`` maps a network to its LUT network.  Every outcome records
+    equivalence of the transformed mapping against the (function-
+    preserving) transformed source and both LUT counts; with
+    ``require_same_luts`` a count mismatch also fails the outcome (only
+    meaningful for flows known to be order-insensitive).  Output
+    negation is probed separately because it changes the functions: the
+    negated mapping is checked against the negated source, and LUT
+    counts are reported but never required to match.
+    """
+    report = MetamorphicReport(network=source.name)
+    base = flow(source.copy())
+    base_luts = base.num_nodes
+    bad = check_equivalence(source, base)
+    if bad is not None:
+        report.outcomes.append(
+            TransformOutcome(
+                "identity", False, base_luts, base_luts,
+                f"base mapping wrong at output {bad!r}",
+            )
+        )
+        return report
+    for name in transforms if transforms is not None else TRANSFORMS:
+        transformed = TRANSFORMS[name](source, seed)
+        mapped = flow(transformed.copy())
+        bad = check_equivalence(transformed, mapped)
+        equivalent = bad is None
+        if equivalent and require_same_luts:
+            equivalent = mapped.num_nodes == base_luts
+        report.outcomes.append(
+            TransformOutcome(
+                name,
+                equivalent,
+                base_luts,
+                mapped.num_nodes,
+                "" if bad is None else f"differs at output {bad!r}",
+            )
+        )
+    negated, which = negate_outputs(source, seed)
+    mapped = flow(negated.copy())
+    bad = check_equivalence(negated, mapped)
+    report.outcomes.append(
+        TransformOutcome(
+            "negate_outputs",
+            bad is None,
+            base_luts,
+            mapped.num_nodes,
+            f"negated {which}" if bad is None
+            else f"negated {which}; differs at output {bad!r}",
+        )
+    )
+    return report
+
+
+def validate_repro(net: Network) -> List[str]:
+    """Strict replay contract for a saved witness network.
+
+    Returns a list of problems (empty when valid): the network must
+    round-trip through BLIF with input order, output order, node
+    functions and equivalence all preserved.
+    """
+    problems: List[str] = []
+    try:
+        back = parse_blif(to_blif(net))
+    except ValueError as exc:
+        return [f"does not round-trip through BLIF: {exc}"]
+    if back.inputs != net.inputs:
+        problems.append(
+            f"input order changed: {net.inputs} -> {back.inputs}"
+        )
+    if back.output_names != net.output_names:
+        problems.append(
+            "output order changed: "
+            f"{net.output_names} -> {back.output_names}"
+        )
+    if not problems:
+        bad = check_equivalence(net, back)
+        if bad is not None:
+            problems.append(f"round-trip differs at output {bad!r}")
+    return problems

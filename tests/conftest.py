@@ -44,3 +44,38 @@ def table_network(name: str, tables: Dict[str, TruthTable], num_inputs: int) -> 
 @pytest.fixture
 def rng() -> random.Random:
     return random.Random(12345)
+
+
+# --------------------------------------------------------------------- #
+# Replayable randomness: every generation through repro.verify.generators
+# is seed-logged; a failing test prints the seeds in its failure header
+# so the CI line itself says how to replay (REPRO_SEED=<n> pytest -k ...).
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture(autouse=True)
+def _fresh_seed_log():
+    from repro.verify.generators import clear_seed_log
+
+    clear_seed_log()
+    yield
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_makereport(item, call):
+    outcome = yield
+    report = outcome.get_result()
+    if report.when != "call" or not report.failed:
+        return
+    from repro.verify.generators import seed_log
+
+    seeds = seed_log()
+    if not seeds:
+        return
+    lines = ", ".join(f"{gen}(seed={seed})" for gen, seed in seeds)
+    header = (
+        f"replay: {lines} — rerun with REPRO_SEED=<seed> "
+        f"pytest {item.nodeid!r}"
+    )
+    report.sections.append(("seeds", header))
+    report.longrepr = f"{report.longrepr}\n{header}"

@@ -9,7 +9,9 @@ and writes it to ``tests/_repros/`` before failing the test, so CI
 leaves behind a minimized BLIF instead of just a seed number.
 
 Seeds are fixed (this is the CI ``fuzz-smoke`` suite, not an open-ended
-fuzzer); widen ``SEEDS`` locally for a deeper sweep.
+fuzzer); widen ``SEEDS`` locally for a deeper sweep.  The corpus itself
+lives in :func:`repro.verify.random_network` (seed-logged, replayable
+via ``REPRO_SEED``) and is shared with the metamorphic fuzz.
 """
 
 from __future__ import annotations
@@ -18,35 +20,16 @@ import os
 
 import pytest
 
-from repro.circuits.synthetic import layered_network, windowed_network
 from repro.mapping import hyde_map, map_per_output, map_structural
 from repro.network import Network, check_equivalence
 from repro.testing import save_repro, shrink_network
+from repro.verify import random_network
+
+pytestmark = pytest.mark.slow
 
 K = 4
 SEEDS = range(30)
 REPRO_DIR = os.path.join(os.path.dirname(__file__), "_repros")
-
-
-def _make_network(seed: int) -> Network:
-    """A small seeded multi-output network; alternate generator shapes."""
-    if seed % 2 == 0:
-        return layered_network(
-            f"fuzz{seed}",
-            num_inputs=6 + seed % 3,
-            num_outputs=3 + seed % 2,
-            nodes_per_layer=4,
-            num_layers=2 + seed % 2,
-            fanin=3 + seed % 3,
-            seed=seed,
-        )
-    return windowed_network(
-        f"fuzz{seed}",
-        num_inputs=7 + seed % 3,
-        num_outputs=3 + seed % 3,
-        window=5,
-        seed=seed,
-    )
 
 
 def _k_feasible(net: Network, k: int) -> bool:
@@ -100,7 +83,7 @@ def _run_and_check(flow_label: str, source: Network) -> None:
 
 @pytest.mark.parametrize("seed", SEEDS)
 def test_flows_agree_on_seeded_network(seed):
-    source = _make_network(seed)
+    source = random_network(seed)
     for label in FLOWS:
         # jobs=2 on every seed would fork ~2 pools per case; sample it.
         if label == "hyde-jobs2" and seed % 3 != 0:

@@ -74,6 +74,96 @@ class TestRowSetProperties:
             assert sorted(chart.placed_classes()) == list(range(n))
 
 
+class TestChartInvariants:
+    """The chart invariants as explicit properties over 200 seeded random
+    partition lists (not hypothesis: the seeds double as a fixed corpus,
+    replayable one at a time by inlining ``random.Random(seed)``).
+
+    For every partition list that packs into a #R x #C chart:
+
+    * every class occupies exactly one cell (strict encoding),
+    * ``position_of`` round-trips to the cell holding the class,
+    * all class codes are distinct and fit in
+      ceil(log2 #R) + ceil(log2 #C) bits.
+
+    Partition lists that fall back to the random encoding (row merging
+    did not converge) are counted but not judged — the fallback is a
+    legitimate outcome, the paper's Step 7 escape hatch.
+    """
+
+    NUM_SEEDS = 200
+    NUM_ROWS = 4
+    NUM_COLS = 4
+
+    @staticmethod
+    def _random_partitions(seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        return [
+            Partition(tuple(rng.randrange(6) for _ in range(4)))
+            for _ in range(n)
+        ]
+
+    def _packed_chart(self, partitions):
+        col_result = combine_column_sets(partitions, self.NUM_ROWS)
+        rows = combine_row_sets(
+            partitions, col_result, self.NUM_ROWS, self.NUM_COLS
+        )
+        if rows is None:
+            return None
+        row_sets, column_set_of_class = rows
+        sizes = {}
+        for cs in column_set_of_class.values():
+            sizes[cs] = sizes.get(cs, 0) + 1
+        return pack_chart(
+            row_sets, column_set_of_class, sizes,
+            self.NUM_ROWS, self.NUM_COLS,
+        )
+
+    def test_chart_invariants_over_seeded_partitions(self):
+        row_bits = max(1, math.ceil(math.log2(self.NUM_ROWS)))
+        col_bits = max(1, math.ceil(math.log2(self.NUM_COLS)))
+        col_alpha = list(range(col_bits))
+        row_alpha = list(range(col_bits, col_bits + row_bits))
+
+        packed = 0
+        for seed in range(self.NUM_SEEDS):
+            partitions = self._random_partitions(seed)
+            chart = self._packed_chart(partitions)
+            if chart is None:
+                continue
+            packed += 1
+            n = len(partitions)
+
+            # Strictness: each class in exactly one cell, nothing extra.
+            placed = chart.placed_classes()
+            assert sorted(placed) == list(range(n)), f"seed {seed}"
+            assert len(placed) == len(set(placed)), f"seed {seed}"
+
+            # position_of round-trips through the grid.
+            for cls in range(n):
+                r, c = chart.position_of(cls)
+                assert 0 <= r < self.NUM_ROWS, f"seed {seed}"
+                assert 0 <= c < self.NUM_COLS, f"seed {seed}"
+                assert chart.cells[r][c] == cls, f"seed {seed}"
+
+            # Codes: distinct, and exactly the budgeted bit width.
+            codes = chart.codes(n, col_alpha, row_alpha)
+            keyed = {tuple(sorted(code.items())) for code in codes}
+            assert len(keyed) == n, f"seed {seed}: codes collide"
+            for cls, code in enumerate(codes):
+                assert len(code) == row_bits + col_bits, f"seed {seed}"
+                assert set(code.values()) <= {0, 1}, f"seed {seed}"
+                # Decoding the bits lands back on the class's cell.
+                col = sum(code[a] << j for j, a in enumerate(col_alpha))
+                row = sum(code[a] << j for j, a in enumerate(row_alpha))
+                assert (row, col) == chart.position_of(cls), f"seed {seed}"
+
+        # The corpus must exercise the chart path broadly, not only the
+        # random-encoding fallback (143/200 pack at these parameters).
+        assert packed >= 120, f"only {packed} seeds packed a chart"
+
+
 class TestEncoderProperties:
     @given(st.integers(min_value=0, max_value=(1 << (1 << 7)) - 1))
     @settings(max_examples=12, deadline=None)

@@ -1,52 +1,19 @@
 """Randomised end-to-end property tests of hyper-function decomposition:
-arbitrary multi-output functions in, equivalent k-feasible logic out."""
+arbitrary multi-output functions in, equivalent k-feasible logic out.
+
+The generator lives in :func:`repro.verify.random_multi_output`
+(seed-logged, replayable via ``REPRO_SEED``)."""
 
 from __future__ import annotations
 
-import random
-
 import pytest
 
-from repro.bdd import BddManager
-from repro.boolfunc import TruthTable
 from repro.decompose import DecompositionOptions
 from repro.hyper import decompose_hyper_function
-from repro.network import Network, check_equivalence, is_k_feasible
+from repro.network import check_equivalence, is_k_feasible
+from repro.verify import random_multi_output
 
-
-def random_multi_output(seed: int, num_inputs: int, num_outputs: int):
-    """(manager, names, ingredients, reference network)."""
-    rng = random.Random(seed)
-    manager = BddManager()
-    names = [f"i{j}" for j in range(num_inputs)]
-    for name in names:
-        manager.add_var(name)
-    ref = Network(f"ref{seed}")
-    for name in names:
-        ref.add_input(name)
-    ingredients = []
-    for o in range(num_outputs):
-        # Structured random: OR of a few random sub-functions on subsets,
-        # so the functions are decomposable like real logic.
-        parts = []
-        for _ in range(rng.randint(2, 3)):
-            subset = rng.sample(range(num_inputs), rng.randint(3, 4))
-            mask = rng.getrandbits(1 << len(subset))
-            parts.append(
-                manager.from_truth_table(mask, subset)
-            )
-        f = parts[0]
-        for p in parts[1:]:
-            f = (
-                manager.apply_and(f, p)
-                if rng.random() < 0.5
-                else manager.apply_xor(f, p)
-            )
-        ingredients.append((f"o{o}", f))
-        table_mask = manager.to_truth_table(f, list(range(num_inputs)))
-        ref.add_node(f"n{o}", names, TruthTable(num_inputs, table_mask))
-        ref.add_output(f"n{o}", f"o{o}")
-    return manager, names, ingredients, ref
+pytestmark = pytest.mark.slow
 
 
 @pytest.mark.parametrize("seed", range(8))

@@ -112,3 +112,35 @@ class TestJobsEquivalence:
             build("9sym"), verify="bdd", pack_clbs=False, jobs=4
         )
         assert result.details["perf"]["jobs_used"] == 1
+
+
+def _signal_dispositions():
+    import signal
+
+    return (
+        signal.getsignal(signal.SIGTERM) is signal.SIG_DFL,
+        signal.getsignal(signal.SIGINT) is signal.SIG_IGN,
+    )
+
+
+def test_pool_workers_reset_inherited_signal_handlers():
+    """Workers must not inherit graceful_shutdown's raising handler.
+
+    Journaled runs create the pool inside graceful_shutdown(); a forked
+    worker inheriting its raise-on-SIGTERM handler can unwind inside
+    multiprocessing's queue internals when Pool.terminate() fires,
+    leaking the shared inqueue lock and hanging pool teardown (a rare
+    but real CI flake).  The initializer restores SIG_DFL/SIG_IGN.
+    """
+    from repro.mapping.parallel import _make_pool
+    from repro.runstate import graceful_shutdown
+
+    with graceful_shutdown():
+        pool = _make_pool(2)
+        try:
+            term_dfl, int_ign = pool.apply(_signal_dispositions)
+        finally:
+            pool.terminate()
+            pool.join()
+    assert term_dfl, "worker SIGTERM handler not reset to SIG_DFL"
+    assert int_ign, "worker SIGINT not ignored"

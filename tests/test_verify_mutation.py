@@ -1,0 +1,142 @@
+"""The mutation engine and the checker self-validation harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapping import hyde_map
+from repro.network import check_equivalence, simulate_equivalence
+from repro.verify import (
+    MUTATION_KINDS,
+    Mutation,
+    apply_mutation,
+    random_network,
+    sample_mutations,
+    self_validate,
+)
+
+
+@pytest.fixture(scope="module")
+def mapped():
+    source = random_network(4)
+    return hyde_map(source, k=4, verify="bdd", pack_clbs=False).network
+
+
+def test_sampled_mutations_are_distinct_and_applicable(mapped):
+    mutations = sample_mutations(mapped, 25, seed=0)
+    assert len(mutations) == 25
+    assert len(set(mutations)) == 25
+    for mutation in mutations:
+        assert mutation.kind in MUTATION_KINDS
+        mutant = apply_mutation(mapped, mutation)  # must not raise
+        # Semantic at the node: the mutated node's local function changed.
+        assert (
+            mutant.node(mutation.node).table.mask
+            != mapped.node(mutation.node).table.mask
+        )
+
+
+def test_sampling_is_seed_deterministic(mapped):
+    assert sample_mutations(mapped, 10, seed=3) == sample_mutations(
+        mapped, 10, seed=3
+    )
+    assert sample_mutations(mapped, 10, seed=3) != sample_mutations(
+        mapped, 10, seed=4
+    )
+
+
+def test_mutant_preserves_interface(mapped):
+    for mutation in sample_mutations(mapped, 8, seed=1):
+        mutant = apply_mutation(mapped, mutation)
+        assert mutant.inputs == mapped.inputs
+        assert mutant.output_names == mapped.output_names
+        assert sorted(mutant.node_names()) == sorted(mapped.node_names())
+
+
+def test_every_kind_changes_behavior_observably():
+    """Each mutation kind, applied to a single-node net, flips the output."""
+    from repro.boolfunc import TruthTable
+    from repro.network import Network
+
+    net = Network("tiny")
+    for j in range(3):
+        net.add_input(f"i{j}")
+    # Asymmetric in pins 0/2 (f = i0 AND NOT i2) so swap_inputs is
+    # semantic; on-set {1, 3} so cube-level mutations apply too.
+    net.add_node("n", ["i0", "i1", "i2"], TruthTable(3, 0b00001010))
+    net.add_output("n", "o")
+    cases = [
+        Mutation("flip_literal", "n", (3, 0)),
+        Mutation("drop_cube", "n", (3,)),
+        Mutation("swap_inputs", "n", (0, 2)),
+        Mutation("stuck_output", "n", (1,)),
+    ]
+    for mutation in cases:
+        mutant = apply_mutation(net, mutation)
+        assert check_equivalence(net, mutant) is not None, mutation
+
+
+def test_inapplicable_mutation_raises(mapped):
+    node = mapped.node_names()[0]
+    with pytest.raises(ValueError):
+        # Dropping a cube that is not in the on-set is not a fault.
+        off = next(
+            m
+            for m in range(mapped.node(node).table.size)
+            if not mapped.node(node).table.eval_index(m)
+        )
+        apply_mutation(mapped, Mutation("drop_cube", node, (off,)))
+
+
+def test_self_validation_catches_all_mutants(mapped):
+    report = self_validate(mapped, num_mutants=15, seed=2)
+    assert report.ok, report.summary()
+    assert report.total == 15
+    assert report.detected + report.masked == report.total
+    assert report.missed == 0
+    assert report.false_alarms == 0
+    # The acceptance property, in miniature: every real fault localized
+    # and confirmed.
+    for outcome in report.outcomes:
+        if not outcome.masked:
+            assert outcome.localized and outcome.confirmed
+
+
+def test_masked_mutants_reported_equivalent():
+    """A fault behind observably-redundant logic must not raise alarms.
+
+    Build one by hand: two nodes compute the same function, the output
+    ORs a node with itself (absorbing), so flipping the shadowed node's
+    cube cannot be observed.
+    """
+    from repro.boolfunc import TruthTable
+    from repro.network import Network
+
+    net = Network("masked")
+    a = net.add_input("a")
+    b = net.add_input("b")
+    net.add_node("f", [a, b], TruthTable(2, 0b1000))
+    net.add_node("shadow", [a, b], TruthTable(2, 0b1000))
+    # out = f OR (f AND shadow): shadow is redundant.
+    net.add_node("both", ["f", "shadow"], TruthTable(2, 0b1000))
+    net.add_node("out", ["f", "both"], TruthTable(2, 0b1110))
+    net.add_output("out", "o")
+    mutation = Mutation("drop_cube", "shadow", (3,))
+    mutant = apply_mutation(net, mutation)
+    assert check_equivalence(net, mutant) is None  # truly masked
+    from repro.verify import finegrain_check
+
+    report = finegrain_check(net, mutant)
+    assert report.equivalent  # no false alarm
+
+
+def test_mutants_detected_by_simulation_screen_too(mapped):
+    """Sanity cross-check: most unmasked faults show up in random sim."""
+    found = 0
+    for mutation in sample_mutations(mapped, 10, seed=5):
+        mutant = apply_mutation(mapped, mutation)
+        if check_equivalence(mapped, mutant) is None:
+            continue
+        if simulate_equivalence(mapped, mutant, num_vectors=256) is not None:
+            found += 1
+    assert found > 0
