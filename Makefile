@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-full trace-smoke resume-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -29,6 +29,13 @@ bench:
 # equivalence check; writes BENCH_hyde.json at the repo root.
 bench-smoke:
 	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_regression.py --smoke
+
+# Full MCNC fleet regression gate: small + medium tiers, per-circuit
+# thresholds vs the committed BENCH_hyde.json (LUT equality strict,
+# >20% wall-time regression fails), jobs=2 equivalence-checked.
+# REPRO_FULL=1 adds the heavyweight Table-2 tier.
+bench-regression:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_perf_regression.py --check
 
 bench-full:
 	REPRO_FULL=1 $(PYTHON) -m pytest benchmarks/ --benchmark-only -s

@@ -1,16 +1,30 @@
 """Perf-regression benchmark for the HYDE flow (the PR trajectory file).
 
-Runs the small-class Table 1 circuits through ``hyde_map`` three ways —
-class-count oracle disabled (the pre-oracle baseline), oracle enabled
-(the default single-process flow), and oracle + a worker pool — and
-writes ``BENCH_hyde.json`` at the repository root with LUT counts, wall
-times and oracle hit rates, so every perf-focused PR has before/after
-numbers to point at.
+Runs the MCNC Table 1/2 fleet through ``hyde_map`` three ways — class-
+count oracle disabled (the pre-oracle baseline), oracle enabled (the
+default single-process flow), and oracle + a worker pool — and writes
+``BENCH_hyde.json`` at the repository root with LUT counts, wall times
+and oracle hit rates, so every perf-focused PR has before/after numbers
+to point at.
+
+The fleet is tiered by cost.  ``SMALL_TABLE1`` + ``MEDIUM_TABLE`` is
+the default gate (about a minute total); the ``LARGE_TABLE2`` tier
+(tens of seconds to minutes *each*) only joins when ``REPRO_FULL=1`` is
+set, so the per-PR gate stays fast while the full-fleet numbers remain
+one environment variable away.
+
+``--check`` compares the fresh record against the committed
+``BENCH_hyde.json`` per circuit: LUT counts must match *exactly* (a
+perf change that alters the mapping is a correctness bug, not a perf
+result), and wall time must not regress more than 20% past a small
+noise floor.  New circuits (absent from the baseline) pass with a note.
 
 Usage::
 
-    python benchmarks/bench_perf_regression.py            # full small set
+    python benchmarks/bench_perf_regression.py            # default fleet
     python benchmarks/bench_perf_regression.py --smoke    # 3 circuits, CI
+    python benchmarks/bench_perf_regression.py --check    # gate vs baseline
+    REPRO_FULL=1 python benchmarks/bench_perf_regression.py   # + large tier
     pytest benchmarks/bench_perf_regression.py --benchmark-only
 
 ``REPRO_JOBS`` sets the pool width of the parallel variant (default 2).
@@ -23,6 +37,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -35,21 +50,44 @@ from repro.network import check_equivalence
 REPO_ROOT = Path(__file__).resolve().parent.parent
 BENCH_FILE = REPO_ROOT / "BENCH_hyde.json"
 
-#: The small-class Table 1 circuits (seconds each, minutes total at most).
+#: Sub-second Table 1 circuits (the whole tier takes seconds).
 SMALL_TABLE1 = [
-    "5xp1", "9sym", "clip", "f51m", "misex1", "rd73", "rd84", "sao2", "z4ml",
+    "5xp1", "9sym", "alu2", "b9", "clip", "f51m", "misex1", "rd73", "rd84",
+    "sao2", "vg2", "z4ml",
 ]
-#: One medium circuit where the oracle's cross-level reuse actually bites
-#: (the small circuits finish before the memo can amortize).  Timed with
-#: fewer repeats — a single run is already ~10 s.
-MEDIUM_TABLE1 = ["duke2"]
+#: Mid-weight circuits (~1-4 s each with the bit-parallel fast path)
+#: where the oracle's cross-level reuse and the packed kernels actually
+#: bite — the small circuits finish before either can amortize.  Timed
+#: with fewer repeats.
+MEDIUM_TABLE = ["count", "duke2", "misex2", "apex7"]
+#: Backwards-compatible alias (older scripts import this name).
+MEDIUM_TABLE1 = MEDIUM_TABLE
+#: The heavyweight Table 2 tier — tens of seconds to minutes each.
+#: Only benchmarked when ``REPRO_FULL=1``.
+LARGE_TABLE2 = [
+    "e64", "C499", "C880", "alu4", "apex4", "apex6", "misex3", "rot", "des",
+]
 #: Subset cheap enough for per-PR CI smoke runs.
 SMOKE_SET = ["misex1", "rd73", "z4ml"]
+
+
+def fleet() -> List[str]:
+    """The benchmark fleet for this run (``REPRO_FULL=1`` adds large)."""
+    circuits = SMALL_TABLE1 + MEDIUM_TABLE
+    if os.environ.get("REPRO_FULL"):
+        circuits = circuits + LARGE_TABLE2
+    return circuits
 
 
 #: Timing repetitions per variant; the *minimum* is recorded (the other
 #: runs only ever add scheduler/GC noise, never remove work).
 REPEATS = 5
+
+#: A fresh time may exceed baseline * LIMIT before the gate fails ...
+TIME_REGRESSION_LIMIT = 1.20
+#: ... unless both sides sit under the noise floor, where scheduler
+#: jitter swamps the signal (an 0.02 s -> 0.03 s "regression" is noise).
+NOISE_FLOOR_SECONDS = 0.10
 
 
 def _timed_map(name: str, repeats: int = REPEATS, **kwargs) -> Dict[str, object]:
@@ -80,7 +118,12 @@ def run_suite(
     """Benchmark every circuit and return the trajectory record."""
     per_circuit: Dict[str, Dict[str, object]] = {}
     for name in circuits:
-        repeats = 2 if name in MEDIUM_TABLE1 else REPEATS
+        if name in LARGE_TABLE2:
+            repeats = 1
+        elif name in MEDIUM_TABLE:
+            repeats = 2
+        else:
+            repeats = REPEATS
         # Fresh managers per variant: each run pays its own cache warm-up.
         no_oracle = _timed_map(name, repeats=repeats, use_oracle=False)
         with_oracle = _timed_map(name, repeats=repeats)
@@ -141,7 +184,7 @@ def run_suite(
             sum(e["jobs_seconds"] for e in per_circuit.values()), 4
         )
     return {
-        "suite": "hyde_small_table1",
+        "suite": "hyde_mcnc_fleet",
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "circuits": {
             name: {k: v for k, v in entry.items() if k != "network"}
@@ -160,6 +203,40 @@ def write_record(record: Dict[str, object]) -> None:
     print(f"wrote {BENCH_FILE}")
 
 
+def compare_to_baseline(
+    record: Dict[str, object], baseline: Dict[str, object]
+) -> List[str]:
+    """Per-circuit regression gate; returns the list of failures.
+
+    LUT counts must match the committed baseline exactly.  Wall time
+    (``oracle_seconds``, the default flow) may not exceed baseline *
+    ``TIME_REGRESSION_LIMIT`` unless both sides are under
+    ``NOISE_FLOOR_SECONDS``.  Circuits new to the fleet pass with a
+    note — they become gated once their numbers are committed.
+    """
+    failures: List[str] = []
+    base_circuits = baseline.get("circuits", {})
+    for name, entry in record["circuits"].items():
+        base = base_circuits.get(name)
+        if base is None:
+            print(f"baseline: {name} is new (no committed numbers) — pass")
+            continue
+        if entry["luts"] != base["luts"]:
+            failures.append(
+                f"{name}: LUT count changed {base['luts']} -> "
+                f"{entry['luts']} (mappings must be identical)"
+            )
+        new_s, base_s = entry["oracle_seconds"], base["oracle_seconds"]
+        if max(new_s, base_s) < NOISE_FLOOR_SECONDS:
+            continue
+        if new_s > base_s * TIME_REGRESSION_LIMIT:
+            failures.append(
+                f"{name}: {new_s:.3f}s vs baseline {base_s:.3f}s "
+                f"(> {TIME_REGRESSION_LIMIT:.0%})"
+            )
+    return failures
+
+
 # --------------------------------------------------------------------- #
 # pytest-benchmark entry point (collected by `pytest benchmarks/`)
 # --------------------------------------------------------------------- #
@@ -168,6 +245,9 @@ def write_record(record: Dict[str, object]) -> None:
 def test_bench_hyde_perf_regression(benchmark):
     from benchmarks.conftest import jobs_from_env, run_once
 
+    baseline = (
+        json.loads(BENCH_FILE.read_text()) if BENCH_FILE.exists() else None
+    )
     record = run_once(
         benchmark, run_suite, SMOKE_SET, jobs=jobs_from_env(2)
     )
@@ -177,6 +257,9 @@ def test_bench_hyde_perf_regression(benchmark):
         "oracle-enabled flow regressed past the uncached baseline: "
         f"{totals}"
     )
+    if baseline is not None:
+        failures = compare_to_baseline(record, baseline)
+        assert not failures, "; ".join(failures)
 
 
 # --------------------------------------------------------------------- #
@@ -199,8 +282,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=2,
         help="pool width of the parallel variant (1 disables it)",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="gate against the committed BENCH_hyde.json (per-circuit "
+        "LUT equality + time thresholds) and exit non-zero on failure",
+    )
     args = parser.parse_args(argv)
-    circuits = SMOKE_SET if args.smoke else SMALL_TABLE1 + MEDIUM_TABLE1
+    circuits = SMOKE_SET if args.smoke else fleet()
+    # Snapshot the committed baseline before write_record clobbers it.
+    baseline = (
+        json.loads(BENCH_FILE.read_text())
+        if args.check and BENCH_FILE.exists()
+        else None
+    )
     record = run_suite(circuits, jobs=args.jobs)
     write_record(record)
     totals = record["totals"]
@@ -213,6 +308,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             else ""
         )
     )
+    if args.check:
+        if baseline is None:
+            print("no committed baseline; skipping regression gate")
+            return 0
+        failures = compare_to_baseline(record, baseline)
+        for failure in failures:
+            print(f"REGRESSION: {failure}", file=sys.stderr)
+        if failures:
+            return 1
+        print("regression gate: all circuits within thresholds")
     return 0
 
 

@@ -102,6 +102,9 @@ class BddManager:
         # living on the manager makes the memo shared by every search and
         # recursion level that works on this manager's node ids.
         self._class_oracle = None
+        # Lazily attached packed-truth-table conversion cache (see
+        # repro.fastpath.bitops.pack_pair): levels tuple -> node memo.
+        self._fastpath = None
         # Highest variable count the recursion limit has been sized for.
         self._depth_guard = 0
         # Resource budget (disarmed by default: both None).  The node

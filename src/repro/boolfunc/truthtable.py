@@ -15,6 +15,26 @@ from typing import Callable, Iterable, List, Sequence, Tuple
 
 __all__ = ["TruthTable"]
 
+# (num_inputs, index) -> mask of minterms whose index bit is clear; the
+# bit-set mask is its shift by 2**index.  Shared by the structural ops
+# below, which work in whole-mask bit arithmetic instead of per-minterm
+# Python loops.
+_VAR_MASKS: dict = {}
+
+
+def _mask0(num_inputs: int, index: int) -> int:
+    cached = _VAR_MASKS.get((num_inputs, index))
+    if cached is not None:
+        return cached
+    total = 1 << num_inputs
+    m0 = (1 << (1 << index)) - 1
+    filled = 1 << (index + 1)
+    while filled < total:
+        m0 |= m0 << filled
+        filled <<= 1
+    _VAR_MASKS[(num_inputs, index)] = m0
+    return m0
+
 
 @dataclass(frozen=True)
 class TruthTable:
@@ -137,7 +157,9 @@ class TruthTable:
 
     def depends_on(self, index: int) -> bool:
         """True iff the function actually depends on input ``index``."""
-        return self.cofactor(index, 0).mask != self.cofactor(index, 1).mask
+        m0 = _mask0(self.num_inputs, index)
+        block = 1 << index
+        return (self.mask & m0) != ((self.mask >> block) & m0)
 
     def support(self) -> List[int]:
         """Indices of inputs the function truly depends on."""
@@ -179,25 +201,27 @@ class TruthTable:
 
         The freed input becomes vacuous (use :meth:`drop_input` to remove).
         """
-        mask = 0
-        bit = 1 << index
-        for m in range(self.size):
-            source = (m | bit) if value else (m & ~bit)
-            if (self.mask >> source) & 1:
-                mask |= 1 << m
-        return TruthTable(self.num_inputs, mask)
+        m0 = _mask0(self.num_inputs, index)
+        block = 1 << index
+        if value:
+            part = (self.mask >> block) & m0
+        else:
+            part = self.mask & m0
+        return TruthTable(self.num_inputs, part | (part << block))
 
     def drop_input(self, index: int) -> "TruthTable":
         """Remove a vacuous input (must not be in the support)."""
         if self.depends_on(index):
             raise ValueError(f"input {index} is not vacuous")
+        block = 1 << index
+        block_mask = (1 << block) - 1
+        src = self.mask
         mask = 0
-        for m in range(1 << (self.num_inputs - 1)):
-            low = m & ((1 << index) - 1)
-            high = m >> index
-            source = low | (high << (index + 1))
-            if (self.mask >> source) & 1:
-                mask |= 1 << m
+        out_shift = 0
+        # Keep the bit-clear half of every 2*block stride, compacted.
+        for start in range(0, self.size, block << 1):
+            mask |= ((src >> start) & block_mask) << out_shift
+            out_shift += block
         return TruthTable(self.num_inputs - 1, mask)
 
     def remap_inputs(self, new_num_inputs: int, mapping: Sequence[int]) -> "TruthTable":
@@ -221,12 +245,11 @@ class TruthTable:
 
     def flip_input(self, index: int) -> "TruthTable":
         """Complement one input (absorbing an inverter on that pin)."""
-        mask = 0
-        bit = 1 << index
-        for m in range(self.size):
-            if (self.mask >> (m ^ bit)) & 1:
-                mask |= 1 << m
-        return TruthTable(self.num_inputs, mask)
+        m0 = _mask0(self.num_inputs, index)
+        block = 1 << index
+        low = self.mask & m0
+        high = (self.mask >> block) & m0
+        return TruthTable(self.num_inputs, high | (low << block))
 
     def compose(self, index: int, inner: "TruthTable") -> "TruthTable":
         """Substitute ``inner`` (same arity as self) for input ``index``."""

@@ -104,6 +104,9 @@ def _governance_kwargs(args) -> Dict[str, object]:
         from .testing import FaultPlan
 
         kw["faults"] = FaultPlan.parse(args.inject_faults)
+    fast_path = getattr(args, "fast_path", None)
+    if fast_path is not None:
+        kw["fast_path"] = fast_path
     return kw
 
 
@@ -591,6 +594,10 @@ def main(argv=None) -> int:
                        choices=["bdd", "sim", "none", "finegrain"])
         p.add_argument("--jobs", type=int, default=1,
                        help="decompose ingredient groups in N processes")
+        p.add_argument("--fast-path", default="auto",
+                       choices=["auto", "bitpack", "bdd"],
+                       help="class-counting backend (packed tables vs "
+                            "BDD walks; results are identical)")
         _add_governance_flags(p)
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a JSONL span trace of the run here")
@@ -606,6 +613,10 @@ def main(argv=None) -> int:
                    choices=["bdd", "sim", "none", "finegrain"])
     p.add_argument("--jobs", type=int, default=1,
                    help="decompose ingredient groups in N processes")
+    p.add_argument("--fast-path", default="auto",
+                   choices=["auto", "bitpack", "bdd"],
+                   help="class-counting backend (packed tables vs "
+                        "BDD walks; results are identical)")
     _add_governance_flags(p)
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write a JSONL span trace of the run here")

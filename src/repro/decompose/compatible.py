@@ -107,19 +107,24 @@ def compute_classes(
     bound_levels: Sequence[int],
     dc: int = FALSE,
     use_dontcares: bool = True,
+    fast_path: str = "auto",
 ) -> CompatibleClasses:
     """Compute compatible classes of ``(on, dc)`` w.r.t. ``bound_levels``.
 
     With ``use_dontcares`` (and a non-empty dc-set) the columns are merged
     by the clique-partitioning heuristic of Section 3.1; otherwise classes
-    are the syntactically distinct (on, dc) columns.
+    are the syntactically distinct (on, dc) columns.  ``fast_path`` is
+    forwarded to :func:`~repro.decompose.dontcare.assign_dontcares`,
+    which runs its compatibility tests on packed tables unless ``"bdd"``.
     """
     columns = enumerate_columns(manager, on, bound_levels, dc)
 
     if dc != FALSE and use_dontcares:
         from .dontcare import assign_dontcares  # deferred: avoids an import cycle
 
-        class_of_position, class_functions = assign_dontcares(manager, columns)
+        class_of_position, class_functions = assign_dontcares(
+            manager, columns, fast_path=fast_path
+        )
         return CompatibleClasses(
             manager=manager,
             bound_levels=list(bound_levels),
@@ -153,12 +158,33 @@ def count_classes(
     bound_levels: Sequence[int],
     dc: int = FALSE,
     use_dontcares: bool = True,
+    fast_path: str = "auto",
 ) -> int:
-    """Class count only (the variable-partitioning cost function)."""
+    """Class count only (the variable-partitioning cost function).
+
+    Both cases are served by the packed truth-table kernel for narrow
+    supports unless ``fast_path="bdd"`` — the syntactic count by chunk
+    hashing, the merged count by a bit-exact mirror of the clique
+    heuristic; the count is identical either way.
+    """
     if dc == FALSE or not use_dontcares:
+        if fast_path != "bdd":
+            from ..fastpath import bitops  # deferred: keeps import light
+
+            count = bitops.try_syntactic_count(
+                manager, on, dc, bound_levels
+            )
+            if count is not None:
+                return count
         on_parts = manager.cofactor_enumerate(on, list(bound_levels))
         if dc == FALSE:
             return len(set(on_parts))
         dc_parts = manager.cofactor_enumerate(dc, list(bound_levels))
         return len(set(zip(on_parts, dc_parts)))
+    if fast_path != "bdd":
+        from ..fastpath import bitops  # deferred: keeps import light
+
+        count = bitops.try_merged_count(manager, on, dc, bound_levels)
+        if count is not None:
+            return count
     return compute_classes(manager, on, bound_levels, dc, True).num_classes

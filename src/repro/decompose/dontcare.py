@@ -99,8 +99,42 @@ def compatibility_graph(
     return adjacency
 
 
+def _pack_columns(manager: BddManager, columns: Sequence[Column]):
+    """Pack columns over their common support, or ``None`` when too wide.
+
+    Returns ``(on_bits, off_bits)`` lists indexed like ``columns``.  A
+    packed (on, off) pair carries exactly the information the adjacency
+    and merge-verify tests below consume: ``on_i & off_j`` is empty in
+    the packed domain iff the corresponding BDD conjunction is FALSE.
+    """
+    from ..fastpath import bitops  # deferred: avoids an import cycle
+
+    support: Set[int] = set()
+    for col in columns:
+        support |= set(manager.support(col.on))
+        support |= set(manager.support(col.dc))
+    levels = sorted(support)
+    if len(levels) > bitops.DEFAULT_MAX_WIDTH:
+        manager.perf.fastpath_fallbacks += 1
+        return None
+    full = (1 << (1 << len(levels))) - 1
+    on_bits: List[int] = []
+    off_bits: List[int] = []
+    try:
+        for col in columns:
+            pair = bitops.pack_pair(manager, col.on, col.dc, levels)
+            on_bits.append(pair.on)
+            off_bits.append(full & ~(pair.on | pair.dc))
+    except KeyError:
+        manager.perf.fastpath_fallbacks += 1
+        return None
+    return on_bits, off_bits
+
+
 def assign_dontcares(
-    manager: BddManager, columns: Sequence[Column]
+    manager: BddManager,
+    columns: Sequence[Column],
+    fast_path: str = "auto",
 ) -> Tuple[List[int], List[Column]]:
     """Merge compatible columns into the fewest classes the heuristic finds.
 
@@ -114,6 +148,12 @@ def assign_dontcares(
     after merging).  The standard fix, used here, is to merge greedily and
     verify: a member that conflicts with the running merge is split off
     into a fresh class.
+
+    Unless ``fast_path="bdd"`` the quadratic compatibility tests (and the
+    merge-verify disjointness checks) run on packed truth tables when the
+    common column support is narrow enough; the emptiness verdicts — and
+    therefore the clique cover and the class membership — are identical,
+    and only the final merged class functions are built as BDDs.
     """
     # Deduplicate identical columns first; the clique heuristic is
     # quadratic and identical columns are always mergeable.
@@ -128,7 +168,21 @@ def assign_dontcares(
             rep_columns.append(col)
         rep_of_position.append(index)
 
-    adjacency = compatibility_graph(manager, rep_columns)
+    packed = (
+        _pack_columns(manager, rep_columns) if fast_path != "bdd" else None
+    )
+    if packed is not None:
+        packed_on, packed_off = packed
+        num = len(rep_columns)
+        adjacency: List[Set[int]] = [set() for _ in range(num)]
+        for i in range(num):
+            on_i, off_i = packed_on[i], packed_off[i]
+            for j in range(i + 1, num):
+                if not ((on_i & packed_off[j]) or (packed_on[j] & off_i)):
+                    adjacency[i].add(j)
+                    adjacency[j].add(i)
+    else:
+        adjacency = compatibility_graph(manager, rep_columns)
     cliques = clique_partition(
         len(rep_columns), lambda i, j: j in adjacency[i]
     )
@@ -149,17 +203,33 @@ def assign_dontcares(
             merged_off = FALSE
             members: List[int] = []
             rest: List[int] = []
-            for rep in pending:
-                col_on, col_off = rep_columns[rep].on, off_of[rep]
-                if (
-                    manager.apply_and(merged_on, col_off) != FALSE
-                    or manager.apply_and(merged_off, col_on) != FALSE
-                ):
-                    rest.append(rep)
-                    continue
-                merged_on = manager.apply_or(merged_on, col_on)
-                merged_off = manager.apply_or(merged_off, col_off)
-                members.append(rep)
+            if packed is not None:
+                packed_merged_on = 0
+                packed_merged_off = 0
+                for rep in pending:
+                    p_on, p_off = packed_on[rep], packed_off[rep]
+                    if (packed_merged_on & p_off) or (
+                        packed_merged_off & p_on
+                    ):
+                        rest.append(rep)
+                        continue
+                    packed_merged_on |= p_on
+                    packed_merged_off |= p_off
+                    merged_on = manager.apply_or(merged_on, rep_columns[rep].on)
+                    merged_off = manager.apply_or(merged_off, off_of[rep])
+                    members.append(rep)
+            else:
+                for rep in pending:
+                    col_on, col_off = rep_columns[rep].on, off_of[rep]
+                    if (
+                        manager.apply_and(merged_on, col_off) != FALSE
+                        or manager.apply_and(merged_off, col_on) != FALSE
+                    ):
+                        rest.append(rep)
+                        continue
+                    merged_on = manager.apply_or(merged_on, col_on)
+                    merged_off = manager.apply_or(merged_off, col_off)
+                    members.append(rep)
             merged_dc = manager.apply_diff(
                 manager.apply_not(merged_on), merged_off
             )

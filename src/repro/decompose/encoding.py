@@ -429,6 +429,9 @@ def encode_classes(
     forbidden_bound_levels: Sequence[int] = (),
     preferred_free_levels: Sequence[int] = (),
     use_oracle: bool = True,
+    fast_path: str = "auto",
+    fast_path_max_width: Optional[int] = None,
+    oracle_min_support: int = 0,
 ) -> EncodingResult:
     """Run the Figure-3 encoding procedure.
 
@@ -492,6 +495,9 @@ def encode_classes(
             forbidden=forbidden_bound_levels,
             preferred_free=preferred_free_levels,
             use_oracle=use_oracle,
+            fast_path=fast_path,
+            fast_path_max_width=fast_path_max_width,
+            oracle_min_support=oracle_min_support,
         )
     result.suggested_bound = vp.bound_levels
     alpha_set = set(alpha_levels)
@@ -535,7 +541,8 @@ def encode_classes(
         "encode.image_rebuild", manager=manager
     ):
         random_classes = count_classes(
-            manager, draft.on, list(vp.bound_levels), draft.dc, use_dontcares
+            manager, draft.on, list(vp.bound_levels), draft.dc,
+            use_dontcares, fast_path=fast_path,
         )
     result.image_classes_random = random_classes
     if rows is None:
@@ -570,6 +577,7 @@ def encode_classes(
             list(vp.bound_levels),
             chart_image.dc,
             use_dontcares,
+            fast_path=fast_path,
         )
     result.image_classes_chart = chart_classes
     result.trace["row_sets"] = row_sets

@@ -86,9 +86,15 @@ class ClassCountOracle:
         return (on, dc, tuple(sorted(bound)))
 
     def syntactic_count(
-        self, on: int, dc: int, bound: Sequence[int]
+        self, on: int, dc: int, bound: Sequence[int], compute=None
     ) -> int:
-        """Distinct (on, dc) column pairs for ``bound`` — memoized."""
+        """Distinct (on, dc) column pairs for ``bound`` — memoized.
+
+        ``compute`` optionally overrides how a miss is calculated (the
+        packed-table backend of :mod:`repro.decompose.varpart` passes its
+        own counter); it must return the same value the default cofactor
+        sweep would.
+        """
         key = self._key(on, dc, bound)
         cached = self._syntactic.get(key)
         perf = self.manager.perf
@@ -102,12 +108,15 @@ class ClassCountOracle:
         # A miss is about to sweep 2**|bound| cofactors — the natural
         # place to notice an expired budget before spending the work.
         manager.check_budget()
-        on_parts = manager.cofactor_enumerate(on, list(bound))
-        if dc == FALSE:
-            count = len(set(on_parts))
+        if compute is not None:
+            count = compute(bound)
         else:
-            dc_parts = manager.cofactor_enumerate(dc, list(bound))
-            count = len(set(zip(on_parts, dc_parts)))
+            on_parts = manager.cofactor_enumerate(on, list(bound))
+            if dc == FALSE:
+                count = len(set(on_parts))
+            else:
+                dc_parts = manager.cofactor_enumerate(dc, list(bound))
+                count = len(set(zip(on_parts, dc_parts)))
         self._syntactic[key] = count
         return count
 
@@ -142,14 +151,20 @@ class ClassCountOracle:
         dc: int,
         bound: Sequence[int],
         use_dontcares: bool = True,
+        compute=None,
+        compute_merged=None,
+        fast_path: str = "auto",
     ) -> int:
         """The exact (don't-care merged) class count — memoized.
 
         Without don't cares (or with merging disabled) this equals the
-        syntactic count and shares its memo.
+        syntactic count and shares its memo (including the ``compute``
+        override); ``compute_merged`` optionally overrides the merged
+        path the same way (the packed backend passes its own clique
+        counter, which mirrors ``compute_classes`` exactly).
         """
         if dc == FALSE or not use_dontcares:
-            return self.syntactic_count(on, dc, bound)
+            return self.syntactic_count(on, dc, bound, compute=compute)
         key = self._key(on, dc, bound)
         cached = self._exact.get(key)
         perf = self.manager.perf
@@ -159,11 +174,14 @@ class ClassCountOracle:
             return cached
         self.misses += 1
         perf.oracle_misses += 1
-        from .compatible import compute_classes  # deferred: import cycle
+        if compute_merged is not None:
+            count = compute_merged(bound)
+        else:
+            from .compatible import compute_classes  # deferred: import cycle
 
-        count = compute_classes(
-            self.manager, on, list(bound), dc, True
-        ).num_classes
+            count = compute_classes(
+                self.manager, on, list(bound), dc, True, fast_path=fast_path
+            ).num_classes
         self._exact[key] = count
         return count
 

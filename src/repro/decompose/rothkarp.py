@@ -60,6 +60,21 @@ class DecompositionOptions:
         Memoize class counts in the manager's shared
         :class:`~repro.decompose.oracle.ClassCountOracle` (default).
         Disable for ablations that need every count re-enumerated.
+    oracle_min_support:
+        Bypass the oracle for supports narrower than this: on small
+        cones the memo bookkeeping costs as much as the counts it saves
+        (BENCH showed oracle speedups of 0.98–1.02x there).  Bypasses
+        are reported as ``oracle_bypasses`` in the perf counters.
+        ``0`` disables the bypass.
+    fast_path:
+        Class-counting backend policy: ``"auto"`` (packed truth tables
+        for supports up to ``fast_path_max_width``, BDD walk beyond),
+        ``"bitpack"`` (force packed up to the kernel's hard cap) or
+        ``"bdd"`` (never packed).  All modes produce bit-identical
+        results; see :mod:`repro.fastpath.bitops`.
+    fast_path_max_width:
+        ``"auto"`` cut-over width; ``None`` uses the kernel default
+        (:data:`repro.fastpath.bitops.DEFAULT_MAX_WIDTH`).
     max_bdd_nodes / max_seconds:
         Resource budget for one governed decomposition: callers that own
         the manager (the group workers, the fault-tolerant flows) arm it
@@ -77,6 +92,9 @@ class DecompositionOptions:
     preferred_free_levels: Tuple[int, ...] = ()
     bound_size_search: bool = False
     use_oracle: bool = True
+    oracle_min_support: int = 10
+    fast_path: str = "auto"
+    fast_path_max_width: Optional[int] = None
     max_bdd_nodes: Optional[int] = None
     max_seconds: Optional[float] = None
 
@@ -174,6 +192,9 @@ def decompose_step(
                     preferred_free=options.preferred_free_levels,
                     oracle=oracle,
                     use_oracle=options.use_oracle,
+                    fast_path=options.fast_path,
+                    fast_path_max_width=options.fast_path_max_width,
+                    oracle_min_support=options.oracle_min_support,
                 )
                 t = max(1, math.ceil(math.log2(max(2, vp.num_classes))))
                 # Progress objective: fewest image inputs, then fewest
@@ -192,7 +213,12 @@ def decompose_step(
         "step.classes", manager=manager
     ):
         classes = compute_classes(
-            manager, on, list(bound), dc, options.use_dontcares
+            manager,
+            on,
+            list(bound),
+            dc,
+            options.use_dontcares,
+            fast_path=options.fast_path,
         )
     n = classes.num_classes
     if oracle is not None:
@@ -245,6 +271,9 @@ def decompose_step(
                 forbidden_bound_levels=options.forbidden_bound_levels,
                 preferred_free_levels=options.preferred_free_levels,
                 use_oracle=options.use_oracle,
+                fast_path=options.fast_path,
+                fast_path_max_width=options.fast_path_max_width,
+                oracle_min_support=options.oracle_min_support,
             )
 
     alpha_tables = _alpha_tables(
@@ -403,6 +432,9 @@ def _worst_encoding(
         dc=draft.dc,
         use_dontcares=options.use_dontcares,
         use_oracle=options.use_oracle,
+        fast_path=options.fast_path,
+        fast_path_max_width=options.fast_path_max_width,
+        oracle_min_support=options.oracle_min_support,
     )
     worst_codes = base
     worst_image = draft
@@ -423,6 +455,7 @@ def _worst_encoding(
             list(vp.bound_levels),
             image.dc,
             options.use_dontcares,
+            fast_path=options.fast_path,
         )
         if count > worst_count:
             worst_count = count

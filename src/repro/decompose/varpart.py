@@ -9,22 +9,39 @@ a search strategy sized to pure Python:
 * exhaustive search over all bound sets when the binomial is small,
 * otherwise greedy growth plus a swap-improvement pass.
 
+The searches run over one of two interchangeable *backends* sharing the
+identical driver (same candidate order, same tie-breaking, same oracle
+interplay, hence bit-identical selections):
+
+* :class:`_BddSearch` — the incremental distinct-residual sets over BDD
+  node ids (the historical path, always available);
+* :class:`~repro.fastpath.bitops.PackedSearch` — packed-integer truth
+  tables for supports of at most ``fast_path_max_width`` variables, where
+  extending a prefix is a single masked-shift delta swap instead of a
+  residual-set cofactor sweep (see docs/ALGORITHMS.md, "Bit-parallel
+  kernels").  Selected per call by ``fast_path`` =
+  ``"auto"`` (width cutoff) | ``"bitpack"`` (force, up to a hard cap) |
+  ``"bdd"`` (never), falling back transparently when the support is too
+  wide or not coverable.
+
 Three performance notes:
 
 * During the *search*, class counts are syntactic — distinct (on, dc)
   cofactor pairs, no clique-partitioned don't-care merging — because the
   merge is expensive and rarely changes the ranking.  The final
   ``num_classes`` reported for the chosen bound set is exact.
-* Greedy candidate evaluation is incremental: the distinct cofactors of
-  the current bound set are kept, and adding variable ``x`` only restricts
-  those (small) residual functions on ``x`` instead of re-enumerating all
-  ``2**b`` cofactors of the root.
+* Greedy candidate evaluation is incremental: the search state for the
+  current bound set is kept, and adding variable ``x`` only extends that
+  state instead of re-enumerating all ``2**b`` cofactors of the root.
 * All counts flow through the shared
   :class:`~repro.decompose.oracle.ClassCountOracle` (unless disabled for
-  ablations): repeated queries for the same ``(on, dc, bound)`` — from the
-  swap pass, from smaller-bound-size searches, and from re-decompositions
-  of the same sub-function at other recursion levels — are answered from
-  the memo instead of re-enumerating cofactors.
+  ablations, or bypassed below ``oracle_min_support`` where the memo
+  costs more than the counts): repeated queries for the same
+  ``(on, dc, bound)`` — from the swap pass, from smaller-bound-size
+  searches, and from re-decompositions of the same sub-function at other
+  recursion levels — are answered from the memo instead of re-counted.
+  The packed backend additionally serves counts from a
+  manager-independent global memo keyed by the packed bits themselves.
 
 Ties are broken toward lexicographically smallest level tuples so results
 are deterministic.
@@ -37,6 +54,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..bdd import FALSE, TRUE, BddManager
+from ..fastpath import bitops
 from .compatible import count_classes
 from .oracle import ClassCountOracle
 
@@ -52,21 +70,94 @@ class VariablePartition:
     num_classes: int
 
 
+# --------------------------------------------------------------------- #
+# Search backends
+# --------------------------------------------------------------------- #
+
+class _BddSearch:
+    """Distinct-residual-set backend over BDD node ids (always valid)."""
+
+    __slots__ = ("manager", "on", "dc")
+
+    def __init__(self, manager: BddManager, on: int, dc: int):
+        self.manager = manager
+        self.on = on
+        self.dc = dc
+
+    def root(self):
+        return {(self.on, self.dc)}
+
+    def extend(self, state, lv: int):
+        return _extend_distinct(self.manager, state, lv)
+
+    def canonical(self, state):
+        # Sorted for deterministic iteration in the next growth step.
+        return sorted(state)
+
+    def eval_candidate(self, state, lv: int, bound: Sequence[int]):
+        extended = _extend_distinct(self.manager, state, lv)
+        return len(extended), extended
+
+    def count_bound(self, bound: Sequence[int]) -> int:
+        manager = self.manager
+        on_parts = manager.cofactor_enumerate(self.on, list(bound))
+        if self.dc == FALSE:
+            return len(set(on_parts))
+        dc_parts = manager.cofactor_enumerate(self.dc, list(bound))
+        return len(set(zip(on_parts, dc_parts)))
+
+
+def _make_search(
+    manager: BddManager,
+    on: int,
+    dc: int,
+    support: Sequence[int],
+    fast_path: str,
+    max_width: Optional[int],
+):
+    """Choose the search backend for one ``select_bound_set`` call."""
+    perf = manager.perf
+    if fast_path != "bdd":
+        limit = (
+            max_width if max_width is not None else bitops.DEFAULT_MAX_WIDTH
+        )
+        if fast_path == "bitpack":
+            limit = max(limit, bitops.HARD_MAX_WIDTH)
+        limit = min(limit, bitops.HARD_MAX_WIDTH)
+        if len(support) <= limit:
+            try:
+                pair = bitops.pack_pair(
+                    manager, on, dc, tuple(sorted(support))
+                )
+            except KeyError:
+                # Support not covered by the caller's universe — the
+                # BDD path handles it unconditionally.
+                perf.fastpath_fallbacks += 1
+            else:
+                perf.fastpath_selects += 1
+                return bitops.PackedSearch(pair, perf)
+        else:
+            perf.fastpath_fallbacks += 1
+    return _BddSearch(manager, on, dc)
+
+
 def _syntactic_count(
     manager: BddManager,
     on: int,
     dc: int,
     bound: Sequence[int],
     oracle: Optional[ClassCountOracle] = None,
+    search=None,
 ) -> int:
     """Distinct (on, dc) column pairs — the cheap search cost."""
     if oracle is not None:
-        return oracle.syntactic_count(on, dc, bound)
-    on_parts = manager.cofactor_enumerate(on, list(bound))
-    if dc == FALSE:
-        return len(set(on_parts))
-    dc_parts = manager.cofactor_enumerate(dc, list(bound))
-    return len(set(zip(on_parts, dc_parts)))
+        return oracle.syntactic_count(
+            on, dc, bound,
+            compute=search.count_bound if search is not None else None,
+        )
+    if search is not None:
+        return search.count_bound(bound)
+    return _BddSearch(manager, on, dc).count_bound(bound)
 
 
 def select_bound_set(
@@ -81,6 +172,9 @@ def select_bound_set(
     preferred_free: Iterable[int] = (),
     oracle: Optional[ClassCountOracle] = None,
     use_oracle: bool = True,
+    fast_path: str = "auto",
+    fast_path_max_width: Optional[int] = None,
+    oracle_min_support: int = 0,
 ) -> VariablePartition:
     """Pick the bound set of ``bound_size`` variables minimising classes.
 
@@ -102,7 +196,22 @@ def select_bound_set(
         An explicit class-count memo to consult; defaults to the manager's
         shared :class:`ClassCountOracle` while ``use_oracle`` holds.  Pass
         ``use_oracle=False`` to force uncached enumeration (ablations).
+    fast_path / fast_path_max_width:
+        Backend policy (see the module docstring).  ``None`` width means
+        the kernel default (:data:`repro.fastpath.bitops.DEFAULT_MAX_WIDTH`).
+    oracle_min_support:
+        Below this support width the oracle is bypassed entirely: counts
+        are so cheap there that memo bookkeeping is pure overhead
+        (reported as ``oracle_bypasses`` in the perf counters).
     """
+    if (
+        use_oracle
+        and oracle_min_support
+        and len(support) < oracle_min_support
+    ):
+        manager.perf.oracle_bypasses += 1
+        oracle = None
+        use_oracle = False
     if oracle is None and use_oracle:
         oracle = ClassCountOracle.for_manager(manager)
     forbidden_set = set(forbidden)
@@ -119,8 +228,12 @@ def select_bound_set(
             f"support ({len(candidates)} variables)"
         )
 
+    search = _make_search(
+        manager, on, dc, support, fast_path, fast_path_max_width
+    )
+
     def key_of(bound: Tuple[int, ...]) -> Tuple:
-        classes = _syntactic_count(manager, on, dc, bound, oracle)
+        classes = _syntactic_count(manager, on, dc, bound, oracle, search)
         penalty = sum(1 for lv in bound if lv in preferred_free_set)
         return (classes, penalty, bound)
 
@@ -139,12 +252,12 @@ def select_bound_set(
     if total <= exhaustive_limit:
         best = _exhaustive_bound_set(
             manager, on, dc, candidates, bound_size, preferred_free_set,
-            oracle,
+            oracle, search,
         )
     else:
         best = _greedy_bound_set(
             manager, on, dc, candidates, bound_size, preferred_free_set,
-            oracle,
+            oracle, search,
         )
         best = _swap_improve(
             manager, on, dc, candidates, best, key_of
@@ -152,10 +265,20 @@ def select_bound_set(
 
     free = tuple(lv for lv in support if lv not in set(best))
     if oracle is not None:
-        num_classes = oracle.exact_count(on, dc, best, use_dontcares)
+        num_classes = oracle.exact_count(
+            on,
+            dc,
+            best,
+            use_dontcares,
+            compute=search.count_bound,
+            compute_merged=getattr(search, "merged_count_bound", None),
+            fast_path=fast_path,
+        )
+    elif dc == FALSE or not use_dontcares:
+        num_classes = search.count_bound(best)
     else:
         num_classes = count_classes(
-            manager, on, list(best), dc, use_dontcares
+            manager, on, list(best), dc, use_dontcares, fast_path=fast_path
         )
     return VariablePartition(
         bound_levels=tuple(sorted(best)),
@@ -171,9 +294,9 @@ def _extend_distinct(
 ) -> Set[Tuple[int, int]]:
     """Cofactor every residual pair on ``lv`` (both phases).
 
-    This is the inner loop of every bound-set search, so the trivial
-    cofactor cases (terminal, ``lv`` above or at the residual's top
-    variable) are resolved inline against the manager's node arrays —
+    This is the inner loop of the BDD-backed bound-set search, so the
+    trivial cofactor cases (terminal, ``lv`` above or at the residual's
+    top variable) are resolved inline against the manager's node arrays —
     a Python-level call per residual costs more than the cofactor.
     """
     cofactor = manager.cofactor
@@ -209,13 +332,15 @@ def _exhaustive_bound_set(
     bound_size: int,
     preferred_free: Set[int],
     oracle: Optional[ClassCountOracle] = None,
+    search=None,
 ) -> Tuple[int, ...]:
     """Exact search over all bound sets via shared-prefix DFS.
 
-    The DFS carries the distinct residual set for the chosen prefix and
+    The DFS carries the backend search state for the chosen prefix and
     extends it one variable at a time (two persistent-cached single-var
-    cofactors per residual), so common prefixes are never re-evaluated.
-    No count-based pruning is applied: the distinct-residual count is NOT
+    cofactors per residual on the BDD backend; one delta swap on the
+    packed backend), so common prefixes are never re-evaluated.  No
+    count-based pruning is applied: the distinct-residual count is NOT
     monotone in the bound set (columns that differ only in a variable
     added later can collapse), so any such prune would be unsound.
 
@@ -226,6 +351,8 @@ def _exhaustive_bound_set(
     """
     if bound_size == 0:
         return ()
+    if search is None:
+        search = _BddSearch(manager, on, dc)
     ordered = sorted(candidates)
     best: Optional[Tuple] = None  # (classes, penalty, bound)
 
@@ -238,7 +365,7 @@ def _exhaustive_bound_set(
         if best is None or key < best:
             best = key
 
-    def dfs(start: int, chosen: List[int], distinct) -> None:
+    def dfs(start: int, chosen: List[int], state) -> None:
         need = bound_size - len(chosen)
         last_level = need == 1
         manager.check_budget()
@@ -251,17 +378,17 @@ def _exhaustive_bound_set(
                     if cached is not None:
                         consider(bound, cached)
                         continue
-                extended = _extend_distinct(manager, distinct, lv)
+                count, _ = search.eval_candidate(state, lv, bound)
                 if oracle is not None:
-                    oracle.seed_syntactic(on, dc, bound, len(extended))
-                consider(bound, len(extended))
+                    oracle.seed_syntactic(on, dc, bound, count)
+                consider(bound, count)
             else:
-                extended = _extend_distinct(manager, distinct, lv)
+                extended = search.extend(state, lv)
                 chosen.append(lv)
                 dfs(i + 1, chosen, extended)
                 chosen.pop()
 
-    dfs(0, [], {(on, dc)})
+    dfs(0, [], search.root())
     assert best is not None
     return best[2]
 
@@ -274,31 +401,34 @@ def _greedy_bound_set(
     bound_size: int,
     preferred_free: Set[int],
     oracle: Optional[ClassCountOracle] = None,
+    search=None,
 ) -> Tuple[int, ...]:
-    """Greedy growth with incremental cofactor sets.
+    """Greedy growth with incremental search states.
 
-    The state is the set of distinct (on, dc) residual pairs for the
-    current bound; adding a candidate only cofactors those residuals.
-    Candidate counts are served by the oracle when already known; only the
-    winning candidate's distinct set is materialised (and sorted, for
-    deterministic iteration) once per growth step.
+    The state is the backend search state for the current bound; adding a
+    candidate only extends that state.  Candidate counts are served by
+    the oracle when already known; only the winning candidate's state is
+    materialised once per growth step.
     """
+    if search is None:
+        search = _BddSearch(manager, on, dc)
     chosen: List[int] = []
     remaining = list(candidates)
-    distinct: List[Tuple[int, int]] = [(on, dc)]
+    state = search.root()
     while len(chosen) < bound_size:
         best_lv: Optional[int] = None
         best_key: Optional[Tuple] = None
-        best_distinct: Optional[Set[Tuple[int, int]]] = None
+        best_state = None
         manager.check_budget()
         for lv in remaining:
-            new_set: Optional[Set[Tuple[int, int]]] = None
+            new_state = None
             count: Optional[int] = None
             if oracle is not None:
                 count = oracle.lookup_syntactic(on, dc, chosen + [lv])
             if count is None:
-                new_set = _extend_distinct(manager, distinct, lv)
-                count = len(new_set)
+                count, new_state = search.eval_candidate(
+                    state, lv, chosen + [lv]
+                )
                 if oracle is not None:
                     oracle.seed_syntactic(on, dc, chosen + [lv], count)
             key = (
@@ -309,15 +439,15 @@ def _greedy_bound_set(
             if best_key is None or key < best_key:
                 best_key = key
                 best_lv = lv
-                best_distinct = new_set
+                best_state = new_state
         assert best_lv is not None
-        if best_distinct is None:
-            # The winner's count came from the oracle; materialise its
-            # residual set once for the next growth step.
-            best_distinct = _extend_distinct(manager, distinct, best_lv)
+        if best_state is None:
+            # The winner's count came from a memo; materialise its
+            # search state once for the next growth step.
+            best_state = search.extend(state, best_lv)
         chosen.append(best_lv)
         remaining.remove(best_lv)
-        distinct = sorted(best_distinct)
+        state = search.canonical(best_state)
     return tuple(sorted(chosen))
 
 

@@ -1,0 +1,38 @@
+"""Bit-parallel fast path for the decomposition core.
+
+Packed-integer truth-table kernels (:mod:`repro.fastpath.bitops`) that
+replace per-node BDD cofactor walks in the variable-partitioning and
+compatible-class-counting hot loops for narrow-support cones, falling
+back transparently to the :class:`~repro.bdd.BddManager` path for wide
+supports.  See docs/ALGORITHMS.md ("Bit-parallel kernels").
+"""
+
+from .bitops import (
+    DEFAULT_MAX_WIDTH,
+    HARD_MAX_WIDTH,
+    PackedPair,
+    PackedSearch,
+    bdd_to_packed,
+    count_distinct_columns,
+    global_memo_stats,
+    clear_global_memo,
+    pack_pair,
+    try_merged_count,
+    try_syntactic_count,
+    var_masks,
+)
+
+__all__ = [
+    "DEFAULT_MAX_WIDTH",
+    "HARD_MAX_WIDTH",
+    "PackedPair",
+    "PackedSearch",
+    "bdd_to_packed",
+    "count_distinct_columns",
+    "global_memo_stats",
+    "clear_global_memo",
+    "pack_pair",
+    "try_merged_count",
+    "try_syntactic_count",
+    "var_masks",
+]

@@ -51,6 +51,9 @@ def map_per_output(
     pack_clbs: bool = True,
     jobs: int = 1,
     use_oracle: bool = True,
+    oracle_min_support: int = 10,
+    fast_path: str = "auto",
+    fast_path_max_width: Optional[int] = None,
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
@@ -77,6 +80,9 @@ def map_per_output(
         encoding_policy=encoding_policy,
         use_dontcares=use_dontcares,
         use_oracle=use_oracle,
+        oracle_min_support=oracle_min_support,
+        fast_path=fast_path,
+        fast_path_max_width=fast_path_max_width,
         max_bdd_nodes=max_bdd_nodes,
         max_seconds=max_seconds,
     )
@@ -252,6 +258,7 @@ def map_per_output_resub(
     pack_clbs: bool = True,
     max_pis: int = 14,
     jobs: int = 1,
+    fast_path: str = "auto",
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
@@ -267,6 +274,7 @@ def map_per_output_resub(
         verify="none",
         pack_clbs=False,
         jobs=jobs,
+        fast_path=fast_path,
         policy=policy,
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,
@@ -300,6 +308,7 @@ def map_column_encoding(
     verify: str = "bdd",
     pack_clbs: bool = True,
     jobs: int = 1,
+    fast_path: str = "auto",
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
@@ -314,6 +323,7 @@ def map_column_encoding(
         verify=verify,
         pack_clbs=pack_clbs,
         jobs=jobs,
+        fast_path=fast_path,
         policy=policy,
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,

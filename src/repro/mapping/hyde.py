@@ -127,6 +127,9 @@ def hyde_map(
     fallback_per_output: bool = True,
     jobs: int = 1,
     use_oracle: bool = True,
+    oracle_min_support: int = 10,
+    fast_path: str = "auto",
+    fast_path_max_width: Optional[int] = None,
     policy: Optional[TaskPolicy] = None,
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
@@ -145,8 +148,13 @@ def hyde_map(
     ``jobs > 1`` fans the ingredient groups out to a process pool (each
     worker decomposes its group's fan-in cone in a private manager; see
     :mod:`repro.mapping.parallel`).  ``use_oracle=False`` disables the
-    memoized class-count oracle for ablation runs.  Counter and phase-time
-    telemetry lands in ``MapResult.details["perf"]``.
+    memoized class-count oracle for ablation runs;
+    ``oracle_min_support`` bypasses it on cones too narrow to amortize
+    (see :class:`~repro.decompose.DecompositionOptions`).  ``fast_path``
+    selects the class-counting backend — ``"auto"`` (packed tables for
+    narrow supports, BDD beyond ``fast_path_max_width``), ``"bitpack"``
+    or ``"bdd"`` — the mapping is identical either way.  Counter and
+    phase-time telemetry lands in ``MapResult.details["perf"]``.
 
     ``policy`` (a :class:`~repro.mapping.parallel.TaskPolicy`) turns on
     fault tolerance: per-group timeouts, reply validation and the
@@ -216,6 +224,9 @@ def hyde_map(
         encoding_policy=encoding_policy,
         use_dontcares=use_dontcares,
         use_oracle=use_oracle,
+        oracle_min_support=oracle_min_support,
+        fast_path=fast_path,
+        fast_path_max_width=fast_path_max_width,
         max_bdd_nodes=max_bdd_nodes,
         max_seconds=max_seconds,
     )
@@ -224,6 +235,7 @@ def hyde_map(
     jobs_used = 1
     degraded: List[Dict[str, object]] = []
     pool_fallback: Optional[str] = None
+    run_details: Dict[str, object] = {}
 
     # The task runner is the only path with timeouts / retries / fault /
     # journal hooks, so any of those routes through it even serially.
@@ -285,6 +297,7 @@ def hyde_map(
         jobs_used = run_report.jobs_used
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
+        run_details.update(run_report.details)
         if run_report.interrupted:
             # The journal already holds every completed group and the
             # interruption record; stop before the splice would fail on
@@ -418,6 +431,7 @@ def hyde_map(
             "degraded": degraded,
             "pool_fallback": pool_fallback,
             "journal": journal_info,
+            **run_details,
         },
     )
 

@@ -158,6 +158,9 @@ class RunReport:
 
     jobs_used: int = 1
     pool_fallback: Optional[str] = None  # why jobs>1 ran serially, if set
+    # Free-form run decisions (e.g. the auto-serial estimate) for
+    # surfacing in MapResult.details.
+    details: Dict[str, object] = field(default_factory=dict)
     degraded: List[Dict[str, object]] = field(default_factory=list)
     timeouts: int = 0
     retries: int = 0
@@ -169,6 +172,59 @@ class RunReport:
     # Merged PerfCounters snapshot across every task reply — the one
     # place worker-side counters survive the process boundary.
     perf: Dict[str, object] = field(default_factory=dict)
+
+
+#: What starting a fork pool must save to be worth it: pool creation,
+#: per-task pickling and teardown, measured on the development machine.
+_POOL_SETUP_SECONDS = 0.15
+
+#: Coarse per-node decomposition cost for the auto-serial estimate.
+_EST_SECONDS_PER_NODE = 0.0015
+
+
+def _estimate_task_seconds(task: GroupTask) -> float:
+    """Rough wall-clock estimate for decomposing one group's cone.
+
+    Node count times a width factor that doubles every two cone inputs
+    past a k-feasible baseline — bound-set search and class counting
+    grow exponentially with support width, and ignoring that keeps
+    genuinely expensive batches (many inputs, few nodes) off the pool.
+    The estimate only has to be right about which side of the (large)
+    pool-setup margin a batch falls on.
+    """
+    nodes = task.blif_text.count(".names")
+    inputs = 0
+    for line in task.blif_text.splitlines():
+        if line.startswith(".inputs"):
+            inputs = len(line.split()) - 1
+            break
+    width_factor = 2.0 ** (max(0, inputs - 8) / 2.0)
+    return _EST_SECONDS_PER_NODE * nodes * width_factor
+
+
+def _auto_serial_decision(
+    tasks: Sequence[GroupTask], jobs: int
+) -> Tuple[bool, Dict[str, object]]:
+    """Should this batch skip the pool?  Returns ``(serial, record)``.
+
+    A pool only pays off when the wall clock it saves — the work the
+    extra workers take off the serial path — exceeds its setup cost.
+    Small batches of small cones lose that trade, and on them the pool
+    shows up as pure overhead in every benchmark.  The record lands in
+    ``RunReport.details["auto_serial"]`` either way, so the decision is
+    auditable.
+    """
+    workers = min(jobs, len(tasks))
+    estimated = sum(_estimate_task_seconds(task) for task in tasks)
+    savings = estimated * (1.0 - 1.0 / workers) if workers > 1 else 0.0
+    serial = savings < _POOL_SETUP_SECONDS
+    return serial, {
+        "estimated_seconds": round(estimated, 4),
+        "estimated_savings": round(savings, 4),
+        "pool_setup_seconds": _POOL_SETUP_SECONDS,
+        "workers": workers,
+        "serial": serial,
+    }
 
 
 def per_output_fragment(
@@ -666,7 +722,28 @@ def _run_governed(
         with guard:
             pool = None
             workers = min(jobs, len(todo)) if todo else 1
-            if jobs > 1 and len(todo) > 1:
+            want_pool = jobs > 1 and len(todo) > 1
+            # The heuristic must not pre-empt policies that rely on the
+            # pool's *real* (parent-enforced) preemption: a wall-clock
+            # timeout or an injected fault can hang an in-process
+            # attempt that only a worker kill recovers.
+            if (
+                want_pool
+                and policy.timeout_seconds is None
+                and all(task.inject is None for task in tasks)
+            ):
+                serial, decision = _auto_serial_decision(
+                    [tasks[i] for i in todo], jobs
+                )
+                report.details["auto_serial"] = decision
+                if serial:
+                    want_pool = False
+                    report.pool_fallback = (
+                        "auto_serial: estimated savings "
+                        f"{decision['estimated_savings']:.3f}s below "
+                        f"pool setup cost {_POOL_SETUP_SECONDS:g}s"
+                    )
+            if want_pool:
                 try:
                     pool = _make_pool(workers)
                 except (OSError, PermissionError, RuntimeError) as exc:
@@ -861,6 +938,18 @@ def run_group_tasks(
             journal=journal, shutdown_after=shutdown_after,
         )
     if jobs <= 1 or len(tasks) <= 1:
+        results = [decompose_group_task(t) for t in tasks]
+        _merge_result_perf(results, report)
+        return results, report
+    serial, decision = _auto_serial_decision(tasks, jobs)
+    report.details["auto_serial"] = decision
+    if serial:
+        report.jobs_used = 1
+        report.pool_fallback = (
+            "auto_serial: estimated savings "
+            f"{decision['estimated_savings']:.3f}s below pool setup cost "
+            f"{_POOL_SETUP_SECONDS:g}s"
+        )
         results = [decompose_group_task(t) for t in tasks]
         _merge_result_perf(results, report)
         return results, report

@@ -53,6 +53,12 @@ PERF_INT_SLOTS: Tuple[str, ...] = (
     "cofactor_enumerations",
     "oracle_hits",
     "oracle_misses",
+    "oracle_bypasses",
+    "fastpath_selects",
+    "fastpath_fallbacks",
+    "fastpath_conversions",
+    "fastpath_global_hits",
+    "fastpath_global_misses",
     "budget_exceeded",
 )
 

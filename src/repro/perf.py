@@ -42,6 +42,12 @@ class PerfCounters:
         "cofactor_enumerations",
         "oracle_hits",
         "oracle_misses",
+        "oracle_bypasses",
+        "fastpath_selects",
+        "fastpath_fallbacks",
+        "fastpath_conversions",
+        "fastpath_global_hits",
+        "fastpath_global_misses",
         "budget_exceeded",
         "phase_seconds",
     )
@@ -60,6 +66,12 @@ class PerfCounters:
         self.cofactor_enumerations = 0
         self.oracle_hits = 0
         self.oracle_misses = 0
+        self.oracle_bypasses = 0
+        self.fastpath_selects = 0
+        self.fastpath_fallbacks = 0
+        self.fastpath_conversions = 0
+        self.fastpath_global_hits = 0
+        self.fastpath_global_misses = 0
         self.budget_exceeded = 0
         self.phase_seconds: Dict[str, float] = {}
 
@@ -95,6 +107,12 @@ class PerfCounters:
         self.cofactor_enumerations += other.cofactor_enumerations
         self.oracle_hits += other.oracle_hits
         self.oracle_misses += other.oracle_misses
+        self.oracle_bypasses += other.oracle_bypasses
+        self.fastpath_selects += other.fastpath_selects
+        self.fastpath_fallbacks += other.fastpath_fallbacks
+        self.fastpath_conversions += other.fastpath_conversions
+        self.fastpath_global_hits += other.fastpath_global_hits
+        self.fastpath_global_misses += other.fastpath_global_misses
         self.budget_exceeded += other.budget_exceeded
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = (
@@ -113,6 +131,12 @@ class PerfCounters:
             "cofactor_enumerations",
             "oracle_hits",
             "oracle_misses",
+            "oracle_bypasses",
+            "fastpath_selects",
+            "fastpath_fallbacks",
+            "fastpath_conversions",
+            "fastpath_global_hits",
+            "fastpath_global_misses",
             "budget_exceeded",
         ):
             setattr(self, slot, getattr(self, slot) + int(data.get(slot, 0)))
@@ -147,6 +171,16 @@ class PerfCounters:
             "oracle_misses": self.oracle_misses,
             "oracle_hit_rate": self._rate(
                 self.oracle_hits, self.oracle_hits + self.oracle_misses
+            ),
+            "oracle_bypasses": self.oracle_bypasses,
+            "fastpath_selects": self.fastpath_selects,
+            "fastpath_fallbacks": self.fastpath_fallbacks,
+            "fastpath_conversions": self.fastpath_conversions,
+            "fastpath_global_hits": self.fastpath_global_hits,
+            "fastpath_global_misses": self.fastpath_global_misses,
+            "fastpath_global_hit_rate": self._rate(
+                self.fastpath_global_hits,
+                self.fastpath_global_hits + self.fastpath_global_misses,
             ),
             "budget_exceeded": self.budget_exceeded,
             "phase_seconds": {
@@ -186,6 +220,15 @@ def format_perf_report(perf: Dict[str, object]) -> str:
             "oracle queries",
             (perf.get("oracle_hits") or 0) + (perf.get("oracle_misses") or 0),
             perf.get("oracle_hit_rate"),
+        ),
+        ("oracle bypasses", perf.get("oracle_bypasses"), None),
+        ("fastpath searches", perf.get("fastpath_selects"), None),
+        ("fastpath fallbacks", perf.get("fastpath_fallbacks"), None),
+        (
+            "fastpath global memo",
+            (perf.get("fastpath_global_hits") or 0)
+            + (perf.get("fastpath_global_misses") or 0),
+            perf.get("fastpath_global_hit_rate"),
         ),
     ]
     lines.append("counters:")

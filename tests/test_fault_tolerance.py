@@ -217,6 +217,10 @@ class TestPoolFallbackRecorded:
             raise OSError("no semaphores in this sandbox")
 
         monkeypatch.setattr(par, "_make_pool", refuse)
+        # Zero the auto-serial setup-cost constant so the tiny test
+        # workload still *attempts* the pool — this class tests the
+        # pool-failure fallback, not the auto-serial dispatch.
+        monkeypatch.setattr(par, "_POOL_SETUP_SECONDS", 0.0)
 
     def test_legacy_path_records_fallback(self, monkeypatch):
         self._break_pool(monkeypatch)
