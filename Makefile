@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -54,6 +54,12 @@ trace-smoke:
 # resume it, and validate the journal + equivalence verdict.
 resume-smoke:
 	PYTHONPATH=src $(PYTHON) tools/resume_smoke.py
+
+# Service gate: start the mapping daemon, submit misex1 twice (cold
+# miss, then all-hits byte-identical warm response), validate the
+# result store, dismiss the daemon and require a clean exit.
+service-smoke:
+	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done

@@ -112,10 +112,34 @@ def _timed_map(name: str, repeats: int = REPEATS, **kwargs) -> Dict[str, object]
     }
 
 
+def _timed_cached_map(
+    name: str, store, repeats: int = 1, **kwargs
+) -> Dict[str, object]:
+    """Like ``_timed_map`` but through the service result cache."""
+    best = None
+    for _ in range(repeats):
+        net = build(name)
+        start = time.perf_counter()
+        result = hyde_map(
+            net, verify="none", pack_clbs=False, cache=store, **kwargs
+        )
+        seconds = time.perf_counter() - start
+        if best is None or seconds < best:
+            best = seconds
+    return {
+        "luts": result.lut_count,
+        "seconds": round(best, 4),
+        "cache": result.details.get("cache", {}),
+        "network": result.network,
+    }
+
+
 def run_suite(
     circuits: List[str], jobs: int = 2, check_jobs_equiv: bool = True
 ) -> Dict[str, object]:
     """Benchmark every circuit and return the trajectory record."""
+    from repro.service import ResultStore
+
     per_circuit: Dict[str, Dict[str, object]] = {}
     for name in circuits:
         if name in LARGE_TABLE2:
@@ -158,6 +182,34 @@ def run_suite(
                 f"oracle changed the mapping of {name}: "
                 f"{no_oracle['luts']} vs {with_oracle['luts']} LUTs"
             )
+        # Service-path numbers: warm = first run with a result store
+        # attached (cold cache, so this is flow + store overhead);
+        # cache_hit = repeat run served entirely from the store.
+        with ResultStore(":memory:") as store:
+            warm = _timed_cached_map(name, store, repeats=1)
+            hit = _timed_cached_map(name, store, repeats=min(repeats, 2))
+        if warm["luts"] != with_oracle["luts"]:
+            raise AssertionError(
+                f"result cache changed the mapping of {name}: "
+                f"{warm['luts']} vs {with_oracle['luts']} LUTs"
+            )
+        if hit["cache"].get("misses"):
+            raise AssertionError(
+                f"repeat cached run of {name} missed the store: "
+                f"{hit['cache']}"
+            )
+        if hit["luts"] != warm["luts"]:
+            raise AssertionError(
+                f"cache-hit mapping of {name} drifted: "
+                f"{hit['luts']} vs {warm['luts']} LUTs"
+            )
+        entry["warm_seconds"] = warm["seconds"]
+        entry["cache_hit_seconds"] = hit["seconds"]
+        entry["cache_speedup"] = (
+            round(warm["seconds"] / hit["seconds"], 2)
+            if hit["seconds"]
+            else None
+        )
         per_circuit[name] = entry
         print(
             f"{name:8s} {entry['luts']:4d} LUTs  "
@@ -169,6 +221,8 @@ def run_suite(
                 if jobs > 1
                 else ""
             )
+            + f"  cache-hit {entry['cache_hit_seconds']:7.3f}s"
+            f" (x{entry['cache_speedup']})"
         )
     totals = {
         "no_oracle_seconds": round(
@@ -176,6 +230,12 @@ def run_suite(
         ),
         "oracle_seconds": round(
             sum(e["oracle_seconds"] for e in per_circuit.values()), 4
+        ),
+        "warm_seconds": round(
+            sum(e["warm_seconds"] for e in per_circuit.values()), 4
+        ),
+        "cache_hit_seconds": round(
+            sum(e["cache_hit_seconds"] for e in per_circuit.values()), 4
         ),
         "luts": sum(e["luts"] for e in per_circuit.values()),
     }

@@ -10,6 +10,9 @@ Usage examples::
     python -m repro.cli table1 --classes small   # regenerate Table 1
     python -m repro.cli table2 --classes small
     python -m repro.cli blif my_circuit.blif --flow hyde -o mapped.blif
+    python -m repro.cli serve --store cache.db --info svc.json &
+    python -m repro.cli submit misex1 --info svc.json --times 2
+    python -m repro.cli cache cache.db --check
 """
 
 from __future__ import annotations
@@ -74,6 +77,9 @@ FLOWS: Dict[str, Callable] = {
 #: Flows that accept a ``journal=`` kwarg (checkpoint/resume support).
 JOURNALED_FLOWS = {"hyde", "per-output", "random", "resub", "column"}
 
+#: Flows that accept a ``cache=`` kwarg (content-addressed result store).
+CACHED_FLOWS = JOURNALED_FLOWS
+
 
 def _open_flow_journal(args, circuit: str, label: str):
     """Open the checkpoint journal for one (circuit, flow) run, or None."""
@@ -84,6 +90,30 @@ def _open_flow_journal(args, circuit: str, label: str):
         directory, circuit, label, args.k,
         resume=getattr(args, "resume", False),
     )
+
+
+def _open_result_cache(args):
+    """Open the ``--cache`` result store, or None when not requested."""
+    path = getattr(args, "cache", None)
+    if path is None:
+        return None
+    from .service import ResultStore
+
+    return ResultStore(path)
+
+
+def _print_cache_summary(result: MapResult) -> None:
+    cache = result.details.get("cache")
+    if cache:
+        print(
+            f"  [cache: {cache['hits']} hit(s), {cache['misses']} miss(es)"
+            + (
+                f", {cache['rejected']} rejected"
+                if cache.get("rejected")
+                else ""
+            )
+            + "]"
+        )
 
 
 def _governance_kwargs(args) -> Dict[str, object]:
@@ -180,42 +210,57 @@ def _run_flows(net, args) -> int:
     rows = []
     results: List[MapResult] = []
     wall_start = time.time()
-    with obs.installed(recorder):
-        for label in labels:
-            journal = _open_flow_journal(args, net.name, label)
-            flow_kwargs = dict(governance)
-            if journal is not None:
-                flow_kwargs["journal"] = journal
-            try:
-                with obs.span(
-                    f"flow:{label}", circuit=net.name, k=args.k, jobs=jobs
-                ):
-                    result = FLOWS[label](
-                        net.copy(), args.k, verify=args.verify, jobs=jobs,
-                        **flow_kwargs,
-                    )
-            except RunInterrupted as exc:
-                print(
-                    f"interrupted ({exc.reason}): {exc.completed}/"
-                    f"{exc.total} groups journaled"
-                    + (f" in {exc.journal_path}" if exc.journal_path else "")
-                )
-                print("re-run with --resume to pick up where this left off")
-                return EXIT_INTERRUPTED
-            if journal is not None:
-                info = result.details.get("journal") or {}
-                if info.get("replayed"):
+    cache = _open_result_cache(args)
+    try:
+        with obs.installed(recorder):
+            for label in labels:
+                journal = _open_flow_journal(args, net.name, label)
+                flow_kwargs = dict(governance)
+                if journal is not None:
+                    flow_kwargs["journal"] = journal
+                if cache is not None and label in CACHED_FLOWS:
+                    flow_kwargs["cache"] = cache
+                try:
+                    with obs.span(
+                        f"flow:{label}", circuit=net.name, k=args.k,
+                        jobs=jobs,
+                    ):
+                        result = FLOWS[label](
+                            net.copy(), args.k, verify=args.verify,
+                            jobs=jobs, **flow_kwargs,
+                        )
+                except RunInterrupted as exc:
                     print(
-                        f"  [resumed: {info['replayed']} group(s) replayed "
-                        f"from journal, {info['executed']} executed; "
-                        "equivalence gate passed]"
+                        f"interrupted ({exc.reason}): {exc.completed}/"
+                        f"{exc.total} groups journaled"
+                        + (
+                            f" in {exc.journal_path}"
+                            if exc.journal_path else ""
+                        )
                     )
-            _print_degradation(result)
-            rows.append(
-                [label, result.lut_count, result.clb_count,
-                 round(result.seconds, 2)]
-            )
-            results.append(result)
+                    print(
+                        "re-run with --resume to pick up where this "
+                        "left off"
+                    )
+                    return EXIT_INTERRUPTED
+                if journal is not None:
+                    info = result.details.get("journal") or {}
+                    if info.get("replayed"):
+                        print(
+                            f"  [resumed: {info['replayed']} group(s) "
+                            f"replayed from journal, {info['executed']} "
+                            "executed; equivalence gate passed]"
+                        )
+                _print_degradation(result)
+                _print_cache_summary(result)
+                rows.append(
+                    [label, result.lut_count, result.clb_count,
+                     round(result.seconds, 2)]
+                )
+                results.append(result)
+    finally:
+        if cache is not None:
+            cache.close()
     print(render_table(
         f"mapping {net.name} (k={args.k})",
         ["flow", "LUTs", "CLBs", "seconds"],
@@ -243,6 +288,9 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     flow_kwargs = _governance_kwargs(args)
     if journal is not None:
         flow_kwargs["journal"] = journal
+    cache = _open_result_cache(args)
+    if cache is not None and args.flow in CACHED_FLOWS:
+        flow_kwargs["cache"] = cache
     wall_start = time.time()
     try:
         with obs.installed(recorder):
@@ -262,12 +310,16 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         )
         print("re-run with --resume to pick up where this left off")
         return EXIT_INTERRUPTED
+    finally:
+        if cache is not None:
+            cache.close()
     if recorder is not None:
         _write_trace_file(
             trace_path, recorder, [result], args.flow, net.name, args.k,
             args.jobs, time.time() - wall_start,
         )
     _print_degradation(result)
+    _print_cache_summary(result)
     print(
         f"{args.flow} on {net.name}: {result.lut_count} LUTs, "
         f"{result.seconds:.2f}s total"
@@ -499,6 +551,12 @@ def _add_governance_flags(p: argparse.ArgumentParser) -> None:
         "equivalence-checked against the source before the run counts "
         "as complete)",
     )
+    p.add_argument(
+        "--cache", default=None, metavar="FILE",
+        help="serve repeat group tasks from a content-addressed SQLite "
+        "result store (created on first use; fragments are "
+        "equivalence-revalidated before first reuse)",
+    )
 
 
 def _cmd_verify(args: argparse.Namespace) -> int:
@@ -568,6 +626,102 @@ def _cmd_verify(args: argparse.Namespace) -> int:
             )
             print(f"shrunk witness for {cone.output!r}: {path}")
     return 1
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the mapping daemon until dismissed (exit 0) or drained (75)."""
+    from .service import MappingDaemon
+
+    daemon = MappingDaemon(
+        args.store,
+        jobs=args.jobs,
+        host=args.host,
+        port=args.port,
+        max_concurrent=args.max_concurrent,
+        info_path=args.info,
+        max_rows=args.max_rows,
+    )
+    return daemon.serve(quiet=args.quiet)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    """Submit a circuit to a running daemon (possibly repeatedly)."""
+    from .network import to_blif
+    from .service import ServiceClient, ServiceError
+
+    if args.info:
+        client = ServiceClient.from_info(args.info, timeout=args.timeout)
+    elif args.port:
+        client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    else:
+        print("submit needs --info FILE or --port N", file=sys.stderr)
+        return 2
+    if args.blif:
+        blif_text = open(args.blif, "r", encoding="utf-8").read()
+    else:
+        blif_text = to_blif(build(args.circuit))
+    knobs: Dict[str, object] = {"k": args.k}
+    if args.verify is not None:
+        knobs["verify"] = args.verify
+    last = None
+    try:
+        for i in range(args.times):
+            result = client.submit_blif(blif_text, flow=args.flow, **knobs)
+            cache = result.get("cache") or {}
+            print(
+                f"pass {i + 1}/{args.times}: {result['luts']} LUTs, "
+                f"{result['service_seconds']:.3f}s service time, "
+                f"cache {cache.get('hits', 0)} hit(s) / "
+                f"{cache.get('misses', 0)} miss(es)"
+            )
+            if last is not None and last["blif"] != result["blif"]:
+                print("ERROR: repeat submission produced different BLIF",
+                      file=sys.stderr)
+                return 1
+            last = result
+        if args.shutdown:
+            client.shutdown()
+            print("daemon dismissed")
+    except (ServiceError, OSError) as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if args.output and last is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(last["blif"])
+        print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect (or, with --check, gate on) a result-store file."""
+    from .service import ResultStore
+
+    with ResultStore(args.path) as store:
+        if args.prune:
+            pruned = store.prune_stale()
+            print(f"pruned {pruned} stale row(s)")
+        stats = store.stats()
+        if args.check:
+            problems = store.validate()
+            for problem in problems:
+                print(f"store: {problem}")
+            if problems:
+                return 1
+            print(
+                f"store ok: {stats['current_rows']} row(s) at schema "
+                f"{stats['schema']}, {stats['verified_rows']} verified, "
+                f"{stats['stale_rows']} stale"
+            )
+            return 0
+        print(f"result store {stats['path']}")
+        print(f"  schema          {stats['schema']}")
+        print(f"  rows            {stats['rows']}")
+        print(f"  current rows    {stats['current_rows']}")
+        print(f"  stale rows      {stats['stale_rows']}")
+        print(f"  verified rows   {stats['verified_rows']}")
+        print(f"  stored hits     {stats['stored_hits']}")
+        print(f"  max rows        {stats['max_rows']}")
+    return 0
 
 
 def main(argv=None) -> int:
@@ -674,6 +828,65 @@ def main(argv=None) -> int:
         "exit on failure",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run the mapping daemon (warm worker pool + result cache)",
+    )
+    p.add_argument("--store", required=True, metavar="FILE",
+                   help="SQLite result-store path (created on first use)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="warm worker-pool size (1 = in-process, no pool)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0,
+                   help="TCP port (0 = let the OS pick; see --info)")
+    p.add_argument("--max-concurrent", type=int, default=4,
+                   help="map requests served at once; extras queue")
+    p.add_argument("--info", default=None, metavar="FILE",
+                   help="write the bound endpoint here (atomic JSON) "
+                   "for client discovery")
+    p.add_argument("--max-rows", type=int, default=None,
+                   help="LRU capacity of the result store")
+    p.add_argument("--quiet", action="store_true")
+
+    p = sub.add_parser(
+        "submit", help="submit a circuit to a running mapping daemon"
+    )
+    p.add_argument("circuit", nargs="?", choices=sorted(CIRCUITS),
+                   help="registered benchmark circuit (or use --blif)")
+    p.add_argument("--blif", default=None, metavar="FILE",
+                   help="submit this BLIF file instead of a circuit")
+    p.add_argument("--info", default=None, metavar="FILE",
+                   help="endpoint file written by serve --info")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--flow", default="hyde", choices=["hyde", "per-output"])
+    p.add_argument("-k", type=int, default=5, help="LUT input count")
+    p.add_argument("--verify", default=None,
+                   choices=["bdd", "sim", "none", "finegrain"],
+                   help="whole-network verify (service default: none; "
+                   "fragments are validated regardless)")
+    p.add_argument("--times", type=int, default=1, metavar="N",
+                   help="submit N times (repeats should hit the cache)")
+    p.add_argument("--timeout", type=float, default=300.0,
+                   help="client socket timeout in seconds")
+    p.add_argument("--shutdown", action="store_true",
+                   help="dismiss the daemon after the last submission")
+    p.add_argument("-o", "--output", help="write the mapped BLIF here")
+
+    p = sub.add_parser(
+        "cache", help="inspect or validate a result-store file"
+    )
+    p.add_argument("path", help="SQLite store written by serve/--cache")
+    p.add_argument(
+        "--check", action="store_true",
+        help="validate instead of render: row hashes, key shapes and "
+        "fragment parses; non-zero exit on failure",
+    )
+    p.add_argument(
+        "--prune", action="store_true",
+        help="delete rows stamped with a stale schema version first",
+    )
+
     for table in (1, 2):
         p = sub.add_parser(f"table{table}",
                            help=f"regenerate the paper's Table {table}")
@@ -696,6 +909,14 @@ def main(argv=None) -> int:
         return _cmd_verify(args)
     if args.command == "journal":
         return _cmd_journal(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        if not args.circuit and not args.blif:
+            parser.error("submit needs a circuit name or --blif FILE")
+        return _cmd_submit(args)
+    if args.command == "cache":
+        return _cmd_cache(args)
     if args.command == "table1":
         return _cmd_table(args, 1)
     if args.command == "table2":

@@ -59,6 +59,8 @@ def map_per_output(
     max_bdd_nodes: Optional[int] = None,
     max_seconds: Optional[float] = None,
     journal: Optional[RunJournal] = None,
+    cache=None,
+    pool=None,
 ) -> MapResult:
     """Decompose every output independently (no hyper-function).
 
@@ -69,7 +71,10 @@ def map_per_output(
     through the fault-tolerant task runner (even at ``jobs=1``);
     recovery shows up in ``details["degraded"]`` /
     ``details["pool_fallback"]``, and a journal adds checkpoint/resume
-    with the same interruption and resume-gate contract.
+    with the same interruption and resume-gate contract.  ``cache`` /
+    ``pool`` behave as in :func:`~repro.mapping.hyde.hyde_map`: a
+    content-addressed result store serving revalidated fragments across
+    runs, and an externally owned warm worker pool.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -115,6 +120,8 @@ def map_per_output(
         or policy is not None
         or bool(faults)
         or journal is not None
+        or cache is not None
+        or pool is not None
     )
     if verify == "finegrain" and use_tasks:
         # Mirror hyde_map: fine-grained verification upgrades reply
@@ -150,6 +157,8 @@ def map_per_output(
                 policy,
                 journal=journal,
                 shutdown_after=getattr(faults, "parent_kill_after", None),
+                cache=cache,
+                pool=pool,
             )
             if recorder is not None:
                 for res in results:
@@ -232,6 +241,16 @@ def map_per_output(
             clb_count=clb_count,
             seconds=round(seconds, 6),
         )
+    extra_details: Dict[str, object] = {}
+    if run_report is not None:
+        extra_details.update(run_report.details)
+        if cache is not None:
+            extra_details["cache"] = {
+                "hits": run_report.cache_hits,
+                "misses": run_report.cache_misses,
+                "rejected": run_report.cache_rejected,
+            }
+            extra_details["fragments"] = run_report.fragments
     return MapResult(
         network=result,
         k=k,
@@ -245,6 +264,7 @@ def map_per_output(
             "degraded": degraded,
             "pool_fallback": pool_fallback,
             "journal": journal_info,
+            **extra_details,
         },
     )
 
@@ -263,6 +283,8 @@ def map_per_output_resub(
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
     journal: Optional[RunJournal] = None,
+    cache=None,
+    pool=None,
 ) -> MapResult:
     """Per-output decomposition followed by support-minimising resub."""
     start = time.time()
@@ -279,6 +301,8 @@ def map_per_output_resub(
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,
         journal=journal,
+        cache=cache,
+        pool=pool,
     )
     result = base.network
     rewrites = resubstitute(result, k, max_pis=max_pis)
@@ -297,6 +321,11 @@ def map_per_output_resub(
             "perf": base.details.get("perf"),
             "degraded": base.details.get("degraded", []),
             "pool_fallback": base.details.get("pool_fallback"),
+            **{
+                key: base.details[key]
+                for key in ("cache", "fragments")
+                if key in base.details
+            },
         },
     )
 
@@ -313,6 +342,8 @@ def map_column_encoding(
     faults: Optional[object] = None,
     max_bdd_nodes: Optional[int] = None,
     journal: Optional[RunJournal] = None,
+    cache=None,
+    pool=None,
 ) -> MapResult:
     """FGSyn-like column encoding: PPIs never enter a bound set."""
     result = hyde_map(
@@ -328,6 +359,8 @@ def map_column_encoding(
         faults=faults,
         max_bdd_nodes=max_bdd_nodes,
         journal=journal,
+        cache=cache,
+        pool=pool,
     )
     result.flow = "column-encoding"
     return result

@@ -135,6 +135,8 @@ def hyde_map(
     max_bdd_nodes: Optional[int] = None,
     max_seconds: Optional[float] = None,
     journal: Optional[RunJournal] = None,
+    cache=None,
+    pool=None,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -181,6 +183,16 @@ def hyde_map(
     network passes a mandatory BDD equivalence gate against ``net``
     (regardless of ``verify``) and the journal records the verdict;
     ``details["journal"]`` reports the replayed/executed split.
+
+    ``cache`` (a :class:`~repro.service.ResultStore`) memoizes group
+    fragments across runs by the journal's content-addressed task key —
+    repeat mappings of the same cones are served from SQLite after
+    revalidation instead of re-decomposed, with the hit/miss/reject
+    split in ``details["cache"]`` and per-fragment serving records in
+    ``details["fragments"]``.  ``pool`` is an externally owned warm
+    worker pool (see :class:`~repro.service.WarmPool`) reused across
+    calls instead of a per-call pool.  Either routes the flow through
+    the governed task runner.
     """
     start = time.time()
     gb = GlobalBdds(net)
@@ -244,6 +256,8 @@ def hyde_map(
         or policy is not None
         or bool(faults)
         or journal is not None
+        or cache is not None
+        or pool is not None
     )
     if verify == "finegrain" and use_tasks:
         # Fine-grained verification extends to reply validation: a
@@ -283,6 +297,8 @@ def hyde_map(
                 policy,
                 journal=journal,
                 shutdown_after=getattr(faults, "parent_kill_after", None),
+                cache=cache,
+                pool=pool,
             )
             if recorder is not None:
                 # Worker span trees come back rebased to 0; anchor each at
@@ -298,6 +314,19 @@ def hyde_map(
         degraded = run_report.degraded
         pool_fallback = run_report.pool_fallback
         run_details.update(run_report.details)
+        if cache is not None:
+            run_details["cache"] = {
+                "hits": run_report.cache_hits,
+                "misses": run_report.cache_misses,
+                "rejected": run_report.cache_rejected,
+            }
+            run_details["fragments"] = run_report.fragments
+            obs.event(
+                "cache",
+                hits=run_report.cache_hits,
+                misses=run_report.cache_misses,
+                rejected=run_report.cache_rejected,
+            )
         if run_report.interrupted:
             # The journal already holds every completed group and the
             # interruption record; stop before the splice would fail on

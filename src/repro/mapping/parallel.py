@@ -154,6 +154,14 @@ class RunReport:
     (and journaled) this time; ``interrupted`` is set when a shutdown
     request stopped the batch early — the results list is then partial
     and the journal holds everything that completed.
+
+    With a result cache (:class:`~repro.service.ResultStore`),
+    ``cache_hits`` counts tasks served from the store, ``cache_misses``
+    tasks that had to execute, and ``cache_rejected`` stored rows that
+    failed revalidation (corrupt/stale entries — they are deleted and
+    the task recomputed).  ``fragments`` then carries one per-task
+    record (``gi``/``key``/``cached``/``seconds``/``blif``) in group
+    order, so a serving layer can stream them to a client.
     """
 
     jobs_used: int = 1
@@ -166,6 +174,11 @@ class RunReport:
     retries: int = 0
     replayed: int = 0
     executed: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_rejected: int = 0
+    # Per-task serving records (populated only when a cache is attached).
+    fragments: List[Dict[str, object]] = field(default_factory=list)
     interrupted: bool = False
     interrupt_reason: Optional[str] = None
     journal_path: Optional[str] = None
@@ -618,19 +631,27 @@ def _merge_result_perf(
     for result in results:
         if result.perf:
             merged.merge_dict(result.perf)
+    # Cache traffic is a parent-side fact (the store lives with the
+    # dispatch loop, not the workers) but it belongs in the same merged
+    # snapshot so `repro stats` and traces see one coherent counter set.
+    merged.cache_hits += report.cache_hits
+    merged.cache_misses += report.cache_misses
+    merged.cache_rejected += report.cache_rejected
     report.perf = merged.snapshot()
 
 
 def _replay_result(
-    task: GroupTask, record: Dict[str, object]
+    task: GroupTask, record: Dict[str, object], source: str = "replayed"
 ) -> Optional[GroupResult]:
-    """Rebuild a :class:`GroupResult` from a journaled group record.
+    """Rebuild a :class:`GroupResult` from a journaled/cached record.
 
-    Returns ``None`` — forcing re-execution — when the journaled
-    fragment does not survive the same checks a live worker reply must
-    pass: the BLIF has to parse and drive exactly the task's outputs.  A
-    corrupt or tampered journal therefore degrades to recomputation,
-    never to splicing garbage.
+    Returns ``None`` — forcing re-execution — when the stored fragment
+    does not survive the same checks a live worker reply must pass: the
+    BLIF has to parse and drive exactly the task's outputs.  A corrupt
+    or tampered record therefore degrades to recomputation, never to
+    splicing garbage.  ``source`` names the flag set in the result's
+    info (``"replayed"`` for journal records, ``"cached"`` for result-
+    store rows).
     """
     blif_text = record.get("blif")
     if not isinstance(blif_text, str):
@@ -642,7 +663,7 @@ def _replay_result(
     if sorted(fragment.output_names) != sorted(task.group):
         return None
     info = dict(record.get("info") or {})
-    info["replayed"] = True
+    info[source] = True
     try:
         seconds = float(record.get("seconds") or 0.0)
     except (TypeError, ValueError):
@@ -652,6 +673,47 @@ def _replay_result(
     )
 
 
+def _cache_lookup(
+    task: GroupTask,
+    key: str,
+    cache,
+    policy: TaskPolicy,
+    journal: Optional[RunJournal],
+    report: RunReport,
+) -> Optional[GroupResult]:
+    """Serve one task from the result store, or ``None`` on a miss.
+
+    A stored row is *never trusted blindly*: every hit must rebuild
+    through :func:`_replay_result` (parse + output-set check), and a row
+    that has not yet passed the full reply-validation gate (the
+    ``verified`` stamp) additionally runs :func:`_validate_reply` — the
+    same equivalence engine live worker replies face — before its first
+    reuse.  A row that fails either check is deleted from the store so
+    the task recomputes and overwrites it.
+    """
+    record = cache.get(key)
+    if record is None:
+        return None
+    result = _replay_result(task, record, source="cached")
+    cause: Optional[str] = None
+    if result is None:
+        cause = "corrupt_row: fragment does not rebuild"
+    elif policy.verify_fragments and not record.get("verified"):
+        cause = _validate_reply(task, result, policy, journal=journal)
+        if cause is None:
+            cache.mark_verified(key)
+    if cause is not None:
+        cache.invalidate(key)
+        report.cache_rejected += 1
+        obs.event("cache_rejected", gi=task.gi, key=key, cause=cause)
+        if journal is not None:
+            journal.record_event(
+                "cache_rejected", gi=task.gi, key=key, cause=cause
+            )
+        return None
+    return result
+
+
 def _run_governed(
     tasks: List[GroupTask],
     jobs: int,
@@ -659,6 +721,8 @@ def _run_governed(
     report: RunReport,
     journal: Optional[RunJournal] = None,
     shutdown_after: Optional[int] = None,
+    cache=None,
+    pool=None,
 ) -> Tuple[List[GroupResult], RunReport]:
     """The policy path: timeouts, validation, and the degradation ladder.
 
@@ -669,6 +733,15 @@ def _run_governed(
     the batch gracefully: the pool is torn down, the interruption is
     journaled, and the partial results are returned with
     ``report.interrupted`` set.
+
+    ``cache`` (a :class:`~repro.service.ResultStore`) memoizes results
+    *across* runs by the same content-addressed key the journal uses:
+    tasks the store already knows are served (after revalidation — see
+    :func:`_cache_lookup`) without execution, and every freshly landed
+    fragment is written back.  ``pool`` is an externally owned, already
+    warm worker pool (the mapping service's): it is used instead of
+    creating one and is **not** terminated when the batch ends — pool
+    lifecycle then belongs to the caller.
     """
     results: List[Optional[GroupResult]] = [None] * len(tasks)
     causes: Dict[int, List[str]] = {i: [] for i in range(len(tasks))}
@@ -676,9 +749,10 @@ def _run_governed(
     keys: List[Optional[str]] = [None] * len(tasks)
 
     todo = list(range(len(tasks)))
+    if journal is not None or cache is not None:
+        keys = [task_key(task) for task in tasks]
     if journal is not None:
         report.journal_path = journal.path
-        keys = [task_key(task) for task in tasks]
         remaining: List[int] = []
         for i in todo:
             record = journal.lookup(keys[i])
@@ -691,6 +765,29 @@ def _run_governed(
                 results[i] = replayed
                 report.replayed += 1
             else:
+                remaining.append(i)
+        todo = remaining
+    if cache is not None:
+        remaining = []
+        for i in todo:
+            hit = _cache_lookup(
+                tasks[i], keys[i], cache, policy, journal, report
+            )
+            if hit is not None:
+                results[i] = hit
+                report.cache_hits += 1
+                report.fragments.append(
+                    {
+                        "gi": tasks[i].gi,
+                        "group": list(tasks[i].group),
+                        "key": keys[i],
+                        "cached": True,
+                        "seconds": hit.seconds,
+                        "blif": hit.blif_text,
+                    }
+                )
+            else:
+                report.cache_misses += 1
                 remaining.append(i)
         todo = remaining
 
@@ -707,6 +804,27 @@ def _run_governed(
             journal.record_group(
                 keys[i], tasks[i], result, seconds, resolution=resolution
             )
+        if cache is not None:
+            # Live replies already passed _validate_reply, so the row is
+            # born verified; replays validate again on their first reuse.
+            cache.put(
+                keys[i],
+                result.blif_text,
+                info=result.info,
+                seconds=seconds,
+                verified=policy.verify_fragments,
+            )
+            report.fragments.append(
+                {
+                    "gi": tasks[i].gi,
+                    "group": list(tasks[i].group),
+                    "key": keys[i],
+                    "cached": False,
+                    "seconds": seconds,
+                    "blif": result.blif_text,
+                    **({"resolution": resolution} if resolution else {}),
+                }
+            )
         if (
             shutdown_after is not None
             and report.executed >= shutdown_after
@@ -720,40 +838,54 @@ def _run_governed(
     )
     try:
         with guard:
-            pool = None
+            worker_pool = None
+            owns_pool = False
             workers = min(jobs, len(todo)) if todo else 1
-            want_pool = jobs > 1 and len(todo) > 1
-            # The heuristic must not pre-empt policies that rely on the
-            # pool's *real* (parent-enforced) preemption: a wall-clock
-            # timeout or an injected fault can hang an in-process
-            # attempt that only a worker kill recovers.
-            if (
-                want_pool
-                and policy.timeout_seconds is None
-                and all(task.inject is None for task in tasks)
-            ):
-                serial, decision = _auto_serial_decision(
-                    [tasks[i] for i in todo], jobs
-                )
-                report.details["auto_serial"] = decision
-                if serial:
-                    want_pool = False
-                    report.pool_fallback = (
-                        "auto_serial: estimated savings "
-                        f"{decision['estimated_savings']:.3f}s below "
-                        f"pool setup cost {_POOL_SETUP_SECONDS:g}s"
+            if pool is not None and todo and jobs > 1:
+                # A warm externally owned pool: setup cost is already
+                # paid, so the auto-serial economics never apply — use
+                # it whenever there is any pooled work at all.
+                worker_pool = pool
+                report.details["warm_pool"] = True
+            else:
+                want_pool = jobs > 1 and len(todo) > 1
+                # The heuristic must not pre-empt policies that rely on
+                # the pool's *real* (parent-enforced) preemption: a
+                # wall-clock timeout or an injected fault can hang an
+                # in-process attempt that only a worker kill recovers.
+                if (
+                    want_pool
+                    and policy.timeout_seconds is None
+                    and all(task.inject is None for task in tasks)
+                ):
+                    serial, decision = _auto_serial_decision(
+                        [tasks[i] for i in todo], jobs
                     )
-            if want_pool:
-                try:
-                    pool = _make_pool(workers)
-                except (OSError, PermissionError, RuntimeError) as exc:
-                    report.pool_fallback = f"{type(exc).__name__}: {exc}"
-            report.jobs_used = workers if pool is not None else 1
+                    report.details["auto_serial"] = decision
+                    if serial:
+                        want_pool = False
+                        report.pool_fallback = (
+                            "auto_serial: estimated savings "
+                            f"{decision['estimated_savings']:.3f}s below "
+                            f"pool setup cost {_POOL_SETUP_SECONDS:g}s"
+                        )
+                if want_pool:
+                    try:
+                        worker_pool = _make_pool(workers)
+                        owns_pool = True
+                    except (OSError, PermissionError, RuntimeError) as exc:
+                        report.pool_fallback = f"{type(exc).__name__}: {exc}"
+            report.jobs_used = workers if worker_pool is not None else 1
 
-            if pool is not None:
+            if worker_pool is not None:
                 try:
                     handles = [
-                        (i, pool.apply_async(decompose_group_task, (tasks[i],)))
+                        (
+                            i,
+                            worker_pool.apply_async(
+                                decompose_group_task, (tasks[i],)
+                            ),
+                        )
                         for i in todo
                     ]
                     for i, handle in handles:
@@ -791,10 +923,14 @@ def _run_governed(
                             causes[i].append(cause)
                             pending.append(i)
                 finally:
-                    # terminate, not close: a hung worker would block join
-                    # forever (and a shutdown request must not wait either).
-                    pool.terminate()
-                    pool.join()
+                    if owns_pool:
+                        # terminate, not close: a hung worker would block
+                        # join forever (and a shutdown request must not
+                        # wait either).  An external pool is the caller's
+                        # to recycle — a timeout here may have left a
+                        # hung worker, which report.timeouts surfaces.
+                        worker_pool.terminate()
+                        worker_pool.join()
             else:
                 for i in todo:
                     cause, result = _attempt_inprocess(
@@ -889,6 +1025,7 @@ def _run_governed(
                 total=len(tasks),
             )
 
+    report.fragments.sort(key=lambda f: f["gi"])
     final = [r for r in results if r is not None]
     _merge_result_perf(final, report)
     return final, report
@@ -900,6 +1037,8 @@ def run_group_tasks(
     policy: Optional[TaskPolicy] = None,
     journal: Optional[RunJournal] = None,
     shutdown_after: Optional[int] = None,
+    cache=None,
+    pool=None,
 ) -> Tuple[List[GroupResult], RunReport]:
     """Execute group tasks, fanning out to ``jobs`` processes when >1.
 
@@ -923,19 +1062,29 @@ def run_group_tasks(
     groups that a real SIGTERM would.  Either option implies the
     governed path (a default :class:`TaskPolicy` is used when none is
     given) — replies must be validated before they may be journaled.
+
+    ``cache`` (a :class:`~repro.service.ResultStore`) memoizes validated
+    fragments across runs by content-addressed key, and ``pool`` runs
+    the batch on an externally owned warm worker pool instead of a
+    per-call one (the pool is left running afterwards).  Both also imply
+    the governed path: cached rows and warm workers only serve
+    validated replies.
     """
     tasks = list(tasks)
     report = RunReport()
     if policy is None and (
         journal is not None
         or shutdown_after is not None
+        or cache is not None
+        or pool is not None
         or any(t.inject is not None for t in tasks)
     ):
-        policy = TaskPolicy()  # journaling/faults need validated replies
+        policy = TaskPolicy()  # journaling/caching/faults need validation
     if policy is not None:
         return _run_governed(
             tasks, jobs, policy, report,
             journal=journal, shutdown_after=shutdown_after,
+            cache=cache, pool=pool,
         )
     if jobs <= 1 or len(tasks) <= 1:
         results = [decompose_group_task(t) for t in tasks]

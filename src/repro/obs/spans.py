@@ -59,6 +59,9 @@ PERF_INT_SLOTS: Tuple[str, ...] = (
     "fastpath_conversions",
     "fastpath_global_hits",
     "fastpath_global_misses",
+    "cache_hits",
+    "cache_misses",
+    "cache_rejected",
     "budget_exceeded",
 )
 

@@ -48,6 +48,9 @@ class PerfCounters:
         "fastpath_conversions",
         "fastpath_global_hits",
         "fastpath_global_misses",
+        "cache_hits",
+        "cache_misses",
+        "cache_rejected",
         "budget_exceeded",
         "phase_seconds",
     )
@@ -72,6 +75,9 @@ class PerfCounters:
         self.fastpath_conversions = 0
         self.fastpath_global_hits = 0
         self.fastpath_global_misses = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_rejected = 0
         self.budget_exceeded = 0
         self.phase_seconds: Dict[str, float] = {}
 
@@ -113,6 +119,9 @@ class PerfCounters:
         self.fastpath_conversions += other.fastpath_conversions
         self.fastpath_global_hits += other.fastpath_global_hits
         self.fastpath_global_misses += other.fastpath_global_misses
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.cache_rejected += other.cache_rejected
         self.budget_exceeded += other.budget_exceeded
         for name, seconds in other.phase_seconds.items():
             self.phase_seconds[name] = (
@@ -137,6 +146,9 @@ class PerfCounters:
             "fastpath_conversions",
             "fastpath_global_hits",
             "fastpath_global_misses",
+            "cache_hits",
+            "cache_misses",
+            "cache_rejected",
             "budget_exceeded",
         ):
             setattr(self, slot, getattr(self, slot) + int(data.get(slot, 0)))
@@ -181,6 +193,12 @@ class PerfCounters:
             "fastpath_global_hit_rate": self._rate(
                 self.fastpath_global_hits,
                 self.fastpath_global_hits + self.fastpath_global_misses,
+            ),
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_rejected": self.cache_rejected,
+            "cache_hit_rate": self._rate(
+                self.cache_hits, self.cache_hits + self.cache_misses
             ),
             "budget_exceeded": self.budget_exceeded,
             "phase_seconds": {
@@ -230,6 +248,12 @@ def format_perf_report(perf: Dict[str, object]) -> str:
             + (perf.get("fastpath_global_misses") or 0),
             perf.get("fastpath_global_hit_rate"),
         ),
+        (
+            "result-cache lookups",
+            (perf.get("cache_hits") or 0) + (perf.get("cache_misses") or 0),
+            perf.get("cache_hit_rate"),
+        ),
+        ("result-cache rejections", perf.get("cache_rejected"), None),
     ]
     lines.append("counters:")
     for label, count, rate in rows:

@@ -1,0 +1,33 @@
+"""Mapping-as-a-service: warm daemon, result store, warm pool, client.
+
+The package splits along trust boundaries:
+
+* :mod:`~repro.service.store` — the content-addressed SQLite result
+  store (schema-version stamping, per-row integrity hashes,
+  verified-on-first-reuse); usable on its own via the ``cache=``
+  argument of the mapping flows, no daemon required.
+* :mod:`~repro.service.pool` — the warm fork pool reused across
+  requests, with poisoned-worker recycling.
+* :mod:`~repro.service.daemon` — the localhost line-protocol server
+  gluing both to the governed task runner, with drain-on-signal.
+* :mod:`~repro.service.client` — the matching client.
+
+See ``docs/SERVICE.md`` for the protocol and the cache-key contract.
+"""
+
+from .client import ServiceClient, ServiceError
+from .daemon import EXIT_DRAINED, MappingDaemon, MappingService
+from .pool import WarmPool
+from .store import STORE_FORMAT, ResultStore, schema_version
+
+__all__ = [
+    "EXIT_DRAINED",
+    "MappingDaemon",
+    "MappingService",
+    "ResultStore",
+    "STORE_FORMAT",
+    "ServiceClient",
+    "ServiceError",
+    "WarmPool",
+    "schema_version",
+]

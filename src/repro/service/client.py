@@ -1,0 +1,121 @@
+"""Thin client for the mapping daemon's line protocol.
+
+One connection per request (the server closes after the terminal
+record), so a client object is just an address plus encode/decode
+helpers — no connection state, safe to share across threads.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered with an error record (or not at all)."""
+
+
+class ServiceClient:
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = 300.0
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    @classmethod
+    def from_info(cls, path: str, **kwargs) -> "ServiceClient":
+        """Connect to the endpoint a daemon published with ``--info``."""
+        with open(path, "r", encoding="utf-8") as fh:
+            info = json.load(fh)
+        return cls(info["host"], int(info["port"]), **kwargs)
+
+    # ------------------------------------------------------------- #
+    # Wire
+    # ------------------------------------------------------------- #
+
+    def request(self, payload: Dict[str, object]) -> Iterator[Dict[str, object]]:
+        """Send one request, yield every response record."""
+        with socket.create_connection(
+            (self.host, self.port), timeout=self.timeout
+        ) as sock:
+            sock.sendall(
+                (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            )
+            with sock.makefile("r", encoding="utf-8") as stream:
+                got_any = False
+                for line in stream:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    got_any = True
+                    yield json.loads(line)
+        if not got_any:
+            raise ServiceError(
+                f"no response from {self.host}:{self.port} "
+                f"for op {payload.get('op')!r}"
+            )
+
+    def _single(self, payload: Dict[str, object]) -> Dict[str, object]:
+        record: Optional[Dict[str, object]] = None
+        for record in self.request(payload):
+            if record.get("type") == "error":
+                raise ServiceError(str(record.get("error")))
+        assert record is not None  # request() raised on empty streams
+        return record
+
+    # ------------------------------------------------------------- #
+    # Ops
+    # ------------------------------------------------------------- #
+
+    def ping(self) -> Dict[str, object]:
+        return self._single({"op": "ping"})
+
+    def stats(self) -> Dict[str, object]:
+        return self._single({"op": "stats"})
+
+    def shutdown(self) -> Dict[str, object]:
+        return self._single({"op": "shutdown"})
+
+    def submit_blif(
+        self,
+        blif_text: str,
+        flow: str = "hyde",
+        on_fragment: Optional[Callable[[Dict[str, object]], None]] = None,
+        **knobs,
+    ) -> Dict[str, object]:
+        """Map one circuit; returns the terminal ``result`` record.
+
+        ``knobs`` go into the request verbatim (``k=4``,
+        ``policy={"timeout_seconds": 5}``, ``faults="crash@0"``, ...).
+        Fragment records stream to ``on_fragment`` as they arrive and are
+        also collected into the returned record's ``"fragments"`` list.
+        """
+        payload: Dict[str, object] = {
+            "op": "map",
+            "flow": flow,
+            "blif": blif_text,
+        }
+        payload.update(knobs)
+        fragments: List[Dict[str, object]] = []
+        result: Optional[Dict[str, object]] = None
+        for record in self.request(payload):
+            kind = record.get("type")
+            if kind == "fragment":
+                fragments.append(record)
+                if on_fragment is not None:
+                    on_fragment(record)
+            elif kind == "error":
+                raise ServiceError(str(record.get("error")))
+            elif kind == "result":
+                result = record
+        if result is None:
+            raise ServiceError(
+                "connection closed before a result record "
+                f"({len(fragments)} fragment(s) received)"
+            )
+        result["fragments"] = fragments
+        return result

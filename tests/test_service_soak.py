@@ -1,0 +1,70 @@
+"""Soak the service layer with the fuzz corpus, twice over.
+
+Fifty seeded random networks are submitted through the service twice
+each.  The first pass populates the store; the contract for the second
+pass is absolute: every group task is served from cache (the ISSUE's
+hit-rate floor is 99%; anything below 100% here means keys are
+unstable across identical submissions) and every LUT count and output
+network is byte-identical to the first pass.
+
+Runs through :class:`MappingService` directly rather than a socket —
+the wire layer is covered in ``test_service.py``; this suite targets
+key stability and cache correctness at volume, and 100 socket round
+trips would only add wall clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network import to_blif
+from repro.service import MappingService, ResultStore
+from repro.verify.generators import random_network
+
+NUM_NETWORKS = 50
+
+pytestmark = pytest.mark.slow
+
+
+def _map(service: MappingService, blif: str):
+    records = list(service.process({"op": "map", "blif": blif, "k": 4}))
+    errors = [r for r in records if r["type"] == "error"]
+    assert not errors, errors
+    (result,) = [r for r in records if r["type"] == "result"]
+    return result
+
+
+def test_soak_second_pass_is_all_cache_hits(tmp_path):
+    store = ResultStore(str(tmp_path / "soak.db"))
+    service = MappingService(store, pool=None, jobs=1)
+    corpus = [to_blif(random_network(seed)) for seed in range(NUM_NETWORKS)]
+
+    first = [_map(service, blif) for blif in corpus]
+    hits = sum(r["cache"]["hits"] for r in first)
+    misses = sum(r["cache"]["misses"] for r in first)
+    # Identical cones may repeat across the corpus, so some first-pass
+    # hits are legitimate; every group must at least have been stored.
+    assert misses > 0
+    assert store.stats()["current_rows"] == misses
+
+    second = [_map(service, blif) for blif in corpus]
+    hits2 = sum(r["cache"]["hits"] for r in second)
+    misses2 = sum(r["cache"]["misses"] for r in second)
+    rejected2 = sum(r["cache"]["rejected"] for r in second)
+    total2 = hits2 + misses2
+    assert total2 == hits + misses, "group count drifted between passes"
+    hit_rate = hits2 / total2
+    assert hit_rate >= 0.99, (
+        f"second-pass hit rate {hit_rate:.2%} "
+        f"({misses2} miss(es) out of {total2})"
+    )
+    assert rejected2 == 0
+
+    for seed, (a, b) in enumerate(zip(first, second)):
+        assert b["luts"] == a["luts"], f"LUT drift on seed {seed}"
+        assert b["blif"] == a["blif"], f"network drift on seed {seed}"
+
+    session = store.stats()["session"]
+    assert session["rejected_rows"] == 0
+    assert store.validate() == []
+    store.close()
