@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke portfolio-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -60,6 +60,12 @@ resume-smoke:
 # result store, dismiss the daemon and require a clean exit.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
+
+# Portfolio gate: race hyper/per-output/column/structural per output
+# group under both cost models, validate every recorded winner against
+# its scoreboard, and exercise the --portfolio/--cost CLI wiring.
+portfolio-smoke:
+	PYTHONPATH=src $(PYTHON) tools/portfolio_smoke.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done

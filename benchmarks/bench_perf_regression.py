@@ -102,6 +102,7 @@ def _timed_map(name: str, repeats: int = REPEATS, **kwargs) -> Dict[str, object]
     perf = result.details.get("perf", {})
     return {
         "luts": result.lut_count,
+        "depth": result.depth,
         "seconds": round(best, 4),
         "oracle_hit_rate": perf.get("oracle_hit_rate"),
         # Per-phase wall times of the *last* run (phases are re-timed each
@@ -153,6 +154,7 @@ def run_suite(
         with_oracle = _timed_map(name, repeats=repeats)
         entry: Dict[str, object] = {
             "luts": with_oracle["luts"],
+            "depth": with_oracle["depth"],
             "no_oracle_seconds": no_oracle["seconds"],
             "oracle_seconds": with_oracle["seconds"],
             "oracle_hit_rate": with_oracle["oracle_hit_rate"],
@@ -181,6 +183,33 @@ def run_suite(
             raise AssertionError(
                 f"oracle changed the mapping of {name}: "
                 f"{no_oracle['luts']} vs {with_oracle['luts']} LUTs"
+            )
+        # Delay-cost variant: same flow under --cost delay.  Its depth
+        # is recorded per circuit and gated strictly against the
+        # committed baseline in ``compare_to_baseline`` — a fresh
+        # delay-mode run may match or beat the committed depth, never
+        # exceed it.
+        delay = _timed_map(name, repeats=1, cost_model="delay")
+        entry["delay_luts"] = delay["luts"]
+        entry["delay_depth"] = delay["depth"]
+        entry["delay_seconds"] = delay["seconds"]
+        bad = check_equivalence(with_oracle["network"], delay["network"])
+        if bad is not None:
+            raise AssertionError(
+                f"--cost delay mapping of {name} differs on output {bad!r}"
+            )
+        # Portfolio variant: race every strategy per group, keep the
+        # winner under the area model.
+        portfolio = _timed_map(name, repeats=1, portfolio=True)
+        entry["portfolio_luts"] = portfolio["luts"]
+        entry["portfolio_depth"] = portfolio["depth"]
+        entry["portfolio_seconds"] = portfolio["seconds"]
+        bad = check_equivalence(
+            with_oracle["network"], portfolio["network"]
+        )
+        if bad is not None:
+            raise AssertionError(
+                f"portfolio mapping of {name} differs on output {bad!r}"
             )
         # Service-path numbers: warm = first run with a result store
         # attached (cold cache, so this is flow + store overhead);
@@ -213,6 +242,9 @@ def run_suite(
         per_circuit[name] = entry
         print(
             f"{name:8s} {entry['luts']:4d} LUTs  "
+            f"depth {entry['depth']}/{entry['delay_depth']} "
+            f"(area/delay)  "
+            f"portfolio {entry['portfolio_luts']:4d}  "
             f"no-oracle {entry['no_oracle_seconds']:7.3f}s  "
             f"oracle {entry['oracle_seconds']:7.3f}s  "
             f"(x{entry['oracle_speedup']})"
@@ -285,6 +317,23 @@ def compare_to_baseline(
             failures.append(
                 f"{name}: LUT count changed {base['luts']} -> "
                 f"{entry['luts']} (mappings must be identical)"
+            )
+        if base.get("depth") is not None and entry["depth"] != base["depth"]:
+            failures.append(
+                f"{name}: depth changed {base['depth']} -> "
+                f"{entry['depth']} (mappings must be identical)"
+            )
+        # Strict no-depth-regression gate for --cost delay: a fresh
+        # delay-mode run may match or beat the committed depth, never
+        # exceed it.
+        if (
+            base.get("delay_depth") is not None
+            and entry.get("delay_depth") is not None
+            and entry["delay_depth"] > base["delay_depth"]
+        ):
+            failures.append(
+                f"{name}: --cost delay depth regressed "
+                f"{base['delay_depth']} -> {entry['delay_depth']}"
             )
         new_s, base_s = entry["oracle_seconds"], base["oracle_seconds"]
         if max(new_s, base_s) < NOISE_FLOOR_SECONDS:

@@ -80,6 +80,9 @@ JOURNALED_FLOWS = {"hyde", "per-output", "random", "resub", "column"}
 #: Flows that accept a ``cache=`` kwarg (content-addressed result store).
 CACHED_FLOWS = JOURNALED_FLOWS
 
+#: Flows that accept a ``portfolio=`` kwarg (strategy racing).
+PORTFOLIO_FLOWS = {"hyde"}
+
 
 def _open_flow_journal(args, circuit: str, label: str):
     """Open the checkpoint journal for one (circuit, flow) run, or None."""
@@ -137,6 +140,12 @@ def _governance_kwargs(args) -> Dict[str, object]:
     fast_path = getattr(args, "fast_path", None)
     if fast_path is not None:
         kw["fast_path"] = fast_path
+    cost = getattr(args, "cost", None)
+    if cost is not None:
+        from .decompose import parse_cost_model
+
+        parse_cost_model(cost)  # fail fast on a bad spec
+        kw["cost_model"] = cost
     return kw
 
 
@@ -151,6 +160,20 @@ def _print_degradation(result: MapResult) -> None:
         print(
             f"  [group {entry['gi']} ({outs}) recovered via "
             f"{entry['resolution']} after: {causes}]"
+        )
+
+
+def _print_portfolio(result: MapResult) -> None:
+    """Show which strategy won each group of a portfolio run."""
+    for entry in result.details.get("portfolio") or []:
+        board = ", ".join(
+            f"{name}={c['luts']}/{c['depth']}"
+            for name, c in sorted(entry["candidates"].items())
+        )
+        print(
+            f"  [portfolio group {entry['gi']} "
+            f"({', '.join(entry['group'])}): {entry['winner']} wins "
+            f"under {entry['cost_model']} — {board}]"
         )
 
 
@@ -216,6 +239,15 @@ def _run_flows(net, args) -> int:
             for label in labels:
                 journal = _open_flow_journal(args, net.name, label)
                 flow_kwargs = dict(governance)
+                if getattr(args, "portfolio", False):
+                    if label in PORTFOLIO_FLOWS:
+                        flow_kwargs["portfolio"] = True
+                    elif args.flow != "all":
+                        print(
+                            f"  [--portfolio only applies to "
+                            f"{sorted(PORTFOLIO_FLOWS)}; ignored for "
+                            f"{label}]"
+                        )
                 if journal is not None:
                     flow_kwargs["journal"] = journal
                 if cache is not None and label in CACHED_FLOWS:
@@ -252,10 +284,11 @@ def _run_flows(net, args) -> int:
                             "executed; equivalence gate passed]"
                         )
                 _print_degradation(result)
+                _print_portfolio(result)
                 _print_cache_summary(result)
                 rows.append(
-                    [label, result.lut_count, result.clb_count,
-                     round(result.seconds, 2)]
+                    [label, result.lut_count, result.depth,
+                     result.clb_count, round(result.seconds, 2)]
                 )
                 results.append(result)
     finally:
@@ -263,7 +296,7 @@ def _run_flows(net, args) -> int:
             cache.close()
     print(render_table(
         f"mapping {net.name} (k={args.k})",
-        ["flow", "LUTs", "CLBs", "seconds"],
+        ["flow", "LUTs", "depth", "CLBs", "seconds"],
         rows,
     ))
     if recorder is not None:
@@ -286,6 +319,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     recorder = obs.TraceRecorder() if trace_path else None
     journal = _open_flow_journal(args, net.name, args.flow)
     flow_kwargs = _governance_kwargs(args)
+    if getattr(args, "portfolio", False) and args.flow in PORTFOLIO_FLOWS:
+        flow_kwargs["portfolio"] = True
     if journal is not None:
         flow_kwargs["journal"] = journal
     cache = _open_result_cache(args)
@@ -319,10 +354,11 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             args.jobs, time.time() - wall_start,
         )
     _print_degradation(result)
+    _print_portfolio(result)
     _print_cache_summary(result)
     print(
-        f"{args.flow} on {net.name}: {result.lut_count} LUTs, "
-        f"{result.seconds:.2f}s total"
+        f"{args.flow} on {net.name}: {result.lut_count} LUTs "
+        f"(depth {result.depth}), {result.seconds:.2f}s total"
     )
     perf = result.details.get("perf")
     if not perf:
@@ -519,6 +555,21 @@ def _cmd_table(args: argparse.Namespace, table: int) -> int:
     return 0
 
 
+def _add_cost_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--cost", default=None, metavar="MODEL",
+        help="cost model steering decomposition and strategy choice: "
+        "'area' (LUT count; the historical default), 'delay' (LUT "
+        "depth first, LUTs as tie-break), or 'weighted[:AW,DW]'",
+    )
+    p.add_argument(
+        "--portfolio", action="store_true",
+        help="race hyper / per-output / column / structural per output "
+        "group and keep the winner under the active cost model "
+        "(hyde flow only)",
+    )
+
+
 def _add_governance_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
@@ -663,14 +714,20 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     knobs: Dict[str, object] = {"k": args.k}
     if args.verify is not None:
         knobs["verify"] = args.verify
+    if getattr(args, "cost", None):
+        knobs["cost_model"] = args.cost
+    if getattr(args, "portfolio", False):
+        knobs["portfolio"] = True
     last = None
     try:
         for i in range(args.times):
             result = client.submit_blif(blif_text, flow=args.flow, **knobs)
             cache = result.get("cache") or {}
+            depth = result.get("depth")
             print(
-                f"pass {i + 1}/{args.times}: {result['luts']} LUTs, "
-                f"{result['service_seconds']:.3f}s service time, "
+                f"pass {i + 1}/{args.times}: {result['luts']} LUTs"
+                + (f" (depth {depth})" if depth is not None else "")
+                + f", {result['service_seconds']:.3f}s service time, "
                 f"cache {cache.get('hits', 0)} hit(s) / "
                 f"{cache.get('misses', 0)} miss(es)"
             )
@@ -752,6 +809,7 @@ def main(argv=None) -> int:
                        choices=["auto", "bitpack", "bdd"],
                        help="class-counting backend (packed tables vs "
                             "BDD walks; results are identical)")
+        _add_cost_flags(p)
         _add_governance_flags(p)
         p.add_argument("--trace", default=None, metavar="FILE",
                        help="write a JSONL span trace of the run here")
@@ -771,6 +829,7 @@ def main(argv=None) -> int:
                    choices=["auto", "bitpack", "bdd"],
                    help="class-counting backend (packed tables vs "
                         "BDD walks; results are identical)")
+    _add_cost_flags(p)
     _add_governance_flags(p)
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="write a JSONL span trace of the run here")
@@ -865,6 +924,7 @@ def main(argv=None) -> int:
                    choices=["bdd", "sim", "none", "finegrain"],
                    help="whole-network verify (service default: none; "
                    "fragments are validated regardless)")
+    _add_cost_flags(p)
     p.add_argument("--times", type=int, default=1, metavar="N",
                    help="submit N times (repeats should hit the cache)")
     p.add_argument("--timeout", type=float, default=300.0,

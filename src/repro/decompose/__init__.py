@@ -10,6 +10,7 @@ from .compatible import (
     count_classes,
     enumerate_columns,
 )
+from .cost import CostModel, parse_cost_model
 from .dontcare import assign_dontcares, clique_partition, compatibility_graph
 from .encoding import (
     ColumnSetResult,
@@ -46,6 +47,8 @@ from .rothkarp import DecompositionOptions, DecompositionStep, decompose_step
 from .varpart import VariablePartition, select_bound_set
 
 __all__ = [
+    "CostModel",
+    "parse_cost_model",
     "Partition",
     "conjunction",
     "disjunction",

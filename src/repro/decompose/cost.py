@@ -1,0 +1,127 @@
+"""Cost models: area (LUT count), delay (logic levels), or a weighted mix.
+
+Every flow historically minimised LUT count only.  A :class:`CostModel`
+makes the objective explicit and threads three levers through the stack:
+
+* **bound-set scoring** (:func:`repro.decompose.varpart.select_bound_set`)
+  — in delay mode the search prefers bound sets over *shallow* signals,
+  so the α LUTs of later recursion steps do not stack on top of earlier
+  ones (grounding: "Practical Boolean Decomposition for Delay-driven LUT
+  Mapping", PAPERS.md);
+* **encoder benefit weights** (:func:`repro.decompose.encoding.combine_row_sets`)
+  — delay mode boosts the row-merge term σ·Br of the paper's merging
+  benefit, pushing toward fewer row sets, hence fewer α functions and a
+  shallower image cascade;
+* **fragment selection** (:mod:`repro.mapping.parallel`) — candidate
+  mapped networks compare by ``fragment_key`` so hyper vs per-output vs
+  portfolio winners are picked under the active objective.
+
+``area`` mode is the exact historical objective: every key degenerates to
+the class/LUT count alone and all weights are 1.0, so area-mode results
+stay byte-for-byte identical to flows that predate the cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+__all__ = ["CostModel", "parse_cost_model"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """A mapping objective.
+
+    ``mode`` is ``"area"``, ``"delay"`` or ``"weighted"``; the weights
+    only matter in ``weighted`` mode, where cost is
+    ``area_weight * LUTs + delay_weight * depth``.
+    """
+
+    mode: str = "area"
+    area_weight: float = 1.0
+    delay_weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("area", "delay", "weighted"):
+            raise ValueError(f"unknown cost mode {self.mode!r}")
+
+    @property
+    def is_area(self) -> bool:
+        return self.mode == "area"
+
+    @property
+    def spec(self) -> str:
+        """Round-trippable string form (what ``--cost`` accepts)."""
+        if self.mode == "weighted":
+            return f"weighted:{self.area_weight:g},{self.delay_weight:g}"
+        return self.mode
+
+    def fragment_key(self, luts: int, depth: int) -> Tuple:
+        """Comparable cost of a mapped network (lower is better).
+
+        Area mode ignores depth entirely so ties keep the historical
+        preference order of the caller.
+        """
+        if self.mode == "area":
+            return (luts,)
+        if self.mode == "delay":
+            return (depth, luts)
+        return (
+            self.area_weight * luts + self.delay_weight * depth,
+            depth,
+            luts,
+        )
+
+    def bound_key(self, classes: int, alpha_depth: int) -> Tuple:
+        """Search key for one candidate bound set (lower is better).
+
+        ``alpha_depth`` is the level the step's α LUTs would occupy: one
+        above the deepest bound-set signal.  Area mode ignores it,
+        preserving the class-count-only objective.
+        """
+        if self.mode == "area":
+            return (classes,)
+        if self.mode == "delay":
+            return (alpha_depth, classes)
+        return (
+            self.area_weight * classes + self.delay_weight * alpha_depth,
+            classes,
+        )
+
+    def encoder_weights(self) -> Tuple[float, float]:
+        """(sigma_scale, tau_scale) applied to the chart merge benefit."""
+        if self.mode == "area":
+            return (1.0, 1.0)
+        if self.mode == "delay":
+            return (2.0, 1.0)
+        total = self.area_weight + self.delay_weight
+        return (1.0 + (self.delay_weight / total if total else 0.0), 1.0)
+
+
+def parse_cost_model(spec: Union[str, CostModel, None]) -> CostModel:
+    """Parse ``"area"`` | ``"delay"`` | ``"weighted[:AW,DW]"``."""
+    if isinstance(spec, CostModel):
+        return spec
+    text = (spec or "area").strip().lower()
+    if text in ("area", "delay", "weighted"):
+        return CostModel(mode=text)
+    if text.startswith("weighted:"):
+        body = text.split(":", 1)[1]
+        parts = [p for p in body.split(",") if p]
+        try:
+            weights = [float(p) for p in parts]
+        except ValueError:
+            weights = []
+        if len(weights) == 1:
+            return CostModel(mode="weighted", delay_weight=weights[0])
+        if len(weights) == 2:
+            return CostModel(
+                mode="weighted",
+                area_weight=weights[0],
+                delay_weight=weights[1],
+            )
+    raise ValueError(
+        f"bad cost model {spec!r}: expected 'area', 'delay' or "
+        f"'weighted[:AREA_W,DELAY_W]'"
+    )

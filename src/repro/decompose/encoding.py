@@ -283,8 +283,14 @@ def combine_row_sets(
     num_rows: int,
     num_cols: int,
     max_iterations: Optional[int] = None,
+    benefit_weights: Tuple[float, float] = (1.0, 1.0),
 ) -> Optional[Tuple[List[List[int]], Dict[int, int]]]:
     """Steps 6/7: merge row sets until the chart fits.
+
+    ``benefit_weights`` scales the (σ, τ) terms of the paper's merging
+    benefit σ·Br + τ·Bc; delay-aware cost models boost σ to favour row
+    merges (fewer row sets → fewer α functions → a shallower image).
+    The default (1.0, 1.0) is the paper's benefit verbatim.
 
     Returns ``(row_sets, column_set_of_class)`` or ``None`` when no legal
     packing was found (caller falls back to the random encoding).
@@ -308,8 +314,8 @@ def combine_row_sets(
         ):
             return state.row_sets, state.column_set_of_class
 
-        sigma = max(0, len(state.row_sets) - num_rows)
-        tau = max(0, len(state.column_sets) - num_cols)
+        sigma = benefit_weights[0] * max(0, len(state.row_sets) - num_rows)
+        tau = benefit_weights[1] * max(0, len(state.column_sets) - num_cols)
         reps = [
             disjunction([partitions[c] for c in row]) for row in state.row_sets
         ]
@@ -432,6 +438,7 @@ def encode_classes(
     fast_path: str = "auto",
     fast_path_max_width: Optional[int] = None,
     oracle_min_support: int = 0,
+    benefit_weights: Tuple[float, float] = (1.0, 1.0),
 ) -> EncodingResult:
     """Run the Figure-3 encoding procedure.
 
@@ -527,7 +534,8 @@ def encode_classes(
         "encode.row_sets", manager=manager
     ):
         rows = combine_row_sets(
-            partitions, column_result, num_rows, num_cols
+            partitions, column_result, num_rows, num_cols,
+            benefit_weights=benefit_weights,
         )
     result.trace.update(
         partitions=partitions,

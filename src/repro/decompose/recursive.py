@@ -71,7 +71,21 @@ def decompose_to_network(
     # One span per recursion level (nesting depth == recursion depth);
     # a no-op unless a trace recorder is installed.
     with obs.span("recurse", manager=manager, support=len(support)):
-        step = decompose_step(manager, on, support, options, dc=dc)
+        level_depths: Optional[Dict[int, int]] = None
+        if not options.cost.is_area:
+            # Depth of the signal behind every candidate level, so the
+            # bound-set search can avoid stacking α LUTs on deep signals.
+            from ..network import node_depths
+
+            sig_depth = node_depths(net)
+            level_depths = {
+                lv: sig_depth.get(sig, 0)
+                for lv, sig in signal_of_level.items()
+            }
+        step = decompose_step(
+            manager, on, support, options, dc=dc,
+            level_depths=level_depths,
+        )
 
         if step.alpha_levels and len(step.alpha_levels) >= len(
             step.bound_levels

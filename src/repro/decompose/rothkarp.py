@@ -16,6 +16,7 @@ from .. import obs
 from ..bdd import FALSE, BddManager
 from ..boolfunc import TruthTable
 from .compatible import Column, CompatibleClasses, compute_classes
+from .cost import CostModel, parse_cost_model
 from .encoding import (
     EncodingResult,
     build_image_function,
@@ -83,6 +84,11 @@ class DecompositionOptions:
         :class:`~repro.bdd.BddBudgetExceeded` instead of grinding.  Both
         ``None`` (the default) keeps every path byte-for-byte identical
         to the unbudgeted flow.
+    cost_model:
+        The mapping objective: ``"area"`` (LUT count, the historical
+        default — byte-for-byte identical to pre-cost-model flows),
+        ``"delay"`` (logic levels first) or ``"weighted[:AW,DW]"``.
+        See :mod:`repro.decompose.cost`.
     """
 
     k: int = 5
@@ -97,6 +103,12 @@ class DecompositionOptions:
     fast_path_max_width: Optional[int] = None
     max_bdd_nodes: Optional[int] = None
     max_seconds: Optional[float] = None
+    cost_model: str = "area"
+
+    @property
+    def cost(self) -> CostModel:
+        """The parsed :class:`~repro.decompose.cost.CostModel`."""
+        return parse_cost_model(self.cost_model)
 
     @property
     def has_budget(self) -> bool:
@@ -152,12 +164,16 @@ def decompose_step(
     options: DecompositionOptions,
     dc: int = FALSE,
     bound_levels: Optional[Sequence[int]] = None,
+    level_depths: Optional[Dict[int, int]] = None,
 ) -> DecompositionStep:
     """Perform one disjoint decomposition of ``(on, dc)``.
 
     ``support`` is the variable universe of f (its true support).  When
     ``bound_levels`` is given the bound set is forced; otherwise it is
     selected by :func:`repro.decompose.varpart.select_bound_set`.
+    ``level_depths`` maps variable levels to the logic depth of the
+    signal behind each level; delay-aware cost models use it to keep
+    bound sets over shallow signals (ignored in area mode).
     """
     k = options.k
     if len(support) <= k:
@@ -165,6 +181,7 @@ def decompose_step(
     manager.check_budget()
 
     perf = manager.perf
+    cost = options.cost
     oracle = (
         ClassCountOracle.for_manager(manager) if options.use_oracle else None
     )
@@ -176,7 +193,7 @@ def decompose_step(
                 b for b in (default_size - 1, default_size - 2) if b >= 2
             )
         best_bound: Optional[Tuple[int, ...]] = None
-        best_key: Optional[Tuple[int, int]] = None
+        best_key: Optional[Tuple] = None
         with perf.phase("step.varpart"), obs.span(
             "step.varpart", manager=manager, support=len(support)
         ):
@@ -195,12 +212,22 @@ def decompose_step(
                     fast_path=options.fast_path,
                     fast_path_max_width=options.fast_path_max_width,
                     oracle_min_support=options.oracle_min_support,
+                    cost=cost,
+                    level_depths=level_depths,
                 )
                 t = max(1, math.ceil(math.log2(max(2, vp.num_classes))))
                 # Progress objective: fewest image inputs, then fewest
-                # alphas.
+                # alphas; delay modes additionally rank by the level the
+                # step's α LUTs would occupy.
                 image_inputs = t + len(support) - bound_size
-                key = (image_inputs, t)
+                if cost.is_area or not level_depths:
+                    key: Tuple = (image_inputs, t)
+                else:
+                    alpha_depth = 1 + max(
+                        (level_depths.get(lv, 0) for lv in vp.bound_levels),
+                        default=0,
+                    )
+                    key = cost.bound_key(image_inputs, alpha_depth) + (t,)
                 if best_key is None or key < best_key:
                     best_key = key
                     best_bound = vp.bound_levels
@@ -274,6 +301,7 @@ def decompose_step(
                 fast_path=options.fast_path,
                 fast_path_max_width=options.fast_path_max_width,
                 oracle_min_support=options.oracle_min_support,
+                benefit_weights=cost.encoder_weights(),
             )
 
     alpha_tables = _alpha_tables(

@@ -51,11 +51,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..bdd import FALSE, TRUE, BddManager
 from ..fastpath import bitops
 from .compatible import count_classes
+from .cost import CostModel
 from .oracle import ClassCountOracle
 
 __all__ = ["VariablePartition", "select_bound_set"]
@@ -175,8 +176,16 @@ def select_bound_set(
     fast_path: str = "auto",
     fast_path_max_width: Optional[int] = None,
     oracle_min_support: int = 0,
+    cost: Optional[CostModel] = None,
+    level_depths: Optional[Dict[int, int]] = None,
 ) -> VariablePartition:
-    """Pick the bound set of ``bound_size`` variables minimising classes.
+    """Pick the bound set of ``bound_size`` variables minimising cost.
+
+    The default (area) cost minimises the compatible class count exactly
+    as the historical search did.  Delay-aware cost models additionally
+    rank candidates by the depth of the α LUTs they would create
+    (``level_depths`` maps candidate levels to their driving signal's
+    logic depth; absent levels count as depth 0).
 
     Parameters
     ----------
@@ -232,10 +241,22 @@ def select_bound_set(
         manager, on, dc, support, fast_path, fast_path_max_width
     )
 
+    if cost is None:
+        cost = CostModel()
+    depths = level_depths if (level_depths and not cost.is_area) else None
+
+    def alpha_depth_of(bound: Sequence[int]) -> int:
+        if depths is None:
+            return 0
+        return 1 + max((depths.get(lv, 0) for lv in bound), default=0)
+
     def key_of(bound: Tuple[int, ...]) -> Tuple:
         classes = _syntactic_count(manager, on, dc, bound, oracle, search)
         penalty = sum(1 for lv in bound if lv in preferred_free_set)
-        return (classes, penalty, bound)
+        return cost.bound_key(classes, alpha_depth_of(bound)) + (
+            penalty,
+            bound,
+        )
 
     # Very wide supports: restrict the search to the topmost-in-order
     # support variables (cheap to cofactor and, as in reference [2]'s
@@ -252,12 +273,12 @@ def select_bound_set(
     if total <= exhaustive_limit:
         best = _exhaustive_bound_set(
             manager, on, dc, candidates, bound_size, preferred_free_set,
-            oracle, search,
+            oracle, search, cost, alpha_depth_of,
         )
     else:
         best = _greedy_bound_set(
             manager, on, dc, candidates, bound_size, preferred_free_set,
-            oracle, search,
+            oracle, search, cost, alpha_depth_of,
         )
         best = _swap_improve(
             manager, on, dc, candidates, best, key_of
@@ -333,6 +354,8 @@ def _exhaustive_bound_set(
     preferred_free: Set[int],
     oracle: Optional[ClassCountOracle] = None,
     search=None,
+    cost: Optional[CostModel] = None,
+    alpha_depth_of=None,
 ) -> Tuple[int, ...]:
     """Exact search over all bound sets via shared-prefix DFS.
 
@@ -353,15 +376,22 @@ def _exhaustive_bound_set(
         return ()
     if search is None:
         search = _BddSearch(manager, on, dc)
+    if cost is None:
+        cost = CostModel()
+    if alpha_depth_of is None:
+        alpha_depth_of = lambda bound: 0  # noqa: E731 - area-mode default
     ordered = sorted(candidates)
-    best: Optional[Tuple] = None  # (classes, penalty, bound)
+    best: Optional[Tuple] = None  # cost key + (penalty, bound)
 
     def penalty_of(bound: Tuple[int, ...]) -> int:
         return sum(1 for lv in bound if lv in preferred_free)
 
     def consider(bound: Tuple[int, ...], classes: int) -> None:
         nonlocal best
-        key = (classes, penalty_of(bound), bound)
+        key = cost.bound_key(classes, alpha_depth_of(bound)) + (
+            penalty_of(bound),
+            bound,
+        )
         if best is None or key < best:
             best = key
 
@@ -390,7 +420,7 @@ def _exhaustive_bound_set(
 
     dfs(0, [], search.root())
     assert best is not None
-    return best[2]
+    return best[-1]
 
 
 def _greedy_bound_set(
@@ -402,6 +432,8 @@ def _greedy_bound_set(
     preferred_free: Set[int],
     oracle: Optional[ClassCountOracle] = None,
     search=None,
+    cost: Optional[CostModel] = None,
+    alpha_depth_of=None,
 ) -> Tuple[int, ...]:
     """Greedy growth with incremental search states.
 
@@ -412,6 +444,10 @@ def _greedy_bound_set(
     """
     if search is None:
         search = _BddSearch(manager, on, dc)
+    if cost is None:
+        cost = CostModel()
+    if alpha_depth_of is None:
+        alpha_depth_of = lambda bound: 0  # noqa: E731 - area-mode default
     chosen: List[int] = []
     remaining = list(candidates)
     state = search.root()
@@ -431,8 +467,9 @@ def _greedy_bound_set(
                 )
                 if oracle is not None:
                     oracle.seed_syntactic(on, dc, chosen + [lv], count)
-            key = (
-                count,
+            key = cost.bound_key(
+                count, alpha_depth_of(chosen + [lv])
+            ) + (
                 1 if lv in preferred_free else 0,
                 lv,
             )

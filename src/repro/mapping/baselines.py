@@ -61,6 +61,7 @@ def map_per_output(
     journal: Optional[RunJournal] = None,
     cache=None,
     pool=None,
+    cost_model: str = "area",
 ) -> MapResult:
     """Decompose every output independently (no hyper-function).
 
@@ -90,6 +91,7 @@ def map_per_output(
         fast_path_max_width=fast_path_max_width,
         max_bdd_nodes=max_bdd_nodes,
         max_seconds=max_seconds,
+        cost_model=cost_model,
     )
     result = Network(f"{net.name}_po_{encoding_policy}")
     for pi in net.inputs:
@@ -285,6 +287,7 @@ def map_per_output_resub(
     journal: Optional[RunJournal] = None,
     cache=None,
     pool=None,
+    cost_model: str = "area",
 ) -> MapResult:
     """Per-output decomposition followed by support-minimising resub."""
     start = time.time()
@@ -296,6 +299,7 @@ def map_per_output_resub(
         verify="none",
         pack_clbs=False,
         jobs=jobs,
+        cost_model=cost_model,
         fast_path=fast_path,
         policy=policy,
         faults=faults,
@@ -344,6 +348,7 @@ def map_column_encoding(
     journal: Optional[RunJournal] = None,
     cache=None,
     pool=None,
+    cost_model: str = "area",
 ) -> MapResult:
     """FGSyn-like column encoding: PPIs never enter a bound set."""
     result = hyde_map(
@@ -361,6 +366,7 @@ def map_column_encoding(
         journal=journal,
         cache=cache,
         pool=pool,
+        cost_model=cost_model,
     )
     result.flow = "column-encoding"
     return result

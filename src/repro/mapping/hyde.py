@@ -137,6 +137,8 @@ def hyde_map(
     journal: Optional[RunJournal] = None,
     cache=None,
     pool=None,
+    cost_model: str = "area",
+    portfolio: bool = False,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -193,8 +195,19 @@ def hyde_map(
     worker pool (see :class:`~repro.service.WarmPool`) reused across
     calls instead of a per-call pool.  Either routes the flow through
     the governed task runner.
+
+    ``cost_model`` selects the mapping objective — ``"area"`` (LUT
+    count, the historical default), ``"delay"`` (logic levels first) or
+    ``"weighted[:AW,DW]"`` (see :mod:`repro.decompose.cost`) — threaded
+    through bound-set selection, the chart encoder's merge benefit and
+    every fragment comparison.  ``portfolio`` races hyper / per-output /
+    column-encoding / structural per ingredient group under the governed
+    runner and keeps each group's winner under the active cost model;
+    the per-group scoreboard lands in ``details["portfolio"]``.
     """
     start = time.time()
+    if portfolio:
+        policy = replace(policy or TaskPolicy(), portfolio=True)
     gb = GlobalBdds(net)
     manager = gb.manager
     perf = manager.perf
@@ -241,6 +254,7 @@ def hyde_map(
         fast_path_max_width=fast_path_max_width,
         max_bdd_nodes=max_bdd_nodes,
         max_seconds=max_seconds,
+        cost_model=cost_model,
     )
     driver_of: Dict[str, str] = {}
     group_infos: List[Dict[str, object]] = []
@@ -456,6 +470,7 @@ def hyde_map(
         details={
             "group_infos": group_infos,
             "aliases": alias_of,
+            "cost_model": cost_model,
             "perf": perf_report,
             "degraded": degraded,
             "pool_fallback": pool_fallback,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..boolfunc import TruthTable
-from ..network import Network, sweep
+from ..network import Network, rename_po_drivers, sweep
 
 __all__ = ["count_luts", "absorb_inverters", "dedup_nodes", "cleanup_for_lut_count"]
 
@@ -19,8 +19,14 @@ __all__ = ["count_luts", "absorb_inverters", "dedup_nodes", "cleanup_for_lut_cou
 def absorb_inverters(net: Network) -> int:
     """Fold single-input inverter nodes into their readers.
 
-    Inverters that directly drive a primary output are kept (the paper's
-    LUT model has no free output inversion).  Returns inverters removed.
+    Inverter *chains* resolve through to their ultimate source (inv→inv
+    is a wire), so readers always rewire to the chain's source with the
+    net parity applied.  An inverter that directly drives a primary
+    output is kept when the chain parity is odd (the paper's LUT model
+    has no free output inversion), but an even chain at an output is a
+    wire: the output is rerouted to the source instead of keeping a
+    buffer that would be miscounted as a LUT.  Returns the number of
+    inverters removed.
     """
     removed = 0
     changed = True
@@ -33,7 +39,17 @@ def absorb_inverters(net: Network) -> int:
         }
         if not inverters:
             break
-        output_drivers = {driver for _, driver in net.outputs}
+
+        def resolve(sig: str) -> Tuple[str, bool]:
+            """Walk an inverter chain; return (source, parity_is_odd)."""
+            flip = False
+            seen = set()
+            while sig in inverters and sig not in seen:
+                seen.add(sig)
+                sig = inverters[sig]
+                flip = not flip
+            return sig, flip
+
         for name in net.node_names():
             node = net.node(name)
             if name in inverters:
@@ -42,18 +58,33 @@ def absorb_inverters(net: Network) -> int:
             fanins = list(node.fanins)
             touched = False
             for j, fi in enumerate(fanins):
-                src = inverters.get(fi)
-                if src is None or src == name:
+                if fi not in inverters:
                     continue
-                if src in fanins:
-                    continue  # would duplicate a fanin; leave to dedup
+                src, flip = resolve(fi)
+                if src == name or src in fanins:
+                    continue  # self-loop / duplicate fanin; leave to dedup
                 fanins[j] = src
-                table = table.flip_input(j)
+                if flip:
+                    table = table.flip_input(j)
                 touched = True
             if touched:
                 net.replace_node(name, fanins, table)
                 changed = True
+        # Primary outputs fed by a chain: even parity is a wire (reroute
+        # the output); odd parity keeps one inverter over the source.
+        for out in net.output_names:
+            driver = net.output_driver(out)
+            if driver not in inverters:
+                continue
+            src, flip = resolve(driver)
+            if not flip:
+                net.reroute_output(out, src)
+                changed = True
+            elif net.node(driver).fanins[0] != src:
+                net.replace_node(driver, [src], TruthTable(1, 0b01))
+                changed = True
         # Drop inverters that became dead and do not drive outputs.
+        output_drivers = {driver for _, driver in net.outputs}
         for name in list(inverters):
             if name in output_drivers:
                 continue
@@ -61,6 +92,25 @@ def absorb_inverters(net: Network) -> int:
                 net.remove_node(name)
                 removed += 1
                 changed = True
+    # Any PO-driving buffer left behind (a double inversion collapsed by
+    # an earlier pass) is also a wire: reroute and drop it.
+    for out in net.output_names:
+        driver = net.output_driver(out)
+        if net.is_input(driver):
+            continue
+        dnode = net.node(driver)
+        if dnode.table.num_inputs == 1 and dnode.table.mask == 0b10:
+            net.reroute_output(out, dnode.fanins[0])
+    for name in net.node_names():
+        node = net.node(name)
+        if (
+            node.table.num_inputs == 1
+            and node.table.mask == 0b10
+            and name not in {driver for _, driver in net.outputs}
+            and not net.fanouts().get(name)
+        ):
+            net.remove_node(name)
+            removed += 1
     return removed
 
 
@@ -124,12 +174,23 @@ def dedup_nodes(net: Network) -> int:
 
 
 def cleanup_for_lut_count(net: Network) -> None:
-    """Run the full cleanup pipeline: sweep, dedup, absorb inverters."""
-    sweep(net)
-    dedup_nodes(net)
-    absorb_inverters(net)
-    sweep(net)
-    dedup_nodes(net)
+    """Run the cleanup pipeline to a fixed point: sweep, dedup, absorb.
+
+    The loop exits only after a full round changes nothing, so the
+    network handed to ``network_stats`` and the BLIF emitter is exactly
+    the swept one — no dead node, buffer or stale duplicate can make the
+    reported (LUTs, depth) pair disagree with the emitted netlist.
+    """
+    while True:
+        changed = sweep(net)
+        changed += dedup_nodes(net)
+        changed += absorb_inverters(net)
+        if not changed:
+            # Pure renaming (kills the BLIF emitter's PO buffers); it
+            # cannot enable further sweeps, so it runs once, after the
+            # structural fixpoint.
+            rename_po_drivers(net)
+            break
 
 
 def count_luts(net: Network, k: int) -> int:

@@ -50,9 +50,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from .. import obs
 from ..bdd import BddBudgetExceeded, BddManager
 from ..boolfunc import TruthTable
-from ..decompose import DecompositionOptions, decompose_to_network
+from ..decompose import CostModel, DecompositionOptions, decompose_to_network
 from ..hyper import decompose_hyper_function
-from ..network import GlobalBdds, Network, check_equivalence, parse_blif, to_blif
+from ..network import (
+    GlobalBdds,
+    Network,
+    check_equivalence,
+    node_depths,
+    parse_blif,
+    to_blif,
+)
 from ..perf import PerfCounters
 from ..runstate import RunJournal, ShutdownRequested, graceful_shutdown, task_key
 from .lut import cleanup_for_lut_count, count_luts
@@ -62,11 +69,22 @@ __all__ = [
     "GroupResult",
     "TaskPolicy",
     "RunReport",
+    "PORTFOLIO_STRATEGIES",
     "build_group_fragment",
     "per_output_fragment",
     "structural_fragment",
     "run_group_tasks",
 ]
+
+#: The raced strategies of portfolio mode, in tie-break priority order
+#: (earlier wins on equal cost).  ``per_output`` and ``column`` only
+#: apply to multi-output groups; ``structural`` is the BDD-free floor.
+PORTFOLIO_STRATEGIES: Tuple[str, ...] = (
+    "hyper",
+    "per_output",
+    "column",
+    "structural",
+)
 
 
 @dataclass
@@ -81,7 +99,12 @@ class GroupTask:
     ppi_placement: str = "prefer_free"
     fallback_per_output: bool = True
     base_name: str = "group"
-    mode: str = "hyper"  # "hyper" | "per_output" (ladder rung 2)
+    # "hyper" | "per_output" (ladder rung 2 / portfolio strategy) |
+    # "structural" (portfolio strategy: the BDD-free remap).  The
+    # "column" portfolio strategy is hyper with ppi_placement
+    # "force_free", so its tasks share keys (and cache rows) with
+    # column-encoding baseline runs.
+    mode: str = "hyper"
     attempt: int = 0  # retry ordinal; gates fault injection via fires()
     inject: Optional[object] = None  # a repro.testing.faults.FaultSpec
     trace: bool = False  # record a span tree in the worker, ship it back
@@ -129,6 +152,13 @@ class TaskPolicy:
     cause names the smallest non-equivalent cone and its counterexample
     (and, when a journal is attached, the cone is journaled as a
     ``failing_cone`` event before the ladder retries).
+
+    ``portfolio`` turns the strategy ladder from a failure-recovery path
+    into a quality-seeking one: every group races the strategies in
+    ``strategies`` (default :data:`PORTFOLIO_STRATEGIES`) through the
+    same governed runner, each candidate fragment is scored under the
+    task options' cost model, and the cheapest wins — the per-group
+    decisions land in ``RunReport.details["portfolio"]``.
     """
 
     timeout_seconds: Optional[float] = None
@@ -138,6 +168,8 @@ class TaskPolicy:
     per_output_fallback: bool = True
     structural_fallback: bool = True
     verify_mode: str = "bdd"
+    portfolio: bool = False
+    strategies: Optional[Tuple[str, ...]] = None
 
 
 @dataclass
@@ -240,6 +272,12 @@ def _auto_serial_decision(
     }
 
 
+def _network_depth(net: Network) -> int:
+    """LUT levels from inputs to the deepest primary output."""
+    depths = node_depths(net)
+    return max((depths[driver] for _, driver in net.outputs), default=0)
+
+
 def per_output_fragment(
     manager: BddManager,
     ingredients: Sequence[Tuple[str, int]],
@@ -310,11 +348,24 @@ def build_group_fragment(
             manager, ingredients, group_inputs, options, f"{base_name}_po"
         )
         cleanup_for_lut_count(alt)
+        cost = options.cost
         hyper_luts = count_luts(fragment, options.k)
         per_output_luts = count_luts(alt, options.k)
         info["hyper_luts"] = hyper_luts
         info["per_output_luts"] = per_output_luts
-        if per_output_luts < hyper_luts:
+        if cost.is_area:
+            # Historical objective verbatim: the per-output variant wins
+            # only with strictly fewer LUTs (ties keep hyper).
+            choose_alt = per_output_luts < hyper_luts
+        else:
+            hyper_depth = _network_depth(fragment)
+            alt_depth = _network_depth(alt)
+            info["hyper_depth"] = hyper_depth
+            info["per_output_depth"] = alt_depth
+            choose_alt = cost.fragment_key(
+                per_output_luts, alt_depth
+            ) < cost.fragment_key(hyper_luts, hyper_depth)
+        if choose_alt:
             fragment = alt
             info["hyper"] = False
     return fragment, info
@@ -414,6 +465,35 @@ def decompose_group_task(task: GroupTask) -> GroupResult:
 
 
 def _decompose_group(task: GroupTask) -> GroupResult:
+    if task.mode == "structural":
+        # The BDD-free strategy: no manager, no budget, cannot blow up.
+        with obs.span(
+            "task.group",
+            gi=task.gi,
+            outputs=len(task.group),
+            mode="structural",
+            attempt=task.attempt,
+        ):
+            cone = parse_blif(task.blif_text)
+            fragment = structural_fragment(
+                cone, task.options.k, name=f"{task.base_name}_struct"
+            )
+            blif_text = to_blif(fragment)
+            if task.inject is not None:
+                from ..testing import faults
+
+                blif_text = faults.after_decompose(
+                    task.inject, blif_text, task.attempt
+                )
+        return GroupResult(
+            gi=task.gi,
+            blif_text=blif_text,
+            info={
+                "outputs": list(task.group),
+                "hyper": False,
+                "mode": "structural",
+            },
+        )
     net = parse_blif(task.blif_text)
     gb = GlobalBdds(net)
     manager = gb.manager
@@ -1031,6 +1111,155 @@ def _run_governed(
     return final, report
 
 
+def _portfolio_strategies(
+    task: GroupTask, policy: TaskPolicy
+) -> List[str]:
+    """The strategies this task races (single-output groups have no
+    multi-output strategies to race)."""
+    wanted = tuple(policy.strategies) if policy.strategies else (
+        PORTFOLIO_STRATEGIES
+    )
+    out = []
+    for strategy in wanted:
+        if strategy not in PORTFOLIO_STRATEGIES:
+            raise ValueError(
+                f"unknown portfolio strategy {strategy!r}; expected one "
+                f"of {PORTFOLIO_STRATEGIES}"
+            )
+        if strategy in ("per_output", "column") and len(task.group) <= 1:
+            continue
+        out.append(strategy)
+    return out or ["hyper"]
+
+
+def _variant_task(task: GroupTask, strategy: str, gi: int) -> GroupTask:
+    """One pure-strategy clone of ``task`` for the portfolio race.
+
+    Every field that changes behavior is part of the content-addressed
+    task key, so variant results are shared with (and reusable by)
+    non-portfolio runs of the same strategy.
+    """
+    if strategy == "hyper":
+        return replace(task, mode="hyper", gi=gi, fallback_per_output=False)
+    if strategy == "per_output":
+        return replace(task, mode="per_output", gi=gi)
+    if strategy == "column":
+        # Column encoding == hyper with PPIs pinned free (the baseline
+        # flow's exact recipe), raced as its own pure candidate.
+        return replace(
+            task,
+            mode="hyper",
+            gi=gi,
+            ppi_placement="force_free",
+            fallback_per_output=False,
+        )
+    return replace(task, mode="structural", gi=gi)
+
+
+def _run_portfolio(
+    tasks: List[GroupTask],
+    jobs: int,
+    policy: TaskPolicy,
+    report: RunReport,
+    journal: Optional[RunJournal] = None,
+    shutdown_after: Optional[int] = None,
+    cache=None,
+    pool=None,
+) -> Tuple[List[GroupResult], RunReport]:
+    """Race every strategy per group; keep the cost-model winner.
+
+    Each group expands into one pure-strategy variant task per raced
+    strategy; all variants run through :func:`_run_governed` — the same
+    budgets, timeouts, journal replay and cache the recovery ladder uses
+    — and the candidates are then reduced per group under the task
+    options' cost model (ties break toward the earlier strategy in
+    :data:`PORTFOLIO_STRATEGIES`).  The winning fragment is returned
+    under the group's original index; the full per-group scoreboard
+    lands in ``report.details["portfolio"]``.
+    """
+    variants: List[GroupTask] = []
+    origin: List[Tuple[int, str]] = []
+    strategies_of: List[List[str]] = []
+    for ti, task in enumerate(tasks):
+        strategies = _portfolio_strategies(task, policy)
+        strategies_of.append(strategies)
+        for strategy in strategies:
+            origin.append((ti, strategy))
+            variants.append(_variant_task(task, strategy, gi=len(origin) - 1))
+
+    cost = tasks[0].options.cost if tasks else CostModel()
+    with obs.span(
+        "portfolio",
+        groups=len(tasks),
+        variants=len(variants),
+        cost=cost.spec,
+    ):
+        vresults, report = _run_governed(
+            variants, jobs, policy, report,
+            journal=journal, shutdown_after=shutdown_after,
+            cache=cache, pool=pool,
+        )
+
+        by_task: Dict[int, Dict[str, GroupResult]] = {}
+        for res in vresults:
+            ti, strategy = origin[res.gi]
+            by_task.setdefault(ti, {})[strategy] = res
+
+        rank = {s: r for r, s in enumerate(PORTFOLIO_STRATEGIES)}
+        final: List[GroupResult] = []
+        decisions: List[Dict[str, object]] = []
+        for ti, task in enumerate(tasks):
+            candidates = by_task.get(ti, {})
+            if len(candidates) < len(strategies_of[ti]):
+                # Only possible on an interrupted run: the group is
+                # incomplete, so it contributes no winner (the journal
+                # holds whatever variants did land).
+                continue
+            scored: List[Tuple[Tuple, int, str, GroupResult, int, int]] = []
+            for strategy in strategies_of[ti]:
+                res = candidates[strategy]
+                frag = parse_blif(res.blif_text)
+                luts = count_luts(frag, task.options.k)
+                depth = _network_depth(frag)
+                scored.append(
+                    (
+                        cost.fragment_key(luts, depth),
+                        rank.get(strategy, len(rank)),
+                        strategy,
+                        res,
+                        luts,
+                        depth,
+                    )
+                )
+            scored.sort(key=lambda entry: (entry[0], entry[1]))
+            _, _, winner, res, luts, depth = scored[0]
+            info = dict(res.info)
+            info["portfolio"] = winner
+            final.append(replace(res, gi=task.gi, info=info))
+            decisions.append(
+                {
+                    "gi": task.gi,
+                    "group": list(task.group),
+                    "winner": winner,
+                    "cost_model": cost.spec,
+                    "candidates": {
+                        entry[2]: {"luts": entry[4], "depth": entry[5]}
+                        for entry in scored
+                    },
+                }
+            )
+            obs.event(
+                "portfolio_winner",
+                gi=task.gi,
+                winner=winner,
+                luts=luts,
+                depth=depth,
+                cost=cost.spec,
+            )
+        report.details["portfolio"] = decisions
+    return final, report
+
+
 def run_group_tasks(
     tasks: Sequence[GroupTask],
     jobs: int,
@@ -1080,6 +1309,12 @@ def run_group_tasks(
         or any(t.inject is not None for t in tasks)
     ):
         policy = TaskPolicy()  # journaling/caching/faults need validation
+    if policy is not None and policy.portfolio:
+        return _run_portfolio(
+            tasks, jobs, policy, report,
+            journal=journal, shutdown_after=shutdown_after,
+            cache=cache, pool=pool,
+        )
     if policy is not None:
         return _run_governed(
             tasks, jobs, policy, report,

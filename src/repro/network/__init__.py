@@ -15,6 +15,7 @@ from .transform import (
     collapse_node,
     extract_cone,
     propagate_constant_inputs,
+    rename_po_drivers,
     simplify_local,
     sweep,
 )
@@ -42,6 +43,7 @@ __all__ = [
     "assert_equivalent",
     "EquivalenceError",
     "sweep",
+    "rename_po_drivers",
     "collapse_node",
     "collapse_network",
     "extract_cone",

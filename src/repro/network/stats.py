@@ -33,11 +33,18 @@ class NetworkStats:
 
 
 def node_depths(net: Network) -> Dict[str, int]:
-    """Logic depth of every signal (PIs at depth 0)."""
+    """Logic depth of every signal (PIs at depth 0).
+
+    Fanin-less nodes (constants) also sit at depth 0: they occupy no LUT
+    (``count_luts`` costs them 0), so they contribute no logic level.
+    """
     depth: Dict[str, int] = {pi: 0 for pi in net.inputs}
     for name in net.topological_order():
         node = net.node(name)
-        depth[name] = 1 + max((depth[fi] for fi in node.fanins), default=0)
+        if not node.fanins:
+            depth[name] = 0
+        else:
+            depth[name] = 1 + max(depth[fi] for fi in node.fanins)
     return depth
 
 

@@ -25,7 +25,49 @@ __all__ = [
     "propagate_constant_inputs",
     "simplify_local",
     "extract_cone",
+    "rename_po_drivers",
 ]
+
+
+def rename_po_drivers(net: Network) -> int:
+    """Rename internal PO drivers to their output names where possible.
+
+    The BLIF emitter inserts a buffer node for every output whose driver
+    carries a different name; that buffer counts as a LUT and a logic
+    level in the *emitted* netlist but in neither of the reported stats.
+    Renaming the driver (internal node, name free, first output wins
+    when a driver feeds several) removes the need for the buffer, so the
+    (LUTs, depth) pair measured in memory is the pair of the file on
+    disk.  Outputs aliasing a PI or sharing an already-claimed driver
+    keep their buffers — BLIF has no other way to express them.
+
+    Returns the number of drivers renamed.
+    """
+    renamed = 0
+    for out, driver in list(net.outputs):
+        if (
+            out == driver
+            or net.is_input(driver)
+            or driver not in net.node_names()
+            or net.has_signal(out)
+        ):
+            continue
+        node = net.node(driver)
+        node.name = out
+        net._nodes = {
+            (out if name == driver else name): n
+            for name, n in net._nodes.items()
+        }
+        for reader in net.nodes():
+            if driver in reader.fanins:
+                reader.fanins[:] = [
+                    out if fi == driver else fi for fi in reader.fanins
+                ]
+        net._outputs = [
+            (o, out if d == driver else d) for o, d in net._outputs
+        ]
+        renamed += 1
+    return renamed
 
 
 def extract_cone(

@@ -84,12 +84,14 @@ _COMMON_KNOBS = (
     "fast_path_max_width",
     "max_bdd_nodes",
     "max_seconds",
+    "cost_model",
 )
 _HYDE_KNOBS = _COMMON_KNOBS + (
     "max_group",
     "ingredient_policy",
     "ppi_placement",
     "fallback_per_output",
+    "portfolio",
 )
 
 _FLOWS = {"hyde": hyde_map, "per-output": map_per_output}
@@ -310,6 +312,7 @@ class MappingService:
             "flow": flow_name,
             "circuit": net.name,
             "luts": result.lut_count,
+            "depth": result.depth,
             "clbs": result.clb_count,
             "seconds": round(result.seconds, 6),
             "service_seconds": round(elapsed, 6),
@@ -320,6 +323,7 @@ class MappingService:
                 for entry in result.details.get("degraded") or []
             ],
             "jobs_used": result.details.get("perf", {}).get("jobs_used"),
+            "portfolio": result.details.get("portfolio") or [],
             "blif": to_blif(result.network),
         }
 

@@ -37,6 +37,37 @@ class TestHydeFlow:
         result = hyde_map(build("rd84"), k=5)
         assert result.lut_count <= 11  # paper: 9
 
+    def test_misex1_golden_luts_and_depth(self):
+        # Golden (LUTs, depth) pin: cleanup runs to a global fixpoint
+        # before stats are taken, so the numbers reported here are the
+        # numbers of the network actually emitted to BLIF.  A change to
+        # cleanup ordering or depth accounting shows up as a diff in
+        # this pair.
+        from repro.mapping.lut import (
+            absorb_inverters,
+            count_luts,
+            dedup_nodes,
+        )
+        from repro.network import node_depths, parse_blif, sweep, to_blif
+
+        result = hyde_map(build("misex1"), k=5)
+        assert (result.lut_count, result.depth) == (14, 3)
+
+        # The measured network is already sweep-stable: another full
+        # cleanup round finds nothing to do.
+        net = result.network.copy()
+        assert sweep(net) == 0
+        assert dedup_nodes(net) == 0
+        assert absorb_inverters(net) == 0
+
+        # And a BLIF round trip preserves exactly the measured pair.
+        emitted = parse_blif(to_blif(result.network))
+        depths = node_depths(emitted)
+        assert max(
+            depths[driver] for _, driver in emitted.outputs
+        ) == result.depth
+        assert count_luts(emitted, 5) == result.lut_count
+
     def test_groups_cover_outputs(self):
         net = build("rd73")
         result = hyde_map(net, k=5)

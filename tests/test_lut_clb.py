@@ -74,6 +74,48 @@ class TestAbsorbInverters:
         absorb_inverters(net)
         assert check_equivalence(net, before) is None
 
+    def test_double_inversion_at_output_is_a_wire(self):
+        # inv → inv → PO used to survive as two LUTs (or, collapsed, as a
+        # PO-driving buffer counted as one LUT); it is a plain wire.
+        net = Network("n")
+        net.add_input("a")
+        net.add_node("n1", ["a"], INV)
+        net.add_node("n2", ["n1"], INV)
+        net.add_output("n2", "f")
+        before = net.copy()
+        removed = absorb_inverters(net)
+        assert removed == 2
+        assert check_equivalence(net, before) is None
+        assert net.output_driver("f") == "a"
+        assert count_luts(net, 5) == 0
+
+    def test_odd_inverter_chain_at_output_keeps_one(self):
+        net = Network("n")
+        net.add_input("a")
+        net.add_node("n1", ["a"], INV)
+        net.add_node("n2", ["n1"], INV)
+        net.add_node("n3", ["n2"], INV)
+        net.add_output("n3", "f")
+        before = net.copy()
+        absorb_inverters(net)
+        assert check_equivalence(net, before) is None
+        assert count_luts(net, 5) == 1
+        assert net.node(net.output_driver("f")).fanins == ["a"]
+
+    def test_po_driving_buffer_collapsed(self):
+        buf = TruthTable(1, 0b10)
+        net = Network("n")
+        net.add_input("a")
+        net.add_input("b")
+        net.add_node("x", ["a", "b"], AND2)
+        net.add_node("bufx", ["x"], buf)
+        net.add_output("bufx", "f")
+        before = net.copy()
+        absorb_inverters(net)
+        assert check_equivalence(net, before) is None
+        assert net.output_driver("f") == "x"
+        assert count_luts(net, 5) == 1
+
 
 class TestDedup:
     def test_identical_nodes_merged(self):

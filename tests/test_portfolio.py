@@ -1,0 +1,99 @@
+"""Differential checks for portfolio mapping under both cost models.
+
+The portfolio runner races hyper / per-output / column / structural per
+output group and keeps the winner under the active cost model.  Two
+properties must hold on every seeded random network:
+
+* the spliced portfolio network is BDD-equivalent to the source (and
+  hence to every single-strategy standalone run, checked directly), and
+* per group, the portfolio's winning fragment is never worse — under
+  the active cost model's ``fragment_key`` — than the fragment any
+  single strategy produces when raced alone.
+
+Per-group decisions come from ``MapResult.details["portfolio"]`` (the
+scoreboard the runner recorded), so the comparison exercises exactly
+the data the CLI and service surface.  Even seeds run the ``area``
+model, odd seeds ``delay``, and the whole sweep repeats at jobs 1/2.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decompose import parse_cost_model
+from repro.mapping import TaskPolicy, hyde_map
+from repro.mapping.parallel import PORTFOLIO_STRATEGIES
+from repro.network import check_equivalence
+from repro.verify import random_network
+
+pytestmark = pytest.mark.slow
+
+K = 4
+SEEDS = range(20)
+
+
+def _map(source, jobs, cost_model, strategies=None):
+    return hyde_map(
+        source.copy(),
+        k=K,
+        verify="none",
+        pack_clbs=False,
+        jobs=jobs,
+        cost_model=cost_model,
+        portfolio=True,
+        policy=TaskPolicy(portfolio=True, strategies=strategies),
+    )
+
+
+def _group_keys(result, cost):
+    """gi -> winning fragment's cost key, from the recorded decisions."""
+    keys = {}
+    for entry in result.details.get("portfolio") or []:
+        winner = entry["candidates"][entry["winner"]]
+        keys[entry["gi"]] = cost.fragment_key(
+            winner["luts"], winner["depth"]
+        )
+    return keys
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_portfolio_equivalent_and_never_worse_per_group(jobs):
+    for seed in SEEDS:
+        source = random_network(seed)
+        cost_model = "area" if seed % 2 == 0 else "delay"
+        cost = parse_cost_model(cost_model)
+
+        port = _map(source, jobs, cost_model)
+        assert check_equivalence(source, port.network) is None, (
+            f"seed {seed}: portfolio output not equivalent to source"
+        )
+        port_keys = _group_keys(port, cost)
+        assert port_keys, f"seed {seed}: no portfolio decisions recorded"
+
+        # The recorded scoreboard must already honor the cost model:
+        # the winner's key is the minimum over every raced candidate.
+        for entry in port.details["portfolio"]:
+            wkey = port_keys[entry["gi"]]
+            for strategy, cand in entry["candidates"].items():
+                ckey = cost.fragment_key(cand["luts"], cand["depth"])
+                assert wkey <= ckey, (
+                    f"seed {seed} group {entry['gi']}: winner "
+                    f"{entry['winner']} ({wkey}) worse than {strategy} "
+                    f"({ckey})"
+                )
+
+        # Race each strategy standalone (a one-entry portfolio): the
+        # real portfolio must match its per-group fragments or beat
+        # them, and the standalone output must stay equivalent too.
+        for strategy in PORTFOLIO_STRATEGIES:
+            single = _map(source, 1, cost_model, strategies=(strategy,))
+            assert check_equivalence(source, single.network) is None, (
+                f"seed {seed}: standalone {strategy} not equivalent"
+            )
+            assert check_equivalence(port.network, single.network) is None
+            for gi, skey in _group_keys(single, cost).items():
+                assert port_keys[gi] <= skey, (
+                    f"seed {seed} group {gi}: portfolio ({port_keys[gi]}) "
+                    f"worse than standalone {strategy} ({skey}) under "
+                    f"{cost_model}"
+                )

@@ -28,6 +28,22 @@ class TestStats:
         assert depths["n0"] == 1
         assert depths["n2"] == 3
 
+    def test_constant_nodes_sit_at_depth_zero(self):
+        # Constants occupy no LUT (count_luts costs them 0), so they must
+        # not contribute a logic level either.
+        net = Network("n")
+        net.add_input("a")
+        net.add_constant("one", 1)
+        net.add_node("f", ["a", "one"], AND2)
+        net.add_output("f")
+        depths = node_depths(net)
+        assert depths["one"] == 0
+        assert depths["f"] == 1
+        net2 = Network("n2")
+        net2.add_constant("zero", 0)
+        net2.add_output("zero", "f")
+        assert network_stats(net2).depth == 0
+
     def test_network_stats(self):
         net = chain_net(4)
         stats = network_stats(net, k=5)

@@ -42,19 +42,19 @@ LITERAL_CONE = """.model golden_cone
 .end
 """
 
-GOLDEN_LITERAL = "d6644be6374a1de7b4d640c388c16969"
-GOLDEN_LITERAL_K4 = "8867c0af5f07bf90b39fb5abedb9a4a6"
-GOLDEN_LITERAL_PER_OUTPUT = "34ab9495169e05633bd296747aca1001"
+GOLDEN_LITERAL = "09f42511433e7a6db97b6f3d778a91c1"
+GOLDEN_LITERAL_K4 = "900c284f1876afb75e8ac12b6711f9ac"
+GOLDEN_LITERAL_PER_OUTPUT = "cb2fea6acd1065072123474af6fa46fb"
 
 # The paper-example network's single ingredient-group cone, extracted
 # exactly as hyde_map does it.  This pin *does* ride on the netlist
 # builder and BLIF emitter — deliberately: those are part of the de
 # facto key contract for persisted stores.
-GOLDEN_EX41 = "33aa15002d30e1604aeae6b9fb439fac"
+GOLDEN_EX41 = "aaf5a636bd3c933aa6891f3b540504c0"
 
 #: Digest of the store's key/row schema; drifts when the key recipe,
 #: the options dataclass shape or the store format changes.
-GOLDEN_SCHEMA = "992602e755a9"
+GOLDEN_SCHEMA = "147b93673bcc"
 
 
 def _literal_task(**overrides) -> GroupTask:

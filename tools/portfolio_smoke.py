@@ -1,0 +1,115 @@
+"""Portfolio smoke gate: race strategies, validate winners, CLI wiring.
+
+The CI-shaped end-to-end check for portfolio mapping:
+
+1. for a few small MCNC circuits, run ``hyde_map(portfolio=True)``
+   under both the ``area`` and the ``delay`` cost model — the spliced
+   network must be equivalent to the source, per-group decisions must
+   be recorded, and each recorded winner must carry the minimal
+   ``fragment_key`` of its scoreboard;
+2. the delay-model winners may never be deeper per group than the
+   area-model winners (that is what the cost model is *for*);
+3. run the real CLI (``repro map misex1 --portfolio --cost delay``) as
+   a subprocess and require the per-group decision lines plus a clean
+   exit, so flag plumbing breaks here and not in a user's terminal.
+
+Any failure exits non-zero with enough context to reproduce by hand.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.circuits import build  # noqa: E402
+from repro.decompose import parse_cost_model  # noqa: E402
+from repro.mapping import hyde_map  # noqa: E402
+from repro.network import check_equivalence  # noqa: E402
+
+CIRCUITS = ["misex1", "rd73", "5xp1"]
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def run_portfolio(name: str, cost_model: str):
+    source = build(name)
+    result = hyde_map(
+        source.copy(),
+        verify="none",
+        pack_clbs=False,
+        portfolio=True,
+        cost_model=cost_model,
+    )
+    if check_equivalence(source, result.network) is not None:
+        fail(f"{name} ({cost_model}): portfolio output not equivalent")
+    decisions = result.details.get("portfolio") or []
+    if not decisions:
+        fail(f"{name} ({cost_model}): no portfolio decisions recorded")
+    cost = parse_cost_model(cost_model)
+    for entry in decisions:
+        winner = entry["candidates"][entry["winner"]]
+        wkey = cost.fragment_key(winner["luts"], winner["depth"])
+        for strategy, cand in entry["candidates"].items():
+            if wkey > cost.fragment_key(cand["luts"], cand["depth"]):
+                fail(
+                    f"{name} ({cost_model}) group {entry['gi']}: winner "
+                    f"{entry['winner']} worse than {strategy}"
+                )
+    return result, decisions
+
+
+def main() -> int:
+    for name in CIRCUITS:
+        area, area_decisions = run_portfolio(name, "area")
+        delay, delay_decisions = run_portfolio(name, "delay")
+        area_depths = {
+            e["gi"]: e["candidates"][e["winner"]]["depth"]
+            for e in area_decisions
+        }
+        for entry in delay_decisions:
+            if (
+                entry["gi"] in area_depths
+                and entry["candidates"][entry["winner"]]["depth"]
+                > area_depths[entry["gi"]]
+            ):
+                fail(
+                    f"{name} group {entry['gi']}: delay-model winner "
+                    "deeper than area-model winner"
+                )
+        print(
+            f"{name:8s} area {area.lut_count:3d} LUTs/{area.depth}  "
+            f"delay {delay.lut_count:3d} LUTs/{delay.depth}  "
+            f"({len(area_decisions)} group decision(s))"
+        )
+
+    # CLI wiring: the flags must reach the flow and the decision lines
+    # must reach stdout.
+    env = dict(os.environ, PYTHONPATH=os.path.join(REPO_ROOT, "src"))
+    proc = subprocess.run(
+        [
+            sys.executable, "-m", "repro.cli", "map", "misex1",
+            "--portfolio", "--cost", "delay",
+        ],
+        cwd=REPO_ROOT, env=env, capture_output=True, text=True,
+        timeout=300,
+    )
+    if proc.returncode != 0:
+        fail(
+            f"CLI portfolio run exited {proc.returncode}:\n"
+            f"{proc.stdout}\n{proc.stderr}"
+        )
+    if "portfolio group" not in proc.stdout:
+        fail(f"CLI output missing portfolio decisions:\n{proc.stdout}")
+    print("portfolio smoke: all gates passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
