@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke portfolio-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke chaos-smoke portfolio-smoke examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -60,6 +60,14 @@ resume-smoke:
 # result store, dismiss the daemon and require a clean exit.
 service-smoke:
 	PYTHONPATH=src $(PYTHON) tools/service_smoke.py
+
+# Chaos gate: concurrent clients against a deliberately faulted daemon
+# (load shedding, torn writes, slow-loris, SQLite lock contention,
+# SIGKILL + supervised restart, breaker trip/heal, disk-full store).
+# Asserts zero wrong results, typed retryable errors only, and eventual
+# recovery; the JSONL journal is uploaded by CI on failure.
+chaos-smoke:
+	PYTHONPATH=src $(PYTHON) tools/chaos_smoke.py --journal chaos_journal.jsonl
 
 # Portfolio gate: race hyper/per-output/column/structural per output
 # group under both cost models, validate every recorded winner against

@@ -18,6 +18,7 @@ Usage examples::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -681,6 +682,35 @@ def _cmd_verify(args: argparse.Namespace) -> int:
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the mapping daemon until dismissed (exit 0) or drained (75)."""
+    if args.supervise:
+        # Watchdog mode: re-exec ourselves without --supervise as the
+        # child and restart it on crashes with crash-loop backoff.
+        from .service import build_child_argv, run_supervised
+
+        serve_args = [
+            "--store", args.store,
+            "--jobs", str(args.jobs),
+            "--host", args.host,
+            "--port", str(args.port),
+            "--max-concurrent", str(args.max_concurrent),
+            "--max-queue", str(args.max_queue),
+            "--queue-timeout", str(args.queue_timeout),
+            "--request-timeout", str(args.request_timeout),
+            "--breaker-threshold", str(args.breaker_threshold),
+            "--breaker-cooldown", str(args.breaker_cooldown),
+        ]
+        if args.info:
+            serve_args += ["--info", args.info]
+        if args.max_rows is not None:
+            serve_args += ["--max-rows", str(args.max_rows)]
+        if args.quiet:
+            serve_args += ["--quiet"]
+        return run_supervised(
+            build_child_argv(serve_args),
+            max_restarts=args.max_restarts,
+            quiet=args.quiet,
+        )
+
     from .service import MappingDaemon
 
     daemon = MappingDaemon(
@@ -691,8 +721,63 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_concurrent=args.max_concurrent,
         info_path=args.info,
         max_rows=args.max_rows,
+        max_queue=args.max_queue,
+        queue_timeout=args.queue_timeout,
+        request_timeout=(
+            args.request_timeout if args.request_timeout > 0 else None
+        ),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
     )
     return daemon.serve(quiet=args.quiet)
+
+
+def _cmd_health(args: argparse.Namespace) -> int:
+    """Probe a daemon: exit 0 healthy, 1 degraded/draining, 2 unreachable."""
+    from .service import ServiceClient, ServiceError
+
+    try:
+        if args.info:
+            client = ServiceClient.from_info(args.info, timeout=args.timeout)
+        elif args.port:
+            client = ServiceClient(args.host, args.port, timeout=args.timeout)
+        else:
+            print("health needs --info FILE or --port N", file=sys.stderr)
+            return 2
+        record = client.health()
+    except ServiceError as exc:
+        print(f"unreachable ({exc.code}): {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        queue = record.get("queue") or {}
+        breaker = record.get("breaker") or {}
+        pool = record.get("pool") or {}
+        print(
+            f"status {record.get('status')} "
+            f"(pid {record.get('pid')}, up {record.get('uptime_seconds')}s)"
+        )
+        print(
+            f"  queue    {queue.get('active')} active, "
+            f"{queue.get('queued')} queued "
+            f"(cap {queue.get('max_concurrent')}+{queue.get('max_queue')}), "
+            f"{queue.get('sheds')} shed"
+        )
+        if breaker:
+            print(
+                f"  breaker  {breaker.get('state')} "
+                f"({breaker.get('consecutive_failures')} consecutive "
+                f"failure(s), {breaker.get('trips')} trip(s), "
+                f"{breaker.get('recoveries')} recover(ies))"
+            )
+        if pool:
+            print(
+                f"  pool     alive={pool.get('alive')} "
+                f"recycles={pool.get('recycles')} "
+                f"forced={pool.get('forced_recycles')}"
+            )
+    return 0 if record.get("ok") else 1
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -721,15 +806,23 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     last = None
     try:
         for i in range(args.times):
-            result = client.submit_blif(blif_text, flow=args.flow, **knobs)
+            result = client.submit_with_retry(
+                blif_text,
+                flow=args.flow,
+                retries=args.retries,
+                deadline=args.deadline,
+                **knobs,
+            )
             cache = result.get("cache") or {}
             depth = result.get("depth")
+            attempts = result.get("client_attempts", 1)
             print(
                 f"pass {i + 1}/{args.times}: {result['luts']} LUTs"
                 + (f" (depth {depth})" if depth is not None else "")
                 + f", {result['service_seconds']:.3f}s service time, "
                 f"cache {cache.get('hits', 0)} hit(s) / "
                 f"{cache.get('misses', 0)} miss(es)"
+                + (f", {attempts} attempt(s)" if attempts > 1 else "")
             )
             if last is not None and last["blif"] != result["blif"]:
                 print("ERROR: repeat submission produced different BLIF",
@@ -739,7 +832,10 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         if args.shutdown:
             client.shutdown()
             print("daemon dismissed")
-    except (ServiceError, OSError) as exc:
+    except ServiceError as exc:
+        print(f"service error [{exc.code}]: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
         print(f"service error: {exc}", file=sys.stderr)
         return 1
     if args.output and last is not None:
@@ -905,6 +1001,30 @@ def main(argv=None) -> int:
                    "for client discovery")
     p.add_argument("--max-rows", type=int, default=None,
                    help="LRU capacity of the result store")
+    p.add_argument("--max-queue", type=int, default=16,
+                   help="map requests allowed to wait for a slot; "
+                   "anyone past that is shed with a typed 'busy' error "
+                   "and a retry-after hint")
+    p.add_argument("--queue-timeout", type=float, default=30.0,
+                   help="longest a queued map request waits for a slot "
+                   "before being shed")
+    p.add_argument("--request-timeout", type=float, default=30.0,
+                   help="seconds a connection may take to deliver its "
+                   "request line before being dropped (slow-loris "
+                   "defense; 0 disables)")
+    p.add_argument("--breaker-threshold", type=int, default=3,
+                   help="consecutive pool recycles that trip the "
+                   "circuit breaker into cache-only serial mapping")
+    p.add_argument("--breaker-cooldown", type=float, default=5.0,
+                   help="seconds the breaker stays open before probing "
+                   "the pool again")
+    p.add_argument("--supervise", action="store_true",
+                   help="run the daemon as a supervised child and "
+                   "restart it on crashes with crash-loop backoff "
+                   "(clean exits 0/75 stop the watchdog)")
+    p.add_argument("--max-restarts", type=int, default=None, metavar="N",
+                   help="give up after N crash restarts (default: "
+                   "restart forever)")
     p.add_argument("--quiet", action="store_true")
 
     p = sub.add_parser(
@@ -929,9 +1049,26 @@ def main(argv=None) -> int:
                    help="submit N times (repeats should hit the cache)")
     p.add_argument("--timeout", type=float, default=300.0,
                    help="client socket timeout in seconds")
+    p.add_argument("--retries", type=int, default=4,
+                   help="retry budget for retryable service errors "
+                   "(busy/draining/torn stream/unreachable)")
+    p.add_argument("--deadline", type=float, default=None, metavar="SEC",
+                   help="end-to-end deadline per submission; also "
+                   "propagated into the daemon's task budget")
     p.add_argument("--shutdown", action="store_true",
                    help="dismiss the daemon after the last submission")
     p.add_argument("-o", "--output", help="write the mapped BLIF here")
+
+    p = sub.add_parser(
+        "health", help="probe a running daemon's health endpoint"
+    )
+    p.add_argument("--info", default=None, metavar="FILE",
+                   help="endpoint file written by serve --info")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=0)
+    p.add_argument("--timeout", type=float, default=10.0)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw health record")
 
     p = sub.add_parser(
         "cache", help="inspect or validate a result-store file"
@@ -975,6 +1112,8 @@ def main(argv=None) -> int:
         if not args.circuit and not args.blif:
             parser.error("submit needs a circuit name or --blif FILE")
         return _cmd_submit(args)
+    if args.command == "health":
+        return _cmd_health(args)
     if args.command == "cache":
         return _cmd_cache(args)
     if args.command == "table1":

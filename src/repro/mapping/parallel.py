@@ -887,13 +887,27 @@ def _run_governed(
         if cache is not None:
             # Live replies already passed _validate_reply, so the row is
             # born verified; replays validate again on their first reuse.
-            cache.put(
-                keys[i],
-                result.blif_text,
-                info=result.info,
-                seconds=seconds,
-                verified=policy.verify_fragments,
-            )
+            # The cache is an accelerator: a write that fails (disk
+            # full, cross-process lock) is counted and skipped — it must
+            # never fail a request that already computed its fragment.
+            try:
+                cache.put(
+                    keys[i],
+                    result.blif_text,
+                    info=result.info,
+                    seconds=seconds,
+                    verified=policy.verify_fragments,
+                )
+            except Exception as exc:  # noqa: BLE001 — any storage failure
+                report.details["cache_write_errors"] = (
+                    report.details.get("cache_write_errors", 0) + 1
+                )
+                obs.event(
+                    "cache_write_error",
+                    gi=tasks[i].gi,
+                    key=keys[i],
+                    error=f"{type(exc).__name__}: {exc}",
+                )
             report.fragments.append(
                 {
                     "gi": tasks[i].gi,

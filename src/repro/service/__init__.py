@@ -9,25 +9,39 @@ The package splits along trust boundaries:
 * :mod:`~repro.service.pool` — the warm fork pool reused across
   requests, with poisoned-worker recycling.
 * :mod:`~repro.service.daemon` — the localhost line-protocol server
-  gluing both to the governed task runner, with drain-on-signal.
-* :mod:`~repro.service.client` — the matching client.
+  gluing both to the governed task runner, with bounded admission +
+  load shedding, per-request deadlines and drain-on-signal.
+* :mod:`~repro.service.breaker` — the circuit breaker that degrades a
+  crash-looping pool to cache-only serial mapping until a probe heals.
+* :mod:`~repro.service.supervise` — the ``--supervise`` watchdog that
+  restarts crashed daemons with crash-loop backoff.
+* :mod:`~repro.service.client` — the matching client: typed wire
+  errors, deterministic-jitter retries, deadlines, pipelined batches.
 
-See ``docs/SERVICE.md`` for the protocol and the cache-key contract.
+See ``docs/SERVICE.md`` for the protocol, the cache-key contract and
+the failure-modes runbook.
 """
 
-from .client import ServiceClient, ServiceError
+from .breaker import CircuitBreaker
+from .client import ERROR_CODES, RETRYABLE_CODES, ServiceClient, ServiceError
 from .daemon import EXIT_DRAINED, MappingDaemon, MappingService
 from .pool import WarmPool
 from .store import STORE_FORMAT, ResultStore, schema_version
+from .supervise import build_child_argv, run_supervised
 
 __all__ = [
+    "CircuitBreaker",
+    "ERROR_CODES",
     "EXIT_DRAINED",
     "MappingDaemon",
     "MappingService",
+    "RETRYABLE_CODES",
     "ResultStore",
     "STORE_FORMAT",
     "ServiceClient",
     "ServiceError",
     "WarmPool",
+    "build_child_argv",
+    "run_supervised",
     "schema_version",
 ]

@@ -1,0 +1,133 @@
+"""Circuit breaker for the daemon's warm-pool path.
+
+A crash-looping workload (poisoned circuits, a wedged sandbox, a fork
+bomb in a worker) turns every pooled request into a recycle: terminate
+the pool, fork a fresh one, watch it die again.  Each cycle burns a
+fork's worth of latency and leaves a window where concurrent requests
+fall back to slow paths.  The breaker bounds that damage:
+
+* **closed** — normal operation.  Every dirty pool release (a recycle)
+  counts one consecutive failure; a clean pooled request resets the
+  count.  ``threshold`` consecutive failures trip the breaker.
+* **open** — pooled execution is refused outright; the daemon degrades
+  to cache-only + in-process serial mapping (still correct, just
+  slower) instead of fork-thrashing.  After ``cooldown`` seconds the
+  next admission becomes a probe.
+* **half_open** — exactly one probe request runs on the pool.  A clean
+  finish closes the breaker; another recycle reopens it and restarts
+  the cooldown clock.
+
+The clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["CircuitBreaker"]
+
+
+class CircuitBreaker:
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        cooldown: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.threshold = max(1, int(threshold))
+        self.cooldown = float(cooldown)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self.state = self.CLOSED
+        self.consecutive_failures = 0
+        self.trips = 0
+        self.recoveries = 0
+        self.probes = 0
+        self._opened_at: Optional[float] = None
+        self._probe_inflight = False
+
+    def allow_pool(self) -> bool:
+        """May this request use the warm pool?
+
+        Transitions open → half_open once the cooldown has elapsed, in
+        which case the caller *is* the probe: its outcome must be
+        reported via :meth:`record_success` / :meth:`record_failure`.
+        """
+        with self._lock:
+            if self.state == self.CLOSED:
+                return True
+            if self.state == self.OPEN:
+                if (
+                    self._opened_at is not None
+                    and self._clock() - self._opened_at >= self.cooldown
+                ):
+                    self.state = self.HALF_OPEN
+                    self._probe_inflight = True
+                    self.probes += 1
+                    return True
+                return False
+            # HALF_OPEN: one probe at a time; everyone else stays serial.
+            if not self._probe_inflight:
+                self._probe_inflight = True
+                self.probes += 1
+                return True
+            return False
+
+    def record_success(self) -> bool:
+        """A pooled request finished clean.  Returns True on recovery
+        (the breaker just closed from open/half-open)."""
+        with self._lock:
+            self.consecutive_failures = 0
+            self._probe_inflight = False
+            if self.state != self.CLOSED:
+                self.state = self.CLOSED
+                self.recoveries += 1
+                return True
+            return False
+
+    def record_failure(self) -> bool:
+        """A pooled request dirtied the pool (recycle).  Returns True if
+        this failure tripped the breaker open."""
+        with self._lock:
+            self.consecutive_failures += 1
+            self._probe_inflight = False
+            if self.state == self.HALF_OPEN:
+                self.state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            if (
+                self.state == self.CLOSED
+                and self.consecutive_failures >= self.threshold
+            ):
+                self.state = self.OPEN
+                self._opened_at = self._clock()
+                self.trips += 1
+                return True
+            return False
+
+    def snapshot(self) -> Dict[str, object]:
+        with self._lock:
+            cooling = None
+            if self.state == self.OPEN and self._opened_at is not None:
+                cooling = max(
+                    0.0, self.cooldown - (self._clock() - self._opened_at)
+                )
+            return {
+                "state": self.state,
+                "threshold": self.threshold,
+                "cooldown": self.cooldown,
+                "consecutive_failures": self.consecutive_failures,
+                "trips": self.trips,
+                "recoveries": self.recoveries,
+                "probes": self.probes,
+                "cooldown_remaining": (
+                    round(cooling, 3) if cooling is not None else None
+                ),
+            }

@@ -30,8 +30,25 @@ localhost TCP, one request line per connection):
 
 Operational contract:
 
-* ``map`` requests are queued through a bounded semaphore
-  (``max_concurrent``); excess clients wait, they are not refused.
+* ``map`` requests pass a **bounded admission queue**: up to
+  ``max_concurrent`` run, up to ``max_queue`` more wait (at most
+  ``queue_timeout`` seconds, or the request's own deadline), and
+  everyone past that is **shed** with a typed ``busy`` error carrying a
+  ``retry_after`` hint — overload degrades to fast, honest refusals
+  instead of unbounded queueing.
+* Every error record carries a wire-level ``code`` (see
+  ``repro.service.client.ERROR_CODES``); clients retry the retryable
+  ones with deterministic backoff.
+* A request ``deadline_seconds`` bounds the queue wait *and* is
+  propagated into the task runner's :class:`TaskPolicy` wall clock, so
+  one number bounds the request end to end.
+* A **circuit breaker** watches the warm pool: ``breaker_threshold``
+  consecutive dirty releases (recycles) trip it, after which pooled
+  execution is refused and requests degrade to cache-only +
+  in-process serial mapping — still correct, just slower — until a
+  cooldown-gated probe request survives cleanly.
+* The ``health`` op reports queue, pool, store and breaker state
+  without touching the mapping path.
 * SIGTERM/SIGINT drains: the listener stops accepting, every in-flight
   request runs to completion (its client gets a full response), then
   the daemon exits with code 75 (``EX_TEMPFAIL``, matching the CLI's
@@ -41,29 +58,51 @@ Operational contract:
 * A request that timed out or carried injected faults may leave a
   wedged worker behind; the pool is flagged dirty and recycled at the
   next idle moment so the damage cannot leak into later requests.
+* A connection that never delivers its request line within
+  ``request_timeout`` seconds (slow-loris, dead peer) is answered with
+  a ``timeout`` error and closed — it cannot pin handler threads.
 
-``REPRO_SERVICE_DELAY`` (seconds, float) stalls each ``map`` request
-after admission — a test hook that makes "signal arrives mid-request"
-reproducible instead of racy.
+Test machinery: ``REPRO_SERVICE_DELAY`` (seconds, float) stalls each
+``map`` request after admission — making "signal arrives mid-request"
+reproducible instead of racy — and a request ``chaos`` field makes the
+*wire layer* misbehave on purpose (``torn_result`` / ``torn_fragment``
+write half a JSON line and hang up, ``drop_before_result`` /
+``close_early`` close without the terminal record), which is how the
+chaos harness proves clients see typed torn-stream errors, never
+garbage.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import socket
 import socketserver
 import threading
 import time
 from dataclasses import fields as dataclass_fields
+from dataclasses import replace as dataclass_replace
 from typing import Dict, Iterator, List, Optional
 
+from .. import obs
 from ..mapping import TaskPolicy, hyde_map, map_per_output
 from ..network import parse_blif, to_blif
 from ..runstate import ShutdownRequested, graceful_shutdown
+from .breaker import CircuitBreaker
 from .pool import WarmPool
 from .store import ResultStore, schema_version
 
 __all__ = ["MappingService", "MappingDaemon", "EXIT_DRAINED"]
+
+#: Wire-layer misbehavior a request may ask for (test machinery, like
+#: the ``faults`` knob): tear the result/fragment line in half, drop
+#: the terminal record, or hang up before answering at all.
+_WIRE_CHAOS = (
+    "torn_result",
+    "torn_fragment",
+    "drop_before_result",
+    "close_early",
+)
 
 #: Exit code after a signal-initiated drain — EX_TEMPFAIL, the same
 #: convention the CLI uses for interrupted (but resumable) runs.
@@ -119,15 +158,25 @@ class MappingService:
         pool: Optional[WarmPool] = None,
         jobs: int = 2,
         max_concurrent: int = 4,
+        max_queue: int = 16,
+        queue_timeout: float = 30.0,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.store = store
         self.pool = pool
         self.jobs = max(1, jobs)
-        self._slots = threading.Semaphore(max(1, max_concurrent))
+        self.max_concurrent = max(1, max_concurrent)
+        self.max_queue = max(0, max_queue)
+        self.queue_timeout = queue_timeout
+        self.breaker = breaker
+        self._slots = threading.Semaphore(self.max_concurrent)
         self._lock = threading.Lock()
         self._active = 0
+        self._queued = 0
         self._idle = threading.Condition(self._lock)
         self.draining = False
+        self.started = time.time()
+        self._started_mono = time.monotonic()
         # Request-level telemetry for the stats op.
         self.requests = 0
         self.errors = 0
@@ -137,6 +186,12 @@ class MappingService:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_rejected = 0
+        # Resilience telemetry.
+        self.sheds = 0
+        self.deadline_rejects = 0
+        self.request_timeouts = 0
+        self.cache_write_errors = 0
+        self.breaker_serial = 0
 
     # ------------------------------------------------------------- #
     # Drain accounting
@@ -191,19 +246,26 @@ class MappingService:
                 }
             elif op == "stats":
                 yield {"type": "stats", **self.stats()}
+            elif op == "health":
+                yield {"type": "health", **self.health()}
             elif op == "shutdown":
                 yield {"type": "bye"}
             elif op == "map":
                 yield from self._process_map(request)
             else:
                 self.errors += 1
-                yield {"type": "error", "error": f"unknown op {op!r}"}
+                yield {
+                    "type": "error",
+                    "code": "bad_request",
+                    "error": f"unknown op {op!r}",
+                }
         except (ShutdownRequested, KeyboardInterrupt):  # pragma: no cover
             raise
         except Exception as exc:
             self.errors += 1
             yield {
                 "type": "error",
+                "code": "internal",
                 "error": f"{type(exc).__name__}: {exc}",
             }
 
@@ -228,15 +290,83 @@ class MappingService:
                     "misses": self.cache_misses,
                     "rejected": self.cache_rejected,
                 },
+                "uptime_seconds": round(
+                    time.monotonic() - self._started_mono, 3
+                ),
+                "queue": {
+                    "queued": self._queued,
+                    "max_concurrent": self.max_concurrent,
+                    "max_queue": self.max_queue,
+                },
+                "resilience": {
+                    "sheds": self.sheds,
+                    "deadline_rejects": self.deadline_rejects,
+                    "request_timeouts": self.request_timeouts,
+                    "cache_write_errors": self.cache_write_errors,
+                    "breaker_serial": self.breaker_serial,
+                },
             }
+        if self.breaker is not None:
+            out["breaker"] = self.breaker.snapshot()
         out["store"] = self.store.stats()
         if self.pool is not None:
             out["pool"] = self.pool.stats()
         return out
 
+    def health(self) -> Dict[str, object]:
+        """Cheap liveness + capacity snapshot (never touches mapping)."""
+        with self._lock:
+            active = self._active
+            queued = self._queued
+            draining = self.draining
+            queue = {
+                "active": active,
+                "queued": queued,
+                "max_concurrent": self.max_concurrent,
+                "max_queue": self.max_queue,
+                "sheds": self.sheds,
+                "deadline_rejects": self.deadline_rejects,
+            }
+        breaker = self.breaker.snapshot() if self.breaker is not None else None
+        if draining:
+            status = "draining"
+        elif breaker is not None and breaker["state"] != "closed":
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "ok": status == "ok",
+            "status": status,
+            "pid": os.getpid(),
+            "uptime_seconds": round(time.monotonic() - self._started_mono, 3),
+            "queue": queue,
+            "breaker": breaker,
+            "pool": self.pool.stats() if self.pool is not None else None,
+            "store": self.store.stats(),
+        }
+
     # ------------------------------------------------------------- #
     # map
     # ------------------------------------------------------------- #
+
+    def _retry_after_hint(self) -> float:
+        """How long a shed client should wait: roughly one mean map."""
+        with self._lock:
+            mean = self.map_seconds / self.map_count if self.map_count else None
+        return round(max(0.05, mean if mean is not None else 0.25), 3)
+
+    def _shed(self, why: str) -> Dict[str, object]:
+        hint = self._retry_after_hint()
+        with self._lock:
+            self.sheds += 1
+            self.errors += 1
+        obs.event("service_shed", reason=why, retry_after=hint)
+        return {
+            "type": "error",
+            "code": "busy",
+            "retry_after": hint,
+            "error": f"daemon at capacity ({why}); retry in ~{hint:g}s",
+        }
 
     def _process_map(
         self, request: Dict[str, object]
@@ -246,7 +376,11 @@ class MappingService:
             # stopped.  Refuse honestly instead of starting work the
             # drain would then have to wait arbitrarily long for.
             self.errors += 1
-            yield {"type": "error", "error": "daemon is draining"}
+            yield {
+                "type": "error",
+                "code": "draining",
+                "error": "daemon is draining",
+            }
             return
         flow_name = str(request.get("flow", "hyde"))
         flow = _FLOWS.get(flow_name)
@@ -254,6 +388,7 @@ class MappingService:
             self.errors += 1
             yield {
                 "type": "error",
+                "code": "bad_request",
                 "error": f"unknown flow {flow_name!r} "
                 f"(serving: {sorted(_FLOWS)})",
             }
@@ -261,25 +396,132 @@ class MappingService:
         blif = request.get("blif")
         if not isinstance(blif, str) or not blif.strip():
             self.errors += 1
-            yield {"type": "error", "error": "map request needs 'blif' text"}
+            yield {
+                "type": "error",
+                "code": "bad_request",
+                "error": "map request needs 'blif' text",
+            }
             return
 
         kwargs, problems = self._flow_kwargs(flow_name, request)
         if problems:
             self.errors += 1
-            yield {"type": "error", "error": "; ".join(problems)}
+            yield {
+                "type": "error",
+                "code": "bad_request",
+                "error": "; ".join(problems),
+            }
             return
 
-        with self._slots:  # bounded concurrency: excess requests queue
+        deadline = request.get("deadline_seconds")
+        if deadline is not None:
+            try:
+                deadline = float(deadline)
+                if deadline <= 0:
+                    raise ValueError
+            except (TypeError, ValueError):
+                self.errors += 1
+                yield {
+                    "type": "error",
+                    "code": "bad_request",
+                    "error": "'deadline_seconds' must be a positive number",
+                }
+                return
+
+        # Bounded admission: run now, wait briefly, or shed — never
+        # queue without bound.  The wait is capped by queue_timeout and
+        # by the request's own deadline.
+        admit_start = time.perf_counter()
+        acquired = self._slots.acquire(blocking=False)
+        if not acquired:
+            with self._lock:
+                can_queue = self._queued < self.max_queue
+                if can_queue:
+                    self._queued += 1
+            if not can_queue:
+                yield self._shed("admission queue full")
+                return
+            try:
+                wait = self.queue_timeout
+                if deadline is not None:
+                    wait = min(wait, deadline)
+                acquired = self._slots.acquire(timeout=max(0.0, wait))
+            finally:
+                with self._lock:
+                    self._queued -= 1
+            if not acquired:
+                yield self._shed("queue wait exhausted")
+                return
+
+        try:
+            if self.draining:
+                self.errors += 1
+                yield {
+                    "type": "error",
+                    "code": "draining",
+                    "error": "daemon is draining",
+                }
+                return
             delay = _request_delay()
             if delay > 0:
                 time.sleep(delay)
+            if deadline is not None:
+                # Whatever the queue (and the test delay hook) consumed
+                # comes out of the work budget: propagate the remainder
+                # into the task runner's wall clock.
+                remaining = deadline - (time.perf_counter() - admit_start)
+                if remaining <= 0:
+                    with self._lock:
+                        self.deadline_rejects += 1
+                        self.errors += 1
+                    yield {
+                        "type": "error",
+                        "code": "deadline",
+                        "error": f"deadline of {deadline:g}s expired "
+                        "before mapping started",
+                    }
+                    return
+                policy = kwargs.get("policy")
+                if policy is None:
+                    kwargs["policy"] = TaskPolicy(timeout_seconds=remaining)
+                elif (
+                    policy.timeout_seconds is None
+                    or policy.timeout_seconds > remaining
+                ):
+                    kwargs["policy"] = dataclass_replace(
+                        policy, timeout_seconds=remaining
+                    )
             start = time.perf_counter()
-            net = parse_blif(blif)
+            try:
+                net = parse_blif(blif)
+            except ValueError as exc:
+                # Unparseable input is the client's fault, not ours.
+                with self._lock:
+                    self.errors += 1
+                yield {
+                    "type": "error",
+                    "code": "bad_request",
+                    "error": f"unparseable blif: {exc}",
+                }
+                return
             pooled = None
             dirty = False
             jobs = int(request.get("jobs", self.jobs) or 1)
-            if self.pool is not None and jobs > 1:
+            want_pool = self.pool is not None and jobs > 1
+            breaker_engaged = False
+            if want_pool and self.breaker is not None:
+                if self.breaker.allow_pool():
+                    breaker_engaged = True
+                else:
+                    # Breaker open: the pool is crash-looping.  Degrade
+                    # to cache-only + in-process serial mapping — still
+                    # correct, just slower — instead of fork-thrashing.
+                    want_pool = False
+                    jobs = 1
+                    with self._lock:
+                        self.breaker_serial += 1
+                    obs.event("service_breaker_serial", circuit=net.name)
+            if want_pool:
                 pooled = self.pool.acquire()
             try:
                 result = flow(
@@ -291,9 +533,20 @@ class MappingService:
                 )
                 dirty = self._poisons_pool(request, result.details)
             finally:
-                if self.pool is not None and (pooled is not None or jobs > 1):
+                if want_pool:
                     self.pool.release(dirty=dirty)
+            if breaker_engaged:
+                if dirty:
+                    if self.breaker.record_failure():
+                        obs.event(
+                            "service_breaker_open",
+                            failures=self.breaker.consecutive_failures,
+                        )
+                elif self.breaker.record_success():
+                    obs.event("service_breaker_close")
             elapsed = time.perf_counter() - start
+        finally:
+            self._slots.release()
 
         cache = result.details.get("cache") or {}
         with self._lock:
@@ -303,6 +556,9 @@ class MappingService:
             self.cache_hits += int(cache.get("hits", 0))
             self.cache_misses += int(cache.get("misses", 0))
             self.cache_rejected += int(cache.get("rejected", 0))
+            self.cache_write_errors += int(
+                result.details.get("cache_write_errors") or 0
+            )
 
         for fragment in result.details.get("fragments") or []:
             yield {"type": "fragment", **fragment}
@@ -387,7 +643,23 @@ class _Handler(socketserver.StreamRequestHandler):
         service = daemon.service
         with service.track():
             try:
-                line = self.rfile.readline()
+                # Slow-loris defense: a client that dribbles (or never
+                # sends) its request line gets a typed timeout and the
+                # connection back, instead of pinning a handler thread
+                # for the daemon's lifetime.
+                line = self._read_request_line(daemon.request_timeout)
+            except socket.timeout:
+                service.request_timeouts += 1
+                service.errors += 1
+                self._emit(
+                    {
+                        "type": "error",
+                        "code": "timeout",
+                        "error": "no complete request line within "
+                        f"{daemon.request_timeout:g}s",
+                    }
+                )
+                return
             except OSError:
                 return
             if not line:
@@ -398,15 +670,77 @@ class _Handler(socketserver.StreamRequestHandler):
                     raise ValueError("request must be a JSON object")
             except (ValueError, UnicodeDecodeError) as exc:
                 service.errors += 1
-                self._emit({"type": "error", "error": f"bad request: {exc}"})
+                self._emit(
+                    {
+                        "type": "error",
+                        "code": "bad_request",
+                        "error": f"bad request: {exc}",
+                    }
+                )
+                return
+            chaos = request.get("chaos")
+            if chaos is not None and chaos not in _WIRE_CHAOS:
+                service.errors += 1
+                self._emit(
+                    {
+                        "type": "error",
+                        "code": "bad_request",
+                        "error": f"unknown chaos {chaos!r} "
+                        f"(supported: {list(_WIRE_CHAOS)})",
+                    }
+                )
                 return
             shutdown = False
             for record in service.process(request):
-                shutdown = shutdown or record.get("type") == "bye"
+                kind = record.get("type")
+                shutdown = shutdown or kind == "bye"
+                # Wire chaos (test machinery): misbehave on purpose so
+                # clients can prove they normalize torn streams.  The
+                # work itself already ran and is cached — a retry of the
+                # same request is nearly free, exactly the real-crash
+                # shape.
+                if chaos == "close_early":
+                    break
+                if chaos == "drop_before_result" and kind == "result":
+                    break
+                if chaos == "torn_result" and kind == "result":
+                    self._emit_torn(record)
+                    break
+                if chaos == "torn_fragment" and kind == "fragment":
+                    self._emit_torn(record)
+                    break
                 if not self._emit(record):
                     break
         if shutdown:
             daemon.request_stop()
+
+    def _read_request_line(self, timeout: Optional[float]) -> bytes:
+        """Read the request line under a *total* deadline.
+
+        A plain ``settimeout`` only bounds the idle gap between bytes —
+        the exact hole a slow-loris client exploits by dribbling one
+        byte per interval forever.  This loop recomputes the remaining
+        budget before every ``recv``, so the whole line must arrive
+        within ``timeout`` seconds no matter how it is paced.
+        """
+        if timeout is None:
+            return self.rfile.readline()
+        deadline = time.monotonic() + timeout
+        buf = bytearray()
+        conn = self.connection
+        while b"\n" not in buf:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise socket.timeout()
+            conn.settimeout(remaining)
+            try:
+                chunk = conn.recv(65536)
+            finally:
+                conn.settimeout(None)
+            if not chunk:  # EOF: return what we have (maybe nothing)
+                break
+            buf += chunk
+        return bytes(buf.split(b"\n", 1)[0] + b"\n") if buf else b""
 
     def _emit(self, record: Dict[str, object]) -> bool:
         try:
@@ -419,6 +753,15 @@ class _Handler(socketserver.StreamRequestHandler):
             # Client hung up mid-stream; the work is already cached, so
             # the next submission of the same circuit is nearly free.
             return False
+
+    def _emit_torn(self, record: Dict[str, object]) -> None:
+        """Write half a JSON line, then hang up (injected torn stream)."""
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        try:
+            self.wfile.write(data[: max(1, len(data) // 2)])
+            self.wfile.flush()
+        except OSError:
+            pass
 
 
 class _Server(socketserver.ThreadingTCPServer):
@@ -438,14 +781,31 @@ class MappingDaemon:
         max_concurrent: int = 4,
         info_path: Optional[str] = None,
         max_rows: Optional[int] = None,
+        max_queue: int = 16,
+        queue_timeout: float = 30.0,
+        request_timeout: Optional[float] = 30.0,
+        breaker_threshold: int = 3,
+        breaker_cooldown: float = 5.0,
     ):
         store_kwargs = {} if max_rows is None else {"max_rows": max_rows}
         self.store = ResultStore(store_path, **store_kwargs)
         self.pool = WarmPool(jobs) if jobs > 1 else None
+        breaker = (
+            CircuitBreaker(threshold=breaker_threshold, cooldown=breaker_cooldown)
+            if self.pool is not None
+            else None
+        )
         self.service = MappingService(
-            self.store, self.pool, jobs=jobs, max_concurrent=max_concurrent
+            self.store,
+            self.pool,
+            jobs=jobs,
+            max_concurrent=max_concurrent,
+            max_queue=max_queue,
+            queue_timeout=queue_timeout,
+            breaker=breaker,
         )
         self.info_path = info_path
+        self.request_timeout = request_timeout
         self._server = _Server((host, port), _Handler)
         self._server.daemon = self  # type: ignore[attr-defined]
         self._stop = threading.Event()
@@ -468,6 +828,7 @@ class MappingDaemon:
                 "host": self.host,
                 "port": self.port,
                 "pid": os.getpid(),
+                "started": round(self.service.started, 3),
                 "schema": self.store.schema,
             },
             sort_keys=True,

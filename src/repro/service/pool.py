@@ -36,12 +36,16 @@ peer's feet is not.
 
 from __future__ import annotations
 
+import logging
 import threading
+import time
 from typing import Optional
 
 from ..mapping.parallel import _make_pool
 
 __all__ = ["WarmPool"]
+
+logger = logging.getLogger("repro.service.pool")
 
 
 class WarmPool:
@@ -59,6 +63,7 @@ class WarmPool:
         self._closed = False
         #: Lifetime counters for the daemon's stats endpoint.
         self.recycles = 0
+        self.forced_recycles = 0
         self.creation_failures = 0
         self.last_failure: Optional[str] = None
 
@@ -118,12 +123,43 @@ class WarmPool:
             self.recycles += 1
         self._dirty = False
 
-    def recycle(self) -> None:
-        """Tear the pool down now (waits for in-flight requests)."""
+    def recycle(self, timeout: Optional[float] = 10.0) -> bool:
+        """Tear the pool down now.
+
+        Waits up to ``timeout`` seconds for in-flight checkouts to
+        drain; on expiry the recycle happens *anyway* — a leaked
+        refcount (a caller that never released) must degrade to a noisy
+        forced recycle, not wedge the daemon forever.  Returns True when
+        the recycle had to be forced.  ``timeout=None`` waits without
+        bound (the old behavior; only safe where leaks are impossible).
+        """
         with self._lock:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            forced = False
             while self._inflight > 0:
-                self._idle.wait(timeout=1.0)
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    forced = True
+                    self.forced_recycles += 1
+                    self.last_failure = (
+                        f"forced recycle with {self._inflight} leaked "
+                        "checkout(s)"
+                    )
+                    logger.warning(
+                        "WarmPool.recycle: %d checkout(s) still in flight "
+                        "after %.1fs — refcount leak; forcing recycle",
+                        self._inflight,
+                        timeout,
+                    )
+                    self._inflight = 0
+                    break
+                self._idle.wait(
+                    timeout=1.0 if remaining is None else min(1.0, remaining)
+                )
             self._recycle_locked()
+            return forced
 
     def close(self) -> None:
         """Shut the pool down for good (daemon teardown)."""
@@ -146,6 +182,7 @@ class WarmPool:
                 "alive": self._pool is not None,
                 "inflight": self._inflight,
                 "recycles": self.recycles,
+                "forced_recycles": self.forced_recycles,
                 "creation_failures": self.creation_failures,
                 "last_failure": self.last_failure,
             }

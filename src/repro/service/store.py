@@ -33,6 +33,17 @@ Three safety properties, in decreasing order of paranoia:
 
 The store is safe for multi-threaded use (one connection guarded by a
 lock, WAL journaling for concurrent readers from other processes).
+
+Failure posture: the store is a *cache*, so storage-layer trouble must
+degrade to recomputation, never to a failed request.  Cross-process
+write contention (two daemons sharing one file) is bounded by
+``busy_timeout`` plus a short retry loop on :meth:`put`; a read that
+still hits ``database is locked`` is reported as a miss; best-effort
+bookkeeping writes (:meth:`mark_verified`, :meth:`invalidate`) swallow
+lock errors and count them.  ``REPRO_STORE_CHAOS`` (or the ``chaos``
+ctor argument) injects ``sqlite3.OperationalError`` on a budget — e.g.
+``put_error:3`` makes the next three writes fail as a full disk would —
+which is how the chaos harness proves that posture.
 """
 
 from __future__ import annotations
@@ -99,6 +110,28 @@ def schema_version() -> str:
     return hashlib.sha256(canonical.encode()).hexdigest()[:12]
 
 
+def _parse_chaos(spec: Optional[str]) -> Dict[str, int]:
+    """Parse ``"put_error:2,get_error:1"`` into remaining-shot budgets."""
+    budgets: Dict[str, int] = {}
+    if not spec:
+        return budgets
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        op, _, count = part.partition(":")
+        try:
+            budgets[op.strip()] = int(count) if count else 1
+        except ValueError:
+            raise ValueError(f"bad store chaos spec entry: {part!r}") from None
+    return budgets
+
+
+def _is_lock_error(exc: sqlite3.OperationalError) -> bool:
+    text = str(exc).lower()
+    return "locked" in text or "busy" in text
+
+
 def _row_hash(key: str, schema: str, blif: str, info: str, seconds: float) -> str:
     body = json.dumps(
         [key, schema, blif, info, round(float(seconds), 6)],
@@ -118,21 +151,32 @@ class ResultStore:
         self,
         path: str,
         max_rows: int = DEFAULT_MAX_ROWS,
+        busy_timeout: float = 2.0,
+        put_retries: int = 2,
+        chaos: Optional[str] = None,
     ):
         self.path = os.fspath(path)
         self.max_rows = max_rows
+        self.busy_timeout = busy_timeout
+        self.put_retries = max(0, int(put_retries))
         self.schema = schema_version()
         # Session-local traffic counters (process lifetime, not persisted).
         self.lookups = 0
         self.hits = 0
         self.misses = 0
         self.rejected_rows = 0
+        self.op_errors = 0
+        self.lock_retries = 0
+        self.injected_faults = 0
+        self._chaos = _parse_chaos(
+            chaos if chaos is not None else os.environ.get("REPRO_STORE_CHAOS")
+        )
         self._lock = threading.Lock()
         directory = os.path.dirname(self.path)
         if directory and self.path != ":memory:":
             os.makedirs(directory, exist_ok=True)
         self._conn = sqlite3.connect(
-            self.path, check_same_thread=False, timeout=30.0
+            self.path, check_same_thread=False, timeout=busy_timeout
         )
         with self._lock:
             if self.path != ":memory:":
@@ -162,6 +206,21 @@ class ResultStore:
             )
             self._conn.commit()
 
+    def _maybe_inject(self, op: str) -> None:
+        """Burn one shot of the chaos budget for ``op``, if any remain.
+
+        Caller must hold ``self._lock``.  Raises the same
+        ``sqlite3.OperationalError`` a full disk or torn filesystem
+        would, so the injected failure exercises the real handlers.
+        """
+        remaining = self._chaos.get(op, 0)
+        if remaining > 0:
+            self._chaos[op] = remaining - 1
+            self.injected_faults += 1
+            raise sqlite3.OperationalError(
+                f"injected {op} failure (disk I/O error)"
+            )
+
     # ----------------------------------------------------------------- #
     # Read path
     # ----------------------------------------------------------------- #
@@ -172,56 +231,63 @@ class ResultStore:
         Only rows stamped with the *current* schema version are served;
         rows whose integrity hash does not check out are deleted on the
         spot and reported as misses.  A served row's ``hits`` /
-        ``last_used`` bookkeeping is updated (LRU order).
+        ``last_used`` bookkeeping is updated (LRU order).  A read that
+        loses a cross-process lock fight (``database is locked``) is a
+        miss, not an exception — the caller recomputes.
         """
         now = time.time()
         with self._lock:
             self.lookups += 1
-            row = self._conn.execute(
-                "SELECT schema, blif, info, seconds, verified, h "
-                "FROM results WHERE key = ?",
-                (key,),
-            ).fetchone()
-            if row is None:
-                self.misses += 1
-                return None
-            schema, blif, info_json, seconds, verified, h = row
-            if schema != self.schema:
-                # Stale key universe: miss (prune_stale reclaims later).
-                self.misses += 1
-                return None
-            if _row_hash(key, schema, blif, info_json, seconds) != h:
-                self._conn.execute(
-                    "DELETE FROM results WHERE key = ?", (key,)
-                )
-                self._conn.commit()
-                self.rejected_rows += 1
-                self.misses += 1
-                return None
             try:
-                info = json.loads(info_json)
-            except json.JSONDecodeError:
-                self._conn.execute(
-                    "DELETE FROM results WHERE key = ?", (key,)
-                )
-                self._conn.commit()
-                self.rejected_rows += 1
+                return self._get_locked(key, now)
+            except sqlite3.OperationalError:
+                self.op_errors += 1
                 self.misses += 1
                 return None
-            self._conn.execute(
-                "UPDATE results SET hits = hits + 1, last_used = ? "
-                "WHERE key = ?",
-                (now, key),
-            )
+
+    def _get_locked(self, key: str, now: float) -> Optional[Dict[str, object]]:
+        self._maybe_inject("get_error")
+        row = self._conn.execute(
+            "SELECT schema, blif, info, seconds, verified, h "
+            "FROM results WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        schema, blif, info_json, seconds, verified, h = row
+        if schema != self.schema:
+            # Stale key universe: miss (prune_stale reclaims later).
+            self.misses += 1
+            return None
+        if _row_hash(key, schema, blif, info_json, seconds) != h:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
             self._conn.commit()
-            self.hits += 1
-            return {
-                "key": key,
-                "blif": blif,
-                "info": info,
-                "seconds": seconds,
-                "verified": bool(verified),
-            }
+            self.rejected_rows += 1
+            self.misses += 1
+            return None
+        try:
+            info = json.loads(info_json)
+        except json.JSONDecodeError:
+            self._conn.execute("DELETE FROM results WHERE key = ?", (key,))
+            self._conn.commit()
+            self.rejected_rows += 1
+            self.misses += 1
+            return None
+        self._conn.execute(
+            "UPDATE results SET hits = hits + 1, last_used = ? "
+            "WHERE key = ?",
+            (now, key),
+        )
+        self._conn.commit()
+        self.hits += 1
+        return {
+            "key": key,
+            "blif": blif,
+            "info": info,
+            "seconds": seconds,
+            "verified": bool(verified),
+        }
 
     # ----------------------------------------------------------------- #
     # Write path
@@ -235,7 +301,15 @@ class ResultStore:
         seconds: float = 0.0,
         verified: bool = False,
     ) -> None:
-        """Insert or replace the fragment for ``key`` (current schema)."""
+        """Insert or replace the fragment for ``key`` (current schema).
+
+        Lock contention from a concurrent writer (another daemon on the
+        same store file) is retried ``put_retries`` times on top of
+        SQLite's own ``busy_timeout`` wait; a loss after that — or a
+        genuine storage failure (disk full) — raises
+        ``sqlite3.OperationalError`` for the caller to treat as a
+        skipped cache write.
+        """
         info_json = json.dumps(
             info or {}, sort_keys=True, separators=(",", ":"), default=repr
         )
@@ -243,36 +317,70 @@ class ResultStore:
         now = time.time()
         h = _row_hash(key, self.schema, blif_text, info_json, seconds)
         with self._lock:
-            self._conn.execute(
-                "INSERT OR REPLACE INTO results "
-                "(key, schema, blif, info, seconds, verified, hits, "
-                " created, last_used, h) "
-                "VALUES (?, ?, ?, ?, ?, ?, 0, ?, ?, ?)",
-                (
-                    key, self.schema, blif_text, info_json, seconds,
-                    1 if verified else 0, now, now, h,
-                ),
-            )
-            self._conn.commit()
-            self._evict_locked()
+            for attempt in range(self.put_retries + 1):
+                try:
+                    self._maybe_inject("put_error")
+                    self._conn.execute(
+                        "INSERT OR REPLACE INTO results "
+                        "(key, schema, blif, info, seconds, verified, hits, "
+                        " created, last_used, h) "
+                        "VALUES (?, ?, ?, ?, ?, ?, 0, ?, ?, ?)",
+                        (
+                            key, self.schema, blif_text, info_json, seconds,
+                            1 if verified else 0, now, now, h,
+                        ),
+                    )
+                    self._conn.commit()
+                    self._evict_locked()
+                    return
+                except sqlite3.OperationalError as exc:
+                    # Roll back a half-open transaction before retrying
+                    # or handing the error up — never leave the
+                    # connection wedged mid-transaction.
+                    try:
+                        self._conn.rollback()
+                    except sqlite3.Error:
+                        pass
+                    if (
+                        not _is_lock_error(exc)
+                        or attempt >= self.put_retries
+                    ):
+                        self.op_errors += 1
+                        raise
+                    self.lock_retries += 1
+                    time.sleep(0.05 * (attempt + 1))
 
     def mark_verified(self, key: str) -> None:
-        """Stamp a row as having passed full reply validation."""
+        """Stamp a row as having passed full reply validation.
+
+        Best-effort: losing a lock fight here only means the row stays
+        ``verified=0`` and pays one more revalidation on its next reuse.
+        """
         with self._lock:
-            self._conn.execute(
-                "UPDATE results SET verified = 1 WHERE key = ?", (key,)
-            )
-            self._conn.commit()
+            try:
+                self._conn.execute(
+                    "UPDATE results SET verified = 1 WHERE key = ?", (key,)
+                )
+                self._conn.commit()
+            except sqlite3.OperationalError:
+                self.op_errors += 1
 
     def invalidate(self, key: str) -> None:
-        """Delete one row (failed revalidation: recompute and overwrite)."""
+        """Delete one row (failed revalidation: recompute and overwrite).
+
+        Best-effort under lock contention: a row that survives an
+        invalidation attempt still fails revalidation on its next read.
+        """
         with self._lock:
-            cur = self._conn.execute(
-                "DELETE FROM results WHERE key = ?", (key,)
-            )
-            self._conn.commit()
-            if cur.rowcount:
-                self.rejected_rows += cur.rowcount
+            try:
+                cur = self._conn.execute(
+                    "DELETE FROM results WHERE key = ?", (key,)
+                )
+                self._conn.commit()
+                if cur.rowcount:
+                    self.rejected_rows += cur.rowcount
+            except sqlite3.OperationalError:
+                self.op_errors += 1
 
     # ----------------------------------------------------------------- #
     # Maintenance
@@ -373,6 +481,9 @@ class ResultStore:
                 "hits": self.hits,
                 "misses": self.misses,
                 "rejected_rows": self.rejected_rows,
+                "op_errors": self.op_errors,
+                "lock_retries": self.lock_retries,
+                "injected_faults": self.injected_faults,
             },
         }
 

@@ -1,0 +1,121 @@
+"""Self-healing daemon: a watchdog that restarts crashed servers.
+
+``repro serve --supervise`` runs the actual daemon as a child process
+and watches its exit code:
+
+* **0** (client ``shutdown`` op) and **75** (``EX_TEMPFAIL``, a signal
+  drain) are deliberate exits — the supervisor passes them through and
+  stops.
+* Anything else is a crash (SIGKILL, SIGSEGV, an unhandled exception)
+  and the child is restarted with **crash-loop backoff**: the restart
+  delay doubles while the child keeps dying young (lived less than
+  ``healthy_seconds``) and resets to ``backoff_base`` once a child
+  survives that long.  ``max_restarts`` bounds the loop.
+
+The child re-publishes its ``--info`` discovery file on every start, so
+clients built via ``ServiceClient.from_info`` follow the daemon across
+restarts (their retry loop re-reads the file on connect failures).
+Completed work lives in the SQLite store, which survives the child —
+a restarted daemon resumes with a warm cache, which is what makes
+client-side resubmission after a crash nearly free.
+
+SIGTERM/SIGINT to the supervisor forwards to the child and waits for
+its drain, so process managers see one well-behaved unit.
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+from .daemon import EXIT_DRAINED
+
+__all__ = ["run_supervised", "build_child_argv"]
+
+
+def run_supervised(
+    child_argv: Sequence[str],
+    backoff_base: float = 0.5,
+    backoff_cap: float = 30.0,
+    healthy_seconds: float = 5.0,
+    max_restarts: Optional[int] = None,
+    quiet: bool = False,
+    env: Optional[Dict[str, str]] = None,
+) -> int:
+    """Run ``child_argv`` under the watchdog; returns the final exit code.
+
+    Must be called from the main thread (installs SIGTERM/SIGINT
+    forwarding).  ``max_restarts=None`` restarts forever.
+    """
+    state: Dict[str, object] = {"proc": None, "signaled": False}
+
+    def _forward(signum, frame):  # pragma: no cover - signal path
+        state["signaled"] = True
+        proc = state["proc"]
+        if proc is not None and proc.poll() is None:
+            try:
+                proc.send_signal(signal.SIGTERM)
+            except OSError:
+                pass
+
+    previous = {
+        sig: signal.signal(sig, _forward)
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    restarts = 0
+    delay = backoff_base
+    try:
+        while True:
+            started = time.monotonic()
+            proc = subprocess.Popen(list(child_argv), env=env)
+            state["proc"] = proc
+            code = proc.wait()
+            state["proc"] = None
+            lived = time.monotonic() - started
+            if state["signaled"]:
+                # Operator stop: the child drained; report its code.
+                return code
+            if code in (0, EXIT_DRAINED):
+                # Deliberate exit (dismissed or drained) — not a crash.
+                return code
+            restarts += 1
+            if max_restarts is not None and restarts > max_restarts:
+                if not quiet:
+                    print(
+                        f"supervisor: child exited {code} and the restart "
+                        f"budget ({max_restarts}) is spent; giving up",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                return code
+            if lived >= healthy_seconds:
+                delay = backoff_base
+            if not quiet:
+                print(
+                    f"supervisor: child exited {code} after {lived:.1f}s; "
+                    f"restart {restarts}"
+                    + (f"/{max_restarts}" if max_restarts is not None else "")
+                    + f" in {delay:.1f}s",
+                    file=sys.stderr,
+                    flush=True,
+                )
+            # Interruptible backoff sleep: a SIGTERM during the pause
+            # must stop the loop, not spawn one more child.
+            end = time.monotonic() + delay
+            while time.monotonic() < end and not state["signaled"]:
+                time.sleep(0.05)
+            if state["signaled"]:
+                return code
+            if lived < healthy_seconds:
+                delay = min(backoff_cap, delay * 2)
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+
+
+def build_child_argv(serve_args: List[str]) -> List[str]:
+    """The exec line for a supervised daemon child."""
+    return [sys.executable, "-m", "repro.cli", "serve", *serve_args]

@@ -9,6 +9,14 @@ actually carries an injection spec.
 """
 
 from .faults import FAULT_KINDS, FaultPlan, FaultSpec, InjectedFault
+from .service_chaos import (
+    ChaosJournal,
+    hold_store_lock,
+    kill_process,
+    read_info,
+    slow_loris,
+    wait_for_info,
+)
 from .shrink import save_repro, shrink_network
 
 __all__ = [
@@ -16,6 +24,12 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
+    "ChaosJournal",
+    "hold_store_lock",
+    "kill_process",
+    "read_info",
+    "slow_loris",
+    "wait_for_info",
     "shrink_network",
     "save_repro",
 ]

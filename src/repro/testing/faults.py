@@ -28,6 +28,13 @@ carries across the process boundary:
 Faults fire on the first ``times`` attempts of a task and then stop, so
 bounded retries deterministically recover from transient kinds while
 persistent kinds (``times`` large) push the ladder all the way down.
+
+These are *worker*-level faults.  Their service-layer siblings — daemon
+kills, torn socket writes, slow-loris clients, SQLite lock contention,
+injected disk failures — live in :mod:`repro.testing.service_chaos`
+(plus the daemon's request-level ``chaos`` field and the store's
+``REPRO_STORE_CHAOS`` budgets), and are scripted end to end by
+``tools/chaos_smoke.py``.
 """
 
 from __future__ import annotations

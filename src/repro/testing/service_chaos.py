@@ -1,0 +1,189 @@
+"""Service-layer fault injection for the chaos harness.
+
+:mod:`repro.testing.faults` injects faults *inside workers* (crash,
+hang, oversized BDDs, corrupted replies).  This module injects them at
+the layers PR 7 added around the workers — the socket, the SQLite
+store, the daemon process — so ``tools/chaos_smoke.py`` can script a
+schedule of real service-level failures:
+
+* :func:`slow_loris` — a client that connects and dribbles (or
+  withholds) its request bytes, the classic handler-thread-pinning
+  attack the daemon's ``request_timeout`` must bound.
+* :func:`hold_store_lock` — takes SQLite's write lock on a store file
+  (``BEGIN IMMEDIATE``) and sits on it, forcing ``database is locked``
+  pressure on a live daemon's cache writes.
+* :func:`kill_process` — SIGKILL a daemon mid-stream (pid from its
+  ``--info`` file); with ``--supervise`` this is the
+  crash-and-self-heal drill.
+* :class:`ChaosJournal` — an append-only JSONL log of everything the
+  harness did and observed; uploaded by CI on failure so a red chaos
+  run is diagnosable from the artifact alone.
+
+Wire-level torn writes and worker faults are *daemon-side* injections:
+request fields ``chaos`` (``torn_result``, ``torn_fragment``,
+``drop_before_result``, ``close_early``) and ``faults``
+(``FaultPlan.parse`` specs); store-side disk faults are the
+``REPRO_STORE_CHAOS`` budgets (``put_error:N,get_error:N``).  This
+module is the client-side half.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sqlite3
+import threading
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "ChaosJournal",
+    "slow_loris",
+    "hold_store_lock",
+    "kill_process",
+    "read_info",
+    "wait_for_info",
+]
+
+
+class ChaosJournal:
+    """Append-only JSONL event log for a chaos run (thread-safe)."""
+
+    def __init__(self, path: str):
+        self.path = os.fspath(path)
+        self._lock = threading.Lock()
+        self._start = time.monotonic()
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        # Truncate: one journal per run.
+        with open(self.path, "w", encoding="utf-8"):
+            pass
+
+    def log(self, kind: str, **fields) -> None:
+        record = {
+            "t": round(time.monotonic() - self._start, 4),
+            "kind": kind,
+            **fields,
+        }
+        line = json.dumps(record, sort_keys=True, default=repr)
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+
+
+def slow_loris(
+    host: str,
+    port: int,
+    duration: float = 5.0,
+    interval: float = 0.25,
+    payload: bytes = b'{"op": "ping"',
+) -> str:
+    """Dribble a never-finished request line at the daemon.
+
+    Sends one byte of ``payload`` (which deliberately has no trailing
+    newline) every ``interval`` seconds for up to ``duration`` seconds.
+    Returns what ended the attack: ``"closed"`` (the daemon hung up —
+    its ``request_timeout`` worked), ``"refused"`` (nothing listening),
+    or ``"survived"`` (the connection was still open at the end — the
+    daemon has no slow-loris defense).
+    """
+    try:
+        sock = socket.create_connection((host, port), timeout=5.0)
+    except OSError:
+        return "refused"
+    deadline = time.monotonic() + duration
+    i = 0
+    try:
+        with sock:
+            sock.settimeout(interval)
+            while time.monotonic() < deadline:
+                try:
+                    sock.sendall(payload[i % len(payload) : i % len(payload) + 1])
+                    i += 1
+                except OSError:
+                    return "closed"
+                # A closed peer shows up as readable EOF, not always as
+                # a send error (the first send after FIN succeeds).
+                try:
+                    if sock.recv(4096) == b"":
+                        return "closed"
+                except socket.timeout:
+                    pass
+                except OSError:
+                    return "closed"
+        return "survived"
+    except OSError:
+        return "closed"
+
+
+def hold_store_lock(
+    path: str,
+    seconds: float,
+    acquired: Optional[threading.Event] = None,
+) -> bool:
+    """Hold SQLite's write lock on ``path`` for ``seconds``.
+
+    ``BEGIN IMMEDIATE`` takes the writer lock immediately (WAL readers
+    are unaffected — exactly the contention shape of a second daemon on
+    the same store).  ``acquired`` is set once the lock is held, so the
+    caller can sequence traffic against it.  Returns False if the lock
+    could not be taken (someone else holds it).
+    """
+    try:
+        conn = sqlite3.connect(path, timeout=1.0)
+    except sqlite3.Error:
+        return False
+    try:
+        try:
+            conn.execute("BEGIN IMMEDIATE")
+        except sqlite3.OperationalError:
+            return False
+        if acquired is not None:
+            acquired.set()
+        time.sleep(seconds)
+        conn.rollback()
+        return True
+    finally:
+        conn.close()
+
+
+def kill_process(pid: int, sig: int = signal.SIGKILL) -> bool:
+    """Deliver ``sig`` to ``pid``; False if the process is already gone."""
+    try:
+        os.kill(pid, sig)
+        return True
+    except ProcessLookupError:
+        return False
+
+
+def read_info(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def wait_for_info(
+    path: str,
+    timeout: float = 30.0,
+    not_pid: Optional[int] = None,
+) -> Dict[str, object]:
+    """Wait for a daemon discovery file (optionally a *new* daemon).
+
+    ``not_pid`` waits until the published pid differs — the way the
+    harness waits out a supervisor restart after killing a child.
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            info = read_info(path)
+            if not_pid is None or info.get("pid") != not_pid:
+                return info
+        except (OSError, ValueError):
+            pass
+        time.sleep(0.05)
+    raise TimeoutError(
+        f"no {'fresh ' if not_pid is not None else ''}daemon info at {path} "
+        f"within {timeout:g}s"
+    )

@@ -39,6 +39,7 @@ from repro.service import (
     schema_version,
 )
 from repro.service.store import _row_hash
+from repro.testing import hold_store_lock
 
 MISEX1 = to_blif(build("misex1"))
 RD73 = to_blif(build("rd73"))
@@ -301,6 +302,64 @@ def test_eviction_keeps_most_recent_rows(tmp_path):
         assert store.get("b" * 32) is None  # LRU victim
         assert store.get("a" * 32) is not None
         assert store.get("c" * 32) is not None
+
+
+def test_concurrent_writers_racing_same_key_under_lock_pressure(tmp_path):
+    """Independent store connections hammering ``put`` on one key.
+
+    This is the service-layer race: several daemon requests (or a
+    daemon plus a CLI run) land the same content-addressed fragment at
+    once while a third connection holds SQLite's write lock.  Every
+    writer must come out clean — ``put`` either retries through the
+    ``database is locked`` window or counts the failure — and the row
+    that survives must be intact and servable.
+    """
+    path = str(tmp_path / "race.db")
+    key = "d" * 32
+    blif = ".model race\n.end\n"
+    # Tiny busy_timeout so lock contention actually surfaces as
+    # OperationalError instead of being absorbed by sqlite's own wait.
+    stores = [
+        ResultStore(path, busy_timeout=0.005, put_retries=8)
+        for _ in range(3)
+    ]
+    acquired = threading.Event()
+    locker = threading.Thread(
+        target=hold_store_lock, args=(path, 0.6, acquired)
+    )
+    locker.start()
+    assert acquired.wait(timeout=10.0), "lock holder never got the lock"
+
+    failures = []
+
+    def _hammer(store):
+        for _ in range(20):
+            try:
+                store.put(key, blif)
+            except sqlite3.OperationalError as exc:
+                # Allowed only if the store *counted* it (budget spent);
+                # a silent raw escape is the bug under test.
+                failures.append(exc)
+
+    threads = [
+        threading.Thread(target=_hammer, args=(s,)) for s in stores
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    locker.join(timeout=10)
+
+    assert not failures, f"put leaked raw lock errors: {failures}"
+    retried = sum(s.lock_retries for s in stores)
+    assert retried >= 1, "no writer ever saw the held write lock"
+    # Whoever won, the row must be whole: correct bytes, clean hash.
+    for store in stores:
+        row = store.get(key)
+        assert row is not None and row["blif"] == blif
+    assert stores[0].validate() == []
+    for store in stores:
+        store.close()
 
 
 # --------------------------------------------------------------------- #

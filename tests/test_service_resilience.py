@@ -1,0 +1,608 @@
+"""Resilience battery for the hardened mapping service.
+
+Deterministic unit and integration coverage for the machinery the chaos
+smoke (``tools/chaos_smoke.py``) exercises end to end: the typed error
+taxonomy and deterministic-jitter backoff, torn-stream detection against
+a misbehaving fake server, stale discovery files, client- and
+server-side deadlines, bounded admission / load shedding, the warm-pool
+circuit breaker (unit, with a fake clock, and integrated, against a real
+fork pool), forced pool recycles, pipelined batch submission, store
+fault budgets, and the ``--supervise`` crash-loop restart path.
+
+The fake-server tests speak raw sockets on purpose: the bug class under
+test is "daemon died mid-line", which only exists below the JSON layer.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import sqlite3
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.circuits import build
+from repro.mapping import hyde_map
+from repro.network import parse_blif, to_blif
+from repro.service import (
+    CircuitBreaker,
+    MappingDaemon,
+    MappingService,
+    RETRYABLE_CODES,
+    ResultStore,
+    ServiceClient,
+    ServiceError,
+    WarmPool,
+)
+from repro.testing import read_info, wait_for_info
+
+MISEX1 = to_blif(build("misex1"))
+RD73 = to_blif(build("rd73"))
+
+
+# --------------------------------------------------------------------- #
+# Harness
+# --------------------------------------------------------------------- #
+
+
+class _DaemonThread:
+    def __init__(self, tmp_path, jobs: int = 1, **kwargs):
+        self.daemon = MappingDaemon(
+            str(tmp_path / "cache.db"), jobs=jobs, **kwargs
+        )
+        self.thread = threading.Thread(
+            target=self.daemon.serve, kwargs={"quiet": True}, daemon=True
+        )
+        self.thread.start()
+        self.client = ServiceClient(
+            self.daemon.host, self.daemon.port, timeout=120.0
+        )
+
+    def stop(self) -> None:
+        try:
+            self.client.shutdown()
+        except (ServiceError, OSError):
+            pass
+        self.thread.join(timeout=30)
+        assert not self.thread.is_alive(), "daemon failed to stop"
+
+
+class _FakeServer:
+    """A one-shot TCP server that misbehaves in a scripted way.
+
+    ``script(conn)`` receives the accepted connection after the request
+    line has been read; whatever it writes (or fails to write) is what
+    the client sees.
+    """
+
+    def __init__(self, script):
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(4)
+        self.port = self.sock.getsockname()[1]
+        self.script = script
+        self.thread = threading.Thread(target=self._serve, daemon=True)
+        self.thread.start()
+
+    def _serve(self):
+        try:
+            while True:
+                conn, _ = self.sock.accept()
+                with conn:
+                    reader = conn.makefile("rb")
+                    reader.readline()  # consume the request
+                    self.script(conn)
+                    # The makefile dup keeps the FD alive past close();
+                    # shut down explicitly so the client sees a real FIN.
+                    reader.close()
+                    try:
+                        conn.shutdown(socket.SHUT_RDWR)
+                    except OSError:
+                        pass
+        except OSError:
+            pass  # listener closed: done
+
+    def close(self):
+        try:
+            self.sock.close()
+        finally:
+            self.thread.join(timeout=5)
+
+
+# --------------------------------------------------------------------- #
+# Error taxonomy and backoff
+# --------------------------------------------------------------------- #
+
+
+def test_error_codes_imply_retryability():
+    assert ServiceError("x", code="busy").retryable
+    assert ServiceError("x", code="torn_stream").retryable
+    assert ServiceError("x", code="unavailable").retryable
+    assert ServiceError("x", code="draining").retryable
+    assert not ServiceError("x", code="bad_request").retryable
+    assert not ServiceError("x", code="deadline").retryable
+    assert not ServiceError("x", code="internal").retryable
+    # Explicit override beats the code table.
+    assert not ServiceError("x", code="busy", retryable=False).retryable
+    assert RETRYABLE_CODES <= set(
+        ("busy", "draining", "unavailable", "torn_stream")
+    )
+
+
+def test_backoff_is_deterministic_bounded_and_decorrelated():
+    a = [ServiceClient.backoff_delay(i, token="tok-a") for i in range(6)]
+    b = [ServiceClient.backoff_delay(i, token="tok-a") for i in range(6)]
+    assert a == b, "same token+attempt must sleep identically"
+    other = [ServiceClient.backoff_delay(i, token="tok-b") for i in range(6)]
+    assert a != other, "distinct tokens must decorrelate"
+    for i, delay in enumerate(a):
+        raw = min(2.0, 0.05 * 2**i)
+        assert 0.5 * raw <= delay <= raw, f"attempt {i} outside jitter band"
+    # A larger server hint wins; a smaller one does not shrink the delay.
+    assert ServiceClient.backoff_delay(0, retry_after=5.0) == 5.0
+    small = ServiceClient.backoff_delay(4, token="t", retry_after=0.001)
+    assert small >= 0.5 * min(2.0, 0.05 * 2**4)
+
+
+# --------------------------------------------------------------------- #
+# Torn streams and dead endpoints (fake servers, raw sockets)
+# --------------------------------------------------------------------- #
+
+
+def test_half_written_json_line_is_typed_torn_stream():
+    torn = b'{"type": "result", "ok": true, "luts'  # no newline, no close
+
+    def script(conn):
+        conn.sendall(torn)
+
+    server = _FakeServer(script)
+    try:
+        client = ServiceClient("127.0.0.1", server.port, timeout=10.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_blif(MISEX1)
+        assert excinfo.value.code == "torn_stream"
+        assert excinfo.value.retryable
+        assert "JSONDecodeError" not in str(excinfo.value)
+    finally:
+        server.close()
+
+
+def test_connection_closed_before_any_record_is_torn_stream():
+    server = _FakeServer(lambda conn: None)  # read request, say nothing
+    try:
+        client = ServiceClient("127.0.0.1", server.port, timeout=10.0)
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_blif(RD73)
+        assert excinfo.value.code == "torn_stream"
+        assert excinfo.value.retryable
+    finally:
+        server.close()
+
+
+def test_nothing_listening_is_typed_unavailable():
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()  # the port is now free: connections will be refused
+    client = ServiceClient("127.0.0.1", port, timeout=2.0)
+    with pytest.raises(ServiceError) as excinfo:
+        client.ping()
+    assert excinfo.value.code == "unavailable"
+    assert excinfo.value.retryable
+
+
+def test_stale_info_file_names_the_dead_daemon(tmp_path):
+    # A real pid that is certainly dead: a finished child of ours.
+    child = subprocess.Popen([sys.executable, "-c", "pass"])
+    child.wait()
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    port = probe.getsockname()[1]
+    probe.close()
+    info = tmp_path / "svc.json"
+    info.write_text(
+        json.dumps(
+            {"host": "127.0.0.1", "port": port, "pid": child.pid,
+             "started": 0.0}
+        )
+    )
+    with pytest.raises(ServiceError) as excinfo:
+        ServiceClient.from_info(str(info))
+    err = excinfo.value
+    assert err.code == "unavailable"
+    assert str(child.pid) in str(err), "diagnosis must name the dead pid"
+    assert "stale" in str(err).lower() or "gone" in str(err).lower()
+
+
+# --------------------------------------------------------------------- #
+# Deadlines
+# --------------------------------------------------------------------- #
+
+
+def test_client_deadline_bounds_the_retry_loop():
+    def script(conn):  # permanently torn server: every attempt fails
+        conn.sendall(b'{"type": "resu')
+
+    server = _FakeServer(script)
+    try:
+        client = ServiceClient("127.0.0.1", server.port, timeout=10.0)
+        start = time.monotonic()
+        with pytest.raises(ServiceError) as excinfo:
+            client.submit_with_retry(MISEX1, retries=50, deadline=0.6)
+        elapsed = time.monotonic() - start
+        # Exhausting the deadline is terminal, not retryable, and the
+        # loop must not sleep meaningfully past the deadline.
+        assert excinfo.value.code in ("deadline", "torn_stream")
+        assert not (
+            excinfo.value.code == "deadline" and excinfo.value.retryable
+        )
+        assert elapsed < 5.0
+    finally:
+        server.close()
+
+
+def test_server_deadline_rejects_after_queue_and_delay(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_DELAY", "0.3")
+    harness = _DaemonThread(tmp_path, jobs=1)
+    try:
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.submit_blif(MISEX1, deadline_seconds=0.1)
+        assert excinfo.value.code == "deadline"
+        assert not excinfo.value.retryable
+        assert harness.client.stats()["resilience"]["deadline_rejects"] == 1
+        # A sane deadline still completes.
+        ok = harness.client.submit_blif(MISEX1, deadline_seconds=60.0)
+        assert ok["luts"] == hyde_map(parse_blif(MISEX1), 5).lut_count
+    finally:
+        harness.stop()
+
+
+# --------------------------------------------------------------------- #
+# Bounded admission / load shedding
+# --------------------------------------------------------------------- #
+
+
+def test_full_admission_queue_sheds_with_retry_after(tmp_path):
+    with ResultStore(str(tmp_path / "s.db")) as store:
+        service = MappingService(
+            store, jobs=1, max_concurrent=1, max_queue=0
+        )
+        # Occupy the only slot so the next map must shed immediately.
+        assert service._slots.acquire(blocking=False)
+        records = list(
+            service.process({"op": "map", "blif": MISEX1})
+        )
+        assert len(records) == 1
+        shed = records[0]
+        assert shed["type"] == "error"
+        assert shed["code"] == "busy"
+        assert shed["retry_after"] > 0
+        assert service.sheds == 1
+        service._slots.release()
+        # With the slot free the same request succeeds.
+        records = list(service.process({"op": "map", "blif": MISEX1}))
+        assert records[-1]["type"] == "result"
+        assert records[-1]["ok"] is True
+        stats = service.stats()
+        assert stats["resilience"]["sheds"] == 1
+        assert stats["queue"]["max_queue"] == 0
+
+
+def test_shed_burst_recovers_with_retries(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_DELAY", "0.2")
+    harness = _DaemonThread(
+        tmp_path, jobs=1, max_concurrent=1, max_queue=1, queue_timeout=0.2
+    )
+    try:
+        outcomes = []
+
+        def _submit(i):
+            try:
+                r = harness.client.submit_with_retry(
+                    MISEX1, retries=15, deadline=60.0
+                )
+                outcomes.append(("ok", r["luts"]))
+            except ServiceError as exc:
+                outcomes.append((exc.code, None))
+
+        threads = [
+            threading.Thread(target=_submit, args=(i,)) for i in range(5)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        assert all(o[0] == "ok" for o in outcomes), outcomes
+        assert len({o[1] for o in outcomes}) == 1
+        stats = harness.client.stats()
+        assert stats["resilience"]["sheds"] >= 1, (
+            "burst never actually overflowed the queue"
+        )
+    finally:
+        harness.stop()
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker
+# --------------------------------------------------------------------- #
+
+
+def test_breaker_state_machine_with_fake_clock():
+    now = {"t": 0.0}
+    breaker = CircuitBreaker(
+        threshold=2, cooldown=10.0, clock=lambda: now["t"]
+    )
+    assert breaker.allow_pool()
+    assert not breaker.record_failure()  # 1 of 2
+    assert breaker.record_failure()  # trips
+    assert breaker.state == CircuitBreaker.OPEN
+    assert not breaker.allow_pool(), "open must refuse the pool"
+    now["t"] = 9.9
+    assert not breaker.allow_pool(), "cooldown not elapsed yet"
+    now["t"] = 10.0
+    assert breaker.allow_pool(), "first post-cooldown request is the probe"
+    assert breaker.state == CircuitBreaker.HALF_OPEN
+    assert not breaker.allow_pool(), "only one probe at a time"
+    # Failed probe: straight back to open, cooldown restarted.
+    assert breaker.record_failure()
+    assert breaker.state == CircuitBreaker.OPEN
+    now["t"] = 15.0
+    assert not breaker.allow_pool()
+    now["t"] = 20.0
+    assert breaker.allow_pool()
+    assert breaker.record_success(), "clean probe must report recovery"
+    assert breaker.state == CircuitBreaker.CLOSED
+    snap = breaker.snapshot()
+    assert snap["trips"] == 2
+    assert snap["recoveries"] == 1
+    assert snap["probes"] == 2
+    # A lone failure after recovery does not re-trip below threshold.
+    assert not breaker.record_failure()
+    assert breaker.state == CircuitBreaker.CLOSED
+
+
+def test_breaker_trips_on_crash_loop_then_probe_heals(tmp_path):
+    harness = _DaemonThread(
+        tmp_path, jobs=2, breaker_threshold=2, breaker_cooldown=0.5
+    )
+    try:
+        for _ in range(2):
+            hurt = harness.client.submit_blif(MISEX1, faults="crash@0")
+            assert hurt["ok"] is True  # ladder still recovers the answer
+        health = harness.client.health()
+        assert health["breaker"]["state"] == "open"
+        assert health["status"] == "degraded"
+        # While open: cache-only serial fallback, still correct.
+        clean = harness.client.submit_blif(RD73, jobs=2)
+        assert clean["luts"] == hyde_map(parse_blif(RD73), 5).lut_count
+        assert clean["jobs_used"] == 1
+        assert harness.client.stats()["resilience"]["breaker_serial"] >= 1
+        time.sleep(0.6)  # past the cooldown: next request probes the pool
+        probe = harness.client.submit_blif(RD73, jobs=2)
+        assert probe["ok"] is True
+        health = harness.client.health()
+        assert health["breaker"]["state"] == "closed"
+        assert health["breaker"]["recoveries"] >= 1
+        assert health["status"] == "ok"
+    finally:
+        harness.stop()
+
+
+# --------------------------------------------------------------------- #
+# Pool hygiene under leaks
+# --------------------------------------------------------------------- #
+
+
+def test_recycle_bounded_wait_forces_through_a_leak():
+    pool = WarmPool(workers=2)
+    try:
+        first = pool.acquire()
+        if first is None:
+            pytest.skip("no fork pool on this platform")
+        pool.acquire()
+        pool.release()  # one of the two checkouts never comes back
+        pool.mark_dirty()
+        start = time.monotonic()
+        forced = pool.recycle(timeout=0.3)
+        waited = time.monotonic() - start
+        assert forced is True, "leaked refcount must not block forever"
+        assert 0.25 <= waited < 5.0
+        assert pool.forced_recycles == 1
+        assert pool.stats()["forced_recycles"] == 1
+        # The pool is usable again after the forced recycle.
+        fresh = pool.acquire()
+        assert fresh is not None and fresh is not first
+        pool.release()
+        # And an idle pool recycles promptly without force.
+        pool.mark_dirty()
+        assert pool.recycle(timeout=5.0) is False
+        assert pool.forced_recycles == 1
+    finally:
+        pool.close()
+
+
+# --------------------------------------------------------------------- #
+# Batch submission
+# --------------------------------------------------------------------- #
+
+
+def test_submit_batch_sweep_and_warm_pass_hit_rate(tmp_path):
+    harness = _DaemonThread(tmp_path, jobs=1, max_concurrent=4)
+    try:
+        texts = [MISEX1, RD73, to_blif(build("5xp1"))] * 2
+        results, summary = harness.client.submit_batch(
+            texts, max_in_flight=3, retries=4, deadline=120.0
+        )
+        assert summary["items"] == 6
+        assert summary["ok"] == 6 and summary["failed"] == 0
+        assert [r["index"] for r in results] == list(range(6))
+        for i, entry in enumerate(results):
+            assert entry["ok"], entry
+            assert entry["result"]["blif"] == results[i % 3]["result"]["blif"]
+        warm, warm_summary = harness.client.submit_batch(
+            texts, max_in_flight=3, retries=4, deadline=120.0
+        )
+        assert warm_summary["ok"] == 6
+        assert warm_summary["cache_hit_rate"] == 1.0
+        assert warm_summary["cache_misses"] == 0
+        for cold, hot in zip(results, warm):
+            assert hot["result"]["blif"] == cold["result"]["blif"]
+        assert harness.client.counters["batch_items"] == 12
+    finally:
+        harness.stop()
+
+
+def test_submit_batch_collects_failures_without_aborting(tmp_path):
+    harness = _DaemonThread(tmp_path, jobs=1)
+    try:
+        texts = [MISEX1, "not blif at all", RD73]
+        results, summary = harness.client.submit_batch(
+            texts, max_in_flight=2, retries=1
+        )
+        assert summary["ok"] == 2 and summary["failed"] == 1
+        bad = results[1]
+        assert bad["ok"] is False
+        assert bad["code"] == "bad_request"
+        assert results[0]["ok"] and results[2]["ok"]
+        assert harness.client.counters["batch_failures"] == 1
+    finally:
+        harness.stop()
+
+
+# --------------------------------------------------------------------- #
+# Store fault budgets
+# --------------------------------------------------------------------- #
+
+
+def test_store_chaos_budget_spends_then_heals(tmp_path):
+    path = str(tmp_path / "s.db")
+    with ResultStore(path, chaos="put_error:2") as store:
+        for _ in range(2):
+            with pytest.raises(sqlite3.OperationalError, match="injected"):
+                store.put("e" * 32, ".model m\n.end\n")
+        assert store.injected_faults == 2
+        assert store.op_errors == 2
+        # Budget spent: the same write now lands and serves.
+        store.put("e" * 32, ".model m\n.end\n")
+        assert store.get("e" * 32)["blif"] == ".model m\n.end\n"
+        session = store.stats()["session"]
+        assert session["injected_faults"] == 2
+        assert session["op_errors"] == 2
+
+
+def test_get_failure_degrades_to_miss_not_crash(tmp_path):
+    path = str(tmp_path / "s.db")
+    with ResultStore(path) as store:
+        store.put("f" * 32, ".model m\n.end\n")
+    with ResultStore(path, chaos="get_error:1") as store:
+        assert store.get("f" * 32) is None  # injected failure -> miss
+        assert store.op_errors == 1
+        hit = store.get("f" * 32)  # budget spent: served again
+        assert hit is not None and hit["blif"] == ".model m\n.end\n"
+
+
+# --------------------------------------------------------------------- #
+# Health and counters surface
+# --------------------------------------------------------------------- #
+
+
+def test_health_op_reports_queue_breaker_and_store(tmp_path):
+    harness = _DaemonThread(tmp_path, jobs=1, max_queue=7)
+    try:
+        health = harness.client.health()
+        assert health["ok"] is True
+        assert health["status"] == "ok"
+        assert health["pid"] == os.getpid()
+        assert health["uptime_seconds"] >= 0
+        assert health["queue"]["max_queue"] == 7
+        # active counts in-flight connections — the health request itself.
+        assert health["queue"]["active"] == 1
+        assert health["breaker"] is None  # jobs=1: no pool, no breaker
+        stats = harness.client.stats()
+        for counter in (
+            "sheds", "deadline_rejects", "request_timeouts",
+            "cache_write_errors", "breaker_serial",
+        ):
+            assert counter in stats["resilience"]
+    finally:
+        harness.stop()
+
+
+# --------------------------------------------------------------------- #
+# Supervision (real subprocesses: restarts and exit codes)
+# --------------------------------------------------------------------- #
+
+
+def _supervised_argv(store, info, *extra):
+    return [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--store", str(store), "--info", str(info),
+        "--jobs", "1", "--quiet", "--supervise", *extra,
+    ]
+
+
+def _subprocess_env(**overrides):
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    env.update(overrides)
+    return env
+
+
+def test_supervisor_restarts_killed_child_and_client_follows(tmp_path):
+    info = tmp_path / "svc.json"
+    proc = subprocess.Popen(
+        _supervised_argv(tmp_path / "cache.db", info, "--max-restarts", "3"),
+        env=_subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        first = wait_for_info(str(info), timeout=30.0)
+        client = ServiceClient.from_info(str(info), timeout=60.0)
+        assert client.submit_blif(MISEX1)["ok"] is True
+        # Murder the serving child; the supervisor (proc) must replace it.
+        os.kill(first["pid"], signal.SIGKILL)
+        second = wait_for_info(str(info), timeout=30.0, not_pid=first["pid"])
+        assert second["pid"] != first["pid"]
+        assert proc.poll() is None, "supervisor must outlive the child"
+        # The old client follows the restart via the discovery file.
+        result = client.submit_with_retry(MISEX1, retries=8, deadline=60.0)
+        assert result["ok"] is True
+        assert client.counters["refreshes"] >= 0  # endpoint may be reused
+        # Clean dismissal passes through the supervisor: exit 0.
+        client.refresh_endpoint()
+        client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+def test_supervised_info_file_carries_pid_and_start_time(tmp_path):
+    info = tmp_path / "svc.json"
+    proc = subprocess.Popen(
+        _supervised_argv(tmp_path / "cache.db", info),
+        env=_subprocess_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+    )
+    try:
+        payload = wait_for_info(str(info), timeout=30.0)
+        assert payload["pid"] != proc.pid, "info must name the child, not the supervisor"
+        assert payload["started"] > 0
+        assert read_info(str(info)) == payload
+        client = ServiceClient.from_info(str(info), timeout=60.0)
+        client.shutdown()
+        assert proc.wait(timeout=30) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()

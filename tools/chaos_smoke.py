@@ -1,0 +1,562 @@
+"""Chaos smoke gate: concurrent clients against a deliberately faulted
+mapping service.
+
+The scripted (pinned) fault schedule, in three acts:
+
+**Act I — overload and wire faults** (tiny daemon: 1 slot, queue of 2,
+1s request timeout, every map stalled 0.2s by ``REPRO_SERVICE_DELAY``):
+
+1. *Baseline*: 4 concurrent retrying clients, two circuits; every
+   result must match a direct in-process ``hyde_map``.
+2. *Load shedding*: 6 concurrent no-retry submissions; some must be
+   shed with a typed ``busy`` error carrying ``retry_after``; with
+   retries enabled the same burst must fully succeed.
+3. *Torn writes*: ``chaos=torn_result`` / ``torn_fragment`` /
+   ``drop_before_result`` must surface as typed retryable
+   ``torn_stream`` errors — never raw JSON decode errors — and a
+   retry must return the byte-identical cached result.
+4. *Slow-loris*: 3 dribbling connections are cut by the request
+   timeout while a legitimate request completes unharmed.
+5. *Store lock contention*: a foreign writer holds SQLite's write lock
+   while a fresh circuit maps; the request must finish correctly with
+   bounded latency (lock trouble degrades to cache misses / skipped
+   writes, never failure).
+
+**Act II — crash recovery and sweeps** (supervised daemon: fork pool,
+breaker threshold 2, 0.4s delay):
+
+6. *Daemon kill mid-stream*: SIGKILL the serving child while a request
+   is in flight; the client sees typed retryable errors, the
+   supervisor restarts the daemon (fresh pid in the info file), and
+   the client's retry loop follows it to a correct result.
+7. *Pool crash-loop → breaker*: two fault-injected requests trip the
+   circuit breaker open (health reports degraded); a clean request
+   still maps correctly via serial fallback; after the cooldown a
+   probe closes the breaker again.
+8. *Batch sweep*: 50 seeded fuzz circuits through ``submit_batch``
+   (pipelined, retrying); every result matches a local reference map,
+   and a second pass must be ≥99% cache hits and byte-identical.
+
+**Act III — disk faults** (fresh daemon, ``REPRO_STORE_CHAOS``):
+
+9. *Disk-full writes*: the first N store writes fail; results stay
+   correct, the failures are counted, and once the fault budget is
+   spent the cache heals (later pass all-hits, byte-identical).
+
+Global invariants checked throughout: zero wrong or non-equivalent
+results, every failure is a typed retryable ``ServiceError``, and
+every daemon exits cleanly when dismissed.  Every action and
+observation lands in a JSONL chaos journal (``--journal``), which CI
+uploads on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.circuits import build  # noqa: E402
+from repro.mapping import hyde_map  # noqa: E402
+from repro.network import to_blif  # noqa: E402
+from repro.service import ServiceClient, ServiceError  # noqa: E402
+from repro.testing import (  # noqa: E402
+    ChaosJournal,
+    hold_store_lock,
+    kill_process,
+    slow_loris,
+    wait_for_info,
+)
+from repro.verify.generators import random_network  # noqa: E402
+
+FAILURES = []
+JOURNAL = None
+
+
+def check(cond: bool, message: str, **detail) -> bool:
+    JOURNAL.log("check", ok=bool(cond), message=message, **detail)
+    status = "ok" if cond else "FAIL"
+    print(f"  [{status}] {message}")
+    if not cond:
+        FAILURES.append(message)
+    return bool(cond)
+
+
+def phase(name: str) -> None:
+    JOURNAL.log("phase", name=name)
+    print(f"\n== {name} ==")
+
+
+def service_env(**extra: str) -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src")
+        + os.pathsep
+        + env.get("PYTHONPATH", "")
+    )
+    env.update(extra)
+    return env
+
+
+def start_daemon(workdir: str, name: str, serve_args, env=None):
+    info_path = os.path.join(workdir, f"{name}.json")
+    store_path = os.path.join(workdir, f"{name}.db")
+    argv = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--store", store_path, "--info", info_path, *serve_args,
+    ]
+    proc = subprocess.Popen(
+        argv,
+        env=env or service_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+    )
+    JOURNAL.log("daemon_start", name=name, argv=argv)
+    try:
+        info = wait_for_info(info_path, timeout=30.0)
+    except TimeoutError:
+        proc.kill()
+        out, _ = proc.communicate(timeout=10)
+        print(out.decode(errors="replace"), file=sys.stderr)
+        raise
+    JOURNAL.log("daemon_up", name=name, info=info)
+    return proc, info_path, store_path
+
+
+def finish_daemon(proc, client, name: str, expect_code: int = 0) -> None:
+    try:
+        client.shutdown()
+    except ServiceError as exc:
+        JOURNAL.log("shutdown_error", name=name, error=str(exc))
+    code = proc.wait(timeout=30)
+    check(
+        code == expect_code,
+        f"{name}: clean exit {expect_code} on dismissal (got {code})",
+    )
+    out, _ = proc.communicate(timeout=10)
+    JOURNAL.log(
+        "daemon_exit", name=name, code=code,
+        output=out.decode(errors="replace")[-4000:],
+    )
+
+
+def timed_submit(client, blif, label, **kwargs):
+    """Submit with retries; returns (result|None, error|None, seconds)."""
+    start = time.monotonic()
+    try:
+        result = client.submit_with_retry(blif, **kwargs)
+        err = None
+    except ServiceError as exc:
+        result, err = None, exc
+    elapsed = time.monotonic() - start
+    JOURNAL.log(
+        "submit", label=label, ok=result is not None,
+        seconds=round(elapsed, 3),
+        code=err.code if err else None,
+        attempts=result.get("client_attempts") if result else None,
+    )
+    return result, err, elapsed
+
+
+# --------------------------------------------------------------------- #
+# Act I
+# --------------------------------------------------------------------- #
+
+def act_one(workdir: str) -> None:
+    env = service_env(REPRO_SERVICE_DELAY="0.2")
+    proc, info_path, store_path = start_daemon(
+        workdir, "act1",
+        ["--jobs", "1", "--max-concurrent", "1", "--max-queue", "2",
+         "--queue-timeout", "2", "--request-timeout", "1", "--quiet"],
+        env=env,
+    )
+    client = ServiceClient.from_info(info_path, timeout=60.0)
+    circuits = {"misex1": to_blif(build("misex1")),
+                "rd73": to_blif(build("rd73"))}
+    expected = {
+        name: hyde_map(build(name), verify="bdd").lut_count
+        for name in circuits
+    }
+
+    phase("1. baseline: concurrent retrying clients")
+    results = {}
+
+    def _baseline(worker: int) -> None:
+        for name, blif in circuits.items():
+            r, e, secs = timed_submit(
+                client, blif, f"baseline-{worker}-{name}",
+                retries=10, deadline=60.0,
+            )
+            results[(worker, name)] = (r, e, secs)
+
+    threads = [
+        threading.Thread(target=_baseline, args=(w,)) for w in range(4)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for (worker, name), (r, e, secs) in sorted(results.items()):
+        check(
+            r is not None and r["luts"] == expected[name],
+            f"baseline worker {worker} {name}: correct LUTs under "
+            f"contention (got {r['luts'] if r else e}, {secs:.1f}s)",
+        )
+        check(secs < 60.0, f"baseline worker {worker} {name}: bounded latency")
+
+    phase("2. load shedding: burst past queue capacity")
+    outcomes = []
+
+    def _no_retry(i: int) -> None:
+        try:
+            r = client.submit_blif(circuits["misex1"])
+            outcomes.append(("ok", r["luts"]))
+        except ServiceError as exc:
+            outcomes.append((exc.code, exc.retry_after))
+
+    threads = [threading.Thread(target=_no_retry, args=(i,)) for i in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    JOURNAL.log("shed_burst", outcomes=outcomes)
+    sheds = [o for o in outcomes if o[0] == "busy"]
+    oks = [o for o in outcomes if o[0] == "ok"]
+    check(len(sheds) >= 1, f"burst of 6 vs capacity 3: at least one shed "
+          f"({len(sheds)} busy, {len(oks)} served)")
+    check(
+        all(o[0] in ("ok", "busy") for o in outcomes),
+        "burst errors are all typed 'busy' (no raw/other failures)",
+    )
+    check(
+        all(o[1] is not None for o in sheds),
+        "every shed carries a retry_after hint",
+    )
+    check(
+        all(o[1] == expected["misex1"] for o in oks),
+        "every served burst result is correct",
+    )
+    retry_outcomes = []
+
+    def _with_retry(i: int) -> None:
+        r, e, _ = timed_submit(
+            client, circuits["misex1"], f"shed-retry-{i}",
+            retries=10, deadline=60.0,
+        )
+        retry_outcomes.append(r["luts"] if r else e.code)
+
+    threads = [
+        threading.Thread(target=_with_retry, args=(i,)) for i in range(6)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    check(
+        retry_outcomes == [expected["misex1"]] * 6,
+        f"same burst with retries: all 6 succeed ({retry_outcomes})",
+    )
+
+    phase("3. torn writes surface as typed retryable torn_stream")
+    reference, _, _ = timed_submit(client, circuits["misex1"], "torn-ref",
+                                   retries=10, deadline=60.0)
+    for chaos in ("torn_result", "torn_fragment", "drop_before_result"):
+        try:
+            client.submit_with_retry(
+                circuits["misex1"], retries=0, chaos=chaos
+            )
+            check(False, f"{chaos}: expected a ServiceError")
+        except ServiceError as exc:
+            check(
+                exc.code == "torn_stream" and exc.retryable,
+                f"{chaos}: typed retryable torn_stream (got {exc.code})",
+            )
+    healed, err, _ = timed_submit(client, circuits["misex1"], "torn-heal",
+                                  retries=10, deadline=60.0)
+    check(
+        healed is not None and healed["blif"] == reference["blif"],
+        "post-torn retry returns the byte-identical cached result",
+    )
+
+    phase("4. slow-loris connections are cut; real traffic unharmed")
+    loris_results = []
+    threads = [
+        threading.Thread(
+            target=lambda: loris_results.append(
+                slow_loris(client.host, client.port, duration=4.0)
+            )
+        )
+        for _ in range(3)
+    ]
+    for t in threads:
+        t.start()
+    r, e, secs = timed_submit(client, circuits["rd73"], "during-loris",
+                              retries=10, deadline=60.0)
+    for t in threads:
+        t.join()
+    JOURNAL.log("loris", results=loris_results)
+    check(
+        r is not None and r["luts"] == expected["rd73"],
+        "legit request completed correctly during slow-loris attack",
+    )
+    check(
+        all(res == "closed" for res in loris_results),
+        f"all loris connections cut by request timeout ({loris_results})",
+    )
+    stats = client.stats()
+    check(
+        stats["resilience"]["request_timeouts"] >= 3,
+        "daemon counted the request timeouts "
+        f"({stats['resilience']['request_timeouts']})",
+    )
+
+    phase("5. SQLite write-lock contention degrades, never fails")
+    fresh = to_blif(build("5xp1"))
+    expected_5xp1 = hyde_map(build("5xp1"), verify="bdd").lut_count
+    acquired = threading.Event()
+    locker = threading.Thread(
+        target=hold_store_lock, args=(store_path, 2.5, acquired)
+    )
+    locker.start()
+    acquired.wait(timeout=5.0)
+    r, e, secs = timed_submit(client, fresh, "under-store-lock",
+                              retries=10, deadline=60.0)
+    locker.join()
+    check(
+        r is not None and r["luts"] == expected_5xp1,
+        f"mapping under store lock is correct "
+        f"(got {r['luts'] if r else e})",
+    )
+    check(secs < 30.0, f"store-lock latency bounded ({secs:.1f}s)")
+    stats = client.stats()
+    session = stats["store"]["session"]
+    check(
+        session["lock_retries"] + session["op_errors"] >= 1,
+        f"store saw and survived the contention "
+        f"(lock_retries={session['lock_retries']}, "
+        f"op_errors={session['op_errors']})",
+    )
+
+    finish_daemon(proc, client, "act1")
+
+
+# --------------------------------------------------------------------- #
+# Act II
+# --------------------------------------------------------------------- #
+
+def act_two(workdir: str) -> None:
+    env = service_env(REPRO_SERVICE_DELAY="0.4")
+    proc, info_path, store_path = start_daemon(
+        workdir, "act2",
+        ["--jobs", "2", "--max-concurrent", "3", "--max-queue", "8",
+         "--breaker-threshold", "2", "--breaker-cooldown", "1.5",
+         "--request-timeout", "5", "--supervise", "--max-restarts", "5",
+         "--quiet"],
+        env=env,
+    )
+    client = ServiceClient.from_info(info_path, timeout=60.0)
+    misex2 = to_blif(build("misex2"))
+    expected_misex2 = hyde_map(build("misex2"), verify="bdd").lut_count
+
+    phase("6. SIGKILL mid-stream; supervisor restarts; client follows")
+    old_pid = client.expected_pid
+    holder = {}
+
+    def _victim() -> None:
+        holder["r"], holder["e"], holder["secs"] = timed_submit(
+            client, misex2, "kill-victim", retries=12, deadline=90.0
+        )
+
+    victim = threading.Thread(target=_victim)
+    victim.start()
+    time.sleep(0.2)  # inside the 0.4s admission delay: mid-request
+    JOURNAL.log("kill", pid=old_pid)
+    check(kill_process(old_pid), f"killed serving child pid {old_pid}")
+    info = wait_for_info(info_path, timeout=45.0, not_pid=old_pid)
+    check(
+        info["pid"] != old_pid,
+        f"supervisor restarted the daemon (pid {old_pid} -> {info['pid']})",
+    )
+    victim.join(timeout=120)
+    r = holder.get("r")
+    check(
+        r is not None and r["luts"] == expected_misex2,
+        "killed-mid-stream request recovered to a correct result "
+        f"(got {r['luts'] if r else holder.get('e')})",
+    )
+    check(
+        r is not None and r.get("client_attempts", 1) >= 2,
+        "recovery actually took retries "
+        f"({r.get('client_attempts') if r else None} attempt(s))",
+    )
+
+    phase("7. pool crash-loop trips breaker; serial fallback; probe heals")
+    rd73 = to_blif(build("rd73"))
+    expected_rd73 = hyde_map(build("rd73"), verify="bdd").lut_count
+    for i in range(2):
+        r, e, _ = timed_submit(
+            client, rd73, f"poison-{i}",
+            retries=8, deadline=60.0, jobs=2, faults="crash@0",
+        )
+        check(r is not None, f"fault-injected request {i} still answers")
+    health = client.health()
+    JOURNAL.log("health", snapshot=health)
+    check(
+        health["breaker"]["state"] == "open" and health["status"] == "degraded",
+        f"breaker tripped open after consecutive recycles "
+        f"(state={health['breaker']['state']})",
+    )
+    r, e, _ = timed_submit(client, rd73, "serial-under-open",
+                           retries=8, deadline=60.0, jobs=2)
+    check(
+        r is not None and r["luts"] == expected_rd73,
+        "cache-only serial fallback still maps correctly while open",
+    )
+    time.sleep(1.8)  # past the 1.5s cooldown: next request is the probe
+    r, e, _ = timed_submit(client, rd73, "probe",
+                           retries=8, deadline=60.0, jobs=2)
+    check(r is not None, "probe request answered")
+    health = client.health()
+    check(
+        health["breaker"]["state"] == "closed"
+        and health["breaker"]["recoveries"] >= 1,
+        f"breaker closed after clean probe "
+        f"(state={health['breaker']['state']}, "
+        f"recoveries={health['breaker']['recoveries']})",
+    )
+
+    phase("8. 50-circuit pipelined batch sweep; warm pass >=99% hits")
+    nets = [random_network(seed) for seed in range(50)]
+    texts = [to_blif(net) for net in nets]
+    expected_luts = [
+        hyde_map(net, verify="bdd").lut_count for net in nets
+    ]
+    first, summary1 = client.submit_batch(
+        texts, max_in_flight=4, retries=8, deadline=120.0
+    )
+    JOURNAL.log("batch", pass_=1, summary=summary1)
+    check(
+        summary1["ok"] == 50,
+        f"cold batch: all 50 succeed ({summary1['ok']} ok, "
+        f"{summary1['failed']} failed)",
+    )
+    wrong = [
+        i for i, entry in enumerate(first)
+        if entry["ok"] and entry["result"]["luts"] != expected_luts[i]
+    ]
+    check(
+        not wrong,
+        f"cold batch: every result matches the local reference map "
+        f"(mismatches: {wrong})",
+    )
+    second, summary2 = client.submit_batch(
+        texts, max_in_flight=4, retries=8, deadline=120.0
+    )
+    JOURNAL.log("batch", pass_=2, summary=summary2)
+    check(
+        summary2["ok"] == 50,
+        f"warm batch: all 50 succeed ({summary2['ok']} ok)",
+    )
+    check(
+        (summary2["cache_hit_rate"] or 0.0) >= 0.99,
+        f"warm batch cache hit rate >= 99% "
+        f"(got {summary2['cache_hit_rate']})",
+    )
+    different = [
+        i for i in range(50)
+        if first[i]["ok"] and second[i]["ok"]
+        and first[i]["result"]["blif"] != second[i]["result"]["blif"]
+    ]
+    check(
+        not different,
+        f"warm batch byte-identical to cold batch (diffs: {different})",
+    )
+
+    finish_daemon(proc, client, "act2")
+
+
+# --------------------------------------------------------------------- #
+# Act III
+# --------------------------------------------------------------------- #
+
+def act_three(workdir: str) -> None:
+    env = service_env(REPRO_STORE_CHAOS="put_error:2")
+    proc, info_path, store_path = start_daemon(
+        workdir, "act3", ["--jobs", "1", "--quiet"], env=env
+    )
+    client = ServiceClient.from_info(info_path, timeout=60.0)
+    blif = to_blif(build("misex1"))
+    expected = hyde_map(build("misex1"), verify="bdd").lut_count
+
+    phase("9. disk-full store writes: correct results, healed cache")
+    first, e, _ = timed_submit(client, blif, "diskfull-1", retries=4)
+    check(
+        first is not None and first["luts"] == expected,
+        "result correct while every store write fails",
+    )
+    stats = client.stats()
+    check(
+        stats["resilience"]["cache_write_errors"] >= 1
+        and stats["store"]["session"]["injected_faults"] >= 1,
+        f"write failures counted, not hidden "
+        f"(cache_write_errors="
+        f"{stats['resilience']['cache_write_errors']})",
+    )
+    second, e, _ = timed_submit(client, blif, "diskfull-2", retries=4)
+    check(
+        second is not None and second["cache"]["hits"] == 0,
+        "failed writes mean the repeat run misses (nothing stored)",
+    )
+    third, e, _ = timed_submit(client, blif, "diskfull-3", retries=4)
+    check(
+        third is not None
+        and third["cache"]["misses"] == 0
+        and third["blif"] == second["blif"],
+        "after the fault budget: cache healed, all hits, byte-identical",
+    )
+
+    finish_daemon(proc, client, "act3")
+
+
+def main() -> int:
+    global JOURNAL
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--journal", default="chaos_journal.jsonl",
+        help="JSONL chaos journal path (CI uploads this on failure)",
+    )
+    args = parser.parse_args()
+    JOURNAL = ChaosJournal(args.journal)
+    workdir = tempfile.mkdtemp(prefix="repro_chaos_smoke_")
+    JOURNAL.log("start", workdir=workdir)
+    start = time.monotonic()
+    try:
+        act_one(workdir)
+        act_two(workdir)
+        act_three(workdir)
+    except Exception as exc:  # noqa: BLE001 — journal it, then fail loud
+        JOURNAL.log("harness_error", error=f"{type(exc).__name__}: {exc}")
+        raise
+    elapsed = time.monotonic() - start
+    JOURNAL.log("done", failures=len(FAILURES), seconds=round(elapsed, 1))
+    print(
+        f"\nchaos smoke: {'OK' if not FAILURES else 'FAIL'} "
+        f"({elapsed:.1f}s, journal: {args.journal})"
+    )
+    if FAILURES:
+        print(f"{len(FAILURES)} failed check(s):", file=sys.stderr)
+        for message in FAILURES:
+            print(f"  - {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
