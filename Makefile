@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full trace-smoke resume-smoke service-smoke chaos-smoke portfolio-smoke examples tables clean
+.PHONY: install test test-fast verify-fuzz bench bench-smoke bench-regression bench-full bench-gap trace-smoke resume-smoke service-smoke chaos-smoke portfolio-smoke exact-smoke exact-npn-sweep examples tables clean
 
 install:
 	$(PYTHON) setup.py develop
@@ -74,6 +74,23 @@ chaos-smoke:
 # its scoreboard, and exercise the --portfolio/--cost CLI wiring.
 portfolio-smoke:
 	PYTHONPATH=src $(PYTHON) tools/portfolio_smoke.py
+
+# Exact-oracle gate: optimality-gap scoring on two tiny circuits (every
+# cone proven, gap >= 1.0, witnesses BDD-verified) plus the `repro
+# exact` CLI round-trip with a cache hit on re-run.
+exact-smoke:
+	PYTHONPATH=src $(PYTHON) tools/exact_gap_smoke.py
+
+# Nightly depth: the same gate plus an exhaustive sweep of all 222
+# 4-input NPN classes; writes the proven gap table for CI to upload.
+exact-npn-sweep:
+	PYTHONPATH=src $(PYTHON) tools/exact_gap_smoke.py \
+		--npn-sweep npn_gap_table.json
+
+# Optimality-gap benchmark over the MCNC small tier: merges per-circuit
+# exact_gap columns into BENCH_hyde.json.
+bench-gap:
+	PYTHONPATH=src $(PYTHON) benchmarks/bench_optimality_gap.py
 
 examples:
 	for f in examples/*.py; do echo "== $$f"; PYTHONPATH=src $(PYTHON) $$f || exit 1; done

@@ -289,6 +289,21 @@ def run_suite(
 def write_record(record: Dict[str, object]) -> None:
     from repro.runstate import atomic_write
 
+    # The record is a trajectory, not a report: a partial run (--smoke,
+    # a hand-picked --circuits list) must not erase committed numbers
+    # it did not remeasure.  Carry forward whole circuits this run
+    # skipped, and per-circuit columns owned by other benches (the
+    # optimality-gap scorer's exact_gap family).
+    if BENCH_FILE.exists():
+        try:
+            previous = json.loads(BENCH_FILE.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        circuits = record.setdefault("circuits", {})
+        for name, old in previous.get("circuits", {}).items():
+            entry = circuits.setdefault(name, {})
+            for key, value in old.items():
+                entry.setdefault(key, value)
     # Atomic: a crash mid-dump must not clobber the previous trajectory.
     with atomic_write(BENCH_FILE) as handle:
         handle.write(json.dumps(record, indent=2) + "\n")

@@ -168,7 +168,11 @@ def _print_portfolio(result: MapResult) -> None:
     """Show which strategy won each group of a portfolio run."""
     for entry in result.details.get("portfolio") or []:
         board = ", ".join(
+            # A dropped advisory candidate (the exact rung past its
+            # budget) is a bare string, not a {luts, depth} dict.
             f"{name}={c['luts']}/{c['depth']}"
+            if isinstance(c, dict)
+            else f"{name}={c}"
             for name, c in sorted(entry["candidates"].items())
         )
         print(
@@ -509,6 +513,106 @@ def _cmd_journal(args: argparse.Namespace) -> int:
         for problem in problems:
             print(f"  {problem}")
     return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    """Exact k-LUT mapping of every output cone of a small BLIF.
+
+    Each cone is flattened to its truth table and handed to the
+    :mod:`repro.exact` oracle; the answer per output is a *proven*
+    minimum LUT count (and, under ``--cost delay``, the minimum depth at
+    that count).  Cones wider than the oracle's input cap, or whose
+    search exhausts ``--budget-seconds``, are reported as such — the
+    command never prints an unproven number as exact.
+    """
+    from .exact import ExactBudgetExceeded, ExactCache, cone_spec, exact_map
+    from .mapping.parallel import _splice_witness
+    from .network import Network, check_equivalence
+
+    net = read_blif(args.path)
+    trace_path: Optional[str] = getattr(args, "trace", None)
+    recorder = obs.TraceRecorder() if trace_path else None
+    cache = ExactCache(args.cache) if args.cache else None
+    witness = Network(f"{net.name}_exact")
+    for pi in net.inputs:
+        witness.add_input(pi)
+    rows = []
+    unproven = 0
+    wall_start = time.time()
+    try:
+        with obs.installed(recorder):
+            with obs.span("flow:exact", circuit=net.name, k=args.k):
+                for out in net.output_names:
+                    try:
+                        spec, support = cone_spec(net, out)
+                    except ValueError as exc:
+                        rows.append([out, "-", "-", "-", "-", str(exc)])
+                        unproven += 1
+                        continue
+                    try:
+                        with obs.span(
+                            "exact_cone", output=out, n=spec.num_inputs
+                        ):
+                            res = exact_map(
+                                spec,
+                                args.k,
+                                cost=args.cost,
+                                budget_seconds=args.budget_seconds,
+                                cache=cache,
+                                input_names=support,
+                                output_name=out,
+                                name=f"{net.name}_exact",
+                            )
+                    except ExactBudgetExceeded as exc:
+                        rows.append(
+                            [out, spec.num_inputs, "-", "-", "-", str(exc)]
+                        )
+                        unproven += 1
+                        continue
+                    _splice_witness(witness, res.network, out)
+                    rows.append(
+                        [
+                            out,
+                            spec.num_inputs,
+                            res.luts,
+                            res.depth,
+                            res.source + (" (cache)" if res.cache_hit else ""),
+                            f"{res.seconds:.3f}s",
+                        ]
+                    )
+    finally:
+        if cache is not None:
+            stats = cache.stats()
+            cache.close()
+            print(
+                f"  [exact cache: {stats['rows']} row(s), "
+                f"{stats['hits']} hit(s), {stats['misses']} miss(es)]"
+            )
+    print(render_table(
+        f"exact mapping {net.name} (k={args.k}, cost={args.cost})",
+        ["output", "n", "LUTs", "depth", "source", "detail"],
+        rows,
+    ))
+    if recorder is not None:
+        _write_trace_file(
+            trace_path, recorder, [], "exact", net.name, args.k, 1,
+            time.time() - wall_start,
+        )
+    if args.output:
+        if unproven:
+            print(
+                f"not writing {args.output}: {unproven} cone(s) have no "
+                "exact witness"
+            )
+            return 1
+        bad = check_equivalence(net, witness)
+        if bad is not None:
+            raise RuntimeError(
+                f"exact witness differs from the spec on output {bad!r}"
+            )
+        write_blif(witness, args.output)
+        print(f"wrote {args.output} (verified equivalent)")
+    return 1 if unproven else 0
 
 
 def _cmd_map(args: argparse.Namespace) -> int:
@@ -912,6 +1016,31 @@ def main(argv=None) -> int:
         p.add_argument("-o", "--output", help="write mapped BLIF here")
 
     p = sub.add_parser(
+        "exact",
+        help="exact (provably minimal) k-LUT mapping of a small BLIF's "
+        "output cones — the optimality oracle",
+    )
+    p.add_argument("path", help="BLIF file; every output cone must have "
+                   "at most 10 inputs to be scored")
+    p.add_argument("-k", type=int, default=5, help="LUT input count")
+    p.add_argument("--cost", default="area", choices=["area", "delay"],
+                   help="'area': minimum LUT count; 'delay': minimum "
+                   "depth at that LUT count")
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   metavar="SECONDS",
+                   help="wall-clock budget per cone (default 5); an "
+                   "exhausted search reports 'budget exceeded', never "
+                   "an unproven number")
+    p.add_argument("--cache", default=None, metavar="FILE",
+                   help="NPN-canonical SQLite result memo (created on "
+                   "first use; shared across runs)")
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="write a JSONL span trace of the run here")
+    p.add_argument("-o", "--output",
+                   help="write the spliced exact witness BLIF here "
+                   "(verified equivalent first)")
+
+    p = sub.add_parser(
         "stats", help="run a flow and print its perf-counter report"
     )
     p.add_argument("circuit", choices=sorted(CIRCUITS))
@@ -1098,6 +1227,8 @@ def main(argv=None) -> int:
         return _cmd_map(args)
     if args.command == "blif":
         return _cmd_blif(args)
+    if args.command == "exact":
+        return _cmd_exact(args)
     if args.command == "stats":
         return _cmd_stats(args)
     if args.command == "trace":

@@ -89,6 +89,12 @@ class DecompositionOptions:
         default — byte-for-byte identical to pre-cost-model flows),
         ``"delay"`` (logic levels first) or ``"weighted[:AW,DW]"``.
         See :mod:`repro.decompose.cost`.
+    exact_budget_seconds:
+        Wall-clock budget for one :func:`repro.exact.exact_map` search
+        when the ``"exact"`` portfolio strategy races (``None`` uses
+        :data:`repro.exact.DEFAULT_BUDGET_SECONDS`; the governed flow
+        additionally clamps it to ``max_seconds``).  Only the exact rung
+        reads it — heuristic paths are byte-for-byte unaffected.
     """
 
     k: int = 5
@@ -104,6 +110,7 @@ class DecompositionOptions:
     max_bdd_nodes: Optional[int] = None
     max_seconds: Optional[float] = None
     cost_model: str = "area"
+    exact_budget_seconds: Optional[float] = None
 
     @property
     def cost(self) -> CostModel:

@@ -1,0 +1,30 @@
+"""Exact k-LUT mapping for small cones — the optimality oracle.
+
+See :mod:`repro.exact.mapper` for the search and
+:mod:`repro.exact.cache` for the NPN-canonical memo.
+"""
+
+from .cache import EXACT_SCHEMA_VERSION, ExactCache
+from .mapper import (
+    DEFAULT_BUDGET_SECONDS,
+    DEFAULT_MAX_LUTS,
+    EXACT_MAX_INPUTS,
+    ExactBudgetExceeded,
+    ExactResult,
+    cone_spec,
+    exact_map,
+    exact_map_network,
+)
+
+__all__ = [
+    "DEFAULT_BUDGET_SECONDS",
+    "DEFAULT_MAX_LUTS",
+    "EXACT_MAX_INPUTS",
+    "EXACT_SCHEMA_VERSION",
+    "ExactBudgetExceeded",
+    "ExactCache",
+    "ExactResult",
+    "cone_spec",
+    "exact_map",
+    "exact_map_network",
+]

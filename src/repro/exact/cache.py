@@ -1,0 +1,170 @@
+"""NPN-canonical memo for exact mapping results.
+
+A deliberately small sibling of :class:`repro.service.ResultStore`,
+sharing its trust idioms: schema-version stamping (a bumped
+:data:`EXACT_SCHEMA_VERSION` silently invalidates every old row),
+per-row integrity hashes (a corrupt payload is deleted and treated as
+a miss, never served), LRU accounting with bounded eviction, and
+lock-retried writes (the cache is an accelerator — a write that loses
+a race must never fail the search that already ran).
+
+Keys are content-addressed over ``(n, k, cost, canonical mask,
+schema version)``; the stored payload is the canonical-space plan
+(wiring + table masks), so one row answers every NPN variant of its
+class.  :data:`EXACT_SCHEMA_VERSION` also joins the service store's
+schema digest (see :func:`repro.service.store.schema_version`) so a
+format change invalidates service-side keys too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sqlite3
+import time
+from typing import Dict, Optional
+
+#: Bump when the payload format or search semantics change: every
+#: existing row (and, via the service schema digest, every service
+#: cache key) stops matching.
+EXACT_SCHEMA_VERSION = 1
+
+#: Truncated sha256 hex digests: 32 for keys, 16 for row integrity.
+KEY_HEX_LEN = 32
+ROW_HASH_LEN = 16
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS exact_results (
+    key TEXT PRIMARY KEY,
+    version INTEGER NOT NULL,
+    payload TEXT NOT NULL,
+    row_hash TEXT NOT NULL,
+    created REAL NOT NULL,
+    last_used REAL NOT NULL,
+    hits INTEGER NOT NULL DEFAULT 0
+)
+"""
+
+
+def _row_hash(payload_text: str) -> str:
+    return hashlib.sha256(payload_text.encode()).hexdigest()[:ROW_HASH_LEN]
+
+
+class ExactCache:
+    """SQLite-backed NPN-canonical result memo for :func:`exact_map`."""
+
+    def __init__(self, path: str = ":memory:", max_rows: int = 4096):
+        self.path = path
+        self.max_rows = max_rows
+        self._conn = sqlite3.connect(path)
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        if path != ":memory:":
+            self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(_SCHEMA)
+        self._conn.commit()
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+
+    # ------------------------------------------------------------------ #
+
+    @staticmethod
+    def key_for(n: int, k: int, cost: str, mask: int) -> str:
+        payload = json.dumps(
+            {
+                "n": n,
+                "k": k,
+                "cost": cost,
+                "mask": format(mask, "x"),
+                "version": EXACT_SCHEMA_VERSION,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:KEY_HEX_LEN]
+
+    def get(self, key: str) -> Optional[Dict[str, object]]:
+        row = self._conn.execute(
+            "SELECT version, payload, row_hash FROM exact_results "
+            "WHERE key = ?",
+            (key,),
+        ).fetchone()
+        if row is None:
+            self.misses += 1
+            return None
+        version, payload_text, row_hash = row
+        if version != EXACT_SCHEMA_VERSION or _row_hash(payload_text) != row_hash:
+            # Stale schema or bit rot: drop the row, report a miss.
+            self.rejects += 1
+            self._conn.execute(
+                "DELETE FROM exact_results WHERE key = ?", (key,)
+            )
+            self._conn.commit()
+            return None
+        self.hits += 1
+        self._conn.execute(
+            "UPDATE exact_results SET last_used = ?, hits = hits + 1 "
+            "WHERE key = ?",
+            (time.time(), key),
+        )
+        self._conn.commit()
+        return json.loads(payload_text)
+
+    def put(self, key: str, payload: Dict[str, object]) -> None:
+        payload_text = json.dumps(payload, sort_keys=True)
+        now = time.time()
+        for attempt in range(3):
+            try:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO exact_results "
+                    "(key, version, payload, row_hash, created, "
+                    "last_used, hits) VALUES (?, ?, ?, ?, ?, ?, 0)",
+                    (
+                        key,
+                        EXACT_SCHEMA_VERSION,
+                        payload_text,
+                        _row_hash(payload_text),
+                        now,
+                        now,
+                    ),
+                )
+                self._conn.commit()
+                break
+            except sqlite3.OperationalError:
+                if attempt == 2:
+                    return  # accelerator only: losing the row is fine
+                time.sleep(0.02 * (attempt + 1))
+        self._evict()
+
+    def _evict(self) -> None:
+        (count,) = self._conn.execute(
+            "SELECT COUNT(*) FROM exact_results"
+        ).fetchone()
+        excess = count - self.max_rows
+        if excess > 0:
+            self._conn.execute(
+                "DELETE FROM exact_results WHERE key IN ("
+                "SELECT key FROM exact_results "
+                "ORDER BY last_used ASC LIMIT ?)",
+                (excess,),
+            )
+            self._conn.commit()
+
+    def stats(self) -> Dict[str, int]:
+        (rows,) = self._conn.execute(
+            "SELECT COUNT(*) FROM exact_results"
+        ).fetchone()
+        return {
+            "rows": rows,
+            "hits": self.hits,
+            "misses": self.misses,
+            "rejects": self.rejects,
+        }
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "ExactCache":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

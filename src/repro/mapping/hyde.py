@@ -139,6 +139,7 @@ def hyde_map(
     pool=None,
     cost_model: str = "area",
     portfolio: bool = False,
+    exact_budget_seconds: Optional[float] = None,
 ) -> MapResult:
     """Map ``net`` to k-LUTs with the full HYDE flow.
 
@@ -204,6 +205,10 @@ def hyde_map(
     column-encoding / structural per ingredient group under the governed
     runner and keeps each group's winner under the active cost model;
     the per-group scoreboard lands in ``details["portfolio"]``.
+    ``exact_budget_seconds`` bounds each :mod:`repro.exact` search when
+    the policy's strategies include the optional ``"exact"`` rung —
+    a search that exhausts it is dropped (the heuristic winner stands
+    and the scoreboard records ``"budget_exceeded"``), never wrong.
     """
     start = time.time()
     if portfolio:
@@ -255,6 +260,7 @@ def hyde_map(
         max_bdd_nodes=max_bdd_nodes,
         max_seconds=max_seconds,
         cost_model=cost_model,
+        exact_budget_seconds=exact_budget_seconds,
     )
     driver_of: Dict[str, str] = {}
     group_infos: List[Dict[str, object]] = []

@@ -70,6 +70,7 @@ __all__ = [
     "TaskPolicy",
     "RunReport",
     "PORTFOLIO_STRATEGIES",
+    "KNOWN_STRATEGIES",
     "build_group_fragment",
     "per_output_fragment",
     "structural_fragment",
@@ -85,6 +86,15 @@ PORTFOLIO_STRATEGIES: Tuple[str, ...] = (
     "column",
     "structural",
 )
+
+#: Every strategy a :class:`TaskPolicy` may request.  ``exact`` is the
+#: optional highest rung — the :mod:`repro.exact` optimality oracle,
+#: raced only on cones small enough for it (see
+#: :data:`repro.exact.EXACT_MAX_INPUTS`) and *advisory*: it ranks after
+#: every heuristic on ties, and when its search exhausts the budget the
+#: group falls back to the heuristic winner instead of degrading the
+#: result (the scoreboard records ``"budget_exceeded"``).
+KNOWN_STRATEGIES: Tuple[str, ...] = PORTFOLIO_STRATEGIES + ("exact",)
 
 
 @dataclass
@@ -494,6 +504,8 @@ def _decompose_group(task: GroupTask) -> GroupResult:
                 "mode": "structural",
             },
         )
+    if task.mode == "exact":
+        return _decompose_group_exact(task)
     net = parse_blif(task.blif_text)
     gb = GlobalBdds(net)
     manager = gb.manager
@@ -556,6 +568,113 @@ def _decompose_group(task: GroupTask) -> GroupResult:
         gi=task.gi,
         blif_text=blif_text,
         info=info,
+        perf=manager.perf.snapshot(),
+    )
+
+
+def _splice_witness(fragment: Network, witness: Network, out: str) -> None:
+    """Copy one exact witness into the group fragment under ``out``.
+
+    Witness PIs are cone PIs by name (shared across outputs); internal
+    node names are remapped when they collide with signals an earlier
+    output's witness already spliced in.
+    """
+    rename: Dict[str, str] = {}
+    for pi in witness.inputs:
+        if not fragment.has_signal(pi):
+            fragment.add_input(pi)
+    for name in witness.topological_order():
+        node = witness.node(name)
+        fanins = [rename.get(fi, fi) for fi in node.fanins]
+        target = name
+        if fragment.has_signal(target):
+            target = fragment.fresh_name(f"{out}_ex")
+        rename[name] = target
+        fragment.add_node(target, fanins, node.table)
+    driver = dict(witness.outputs)[out]
+    fragment.add_output(rename.get(driver, driver), out)
+
+
+def _decompose_group_exact(task: GroupTask) -> GroupResult:
+    """The ``exact`` portfolio strategy: provably minimal cones.
+
+    Each output of the group is flattened to its truth table
+    (:func:`repro.exact.cone_spec`) and mapped by the optimality oracle;
+    the witnesses are spliced into one fragment.  The BDD manager exists
+    only as the budget/fault surface: the options' budget is armed on it
+    and :func:`repro.exact.exact_map` polls ``check_budget`` inside its
+    search loops, so wall-clock limits and injected faults interrupt the
+    search exactly like they interrupt a heuristic worker.  A search
+    that exhausts its budget raises — the portfolio reduce then records
+    ``"budget_exceeded"`` for the missing candidate and keeps the
+    heuristic winner; a wrong-but-on-time result is never produced.
+    """
+    from ..exact import DEFAULT_BUDGET_SECONDS, cone_spec, exact_map
+
+    net = parse_blif(task.blif_text)
+    manager = BddManager()
+    with obs.span(
+        "task.group",
+        manager=manager,
+        gi=task.gi,
+        outputs=len(task.group),
+        mode="exact",
+        attempt=task.attempt,
+    ):
+        task.options.arm_budget(manager)
+        if task.inject is not None:
+            from ..testing import faults  # lazy: test machinery stays optional
+
+            faults.before_decompose(task.inject, manager, task.attempt)
+        budget = task.options.exact_budget_seconds
+        if budget is None:
+            budget = DEFAULT_BUDGET_SECONDS
+        if task.options.max_seconds is not None:
+            budget = min(budget, task.options.max_seconds)
+        cost = "delay" if task.options.cost.mode == "delay" else "area"
+        fragment = Network(f"{task.base_name}_exact")
+        detail: Dict[str, object] = {}
+        for out in task.group:
+            spec, support = cone_spec(net, out)
+            res = exact_map(
+                spec,
+                task.options.k,
+                cost=cost,
+                budget_seconds=budget,
+                input_names=support,
+                output_name=out,
+                name=f"{task.base_name}_exact",
+                poll=manager.check_budget,
+            )
+            _splice_witness(fragment, res.network, out)
+            detail[out] = {
+                "luts": res.luts,
+                "depth": res.depth,
+                "source": res.source,
+            }
+        # Same emit pipeline as the heuristic strategies: kills the PO
+        # buffer the BLIF emitter would add for an aliased output (which
+        # the portfolio scorer would count as a LUT) and dedups nodes
+        # shared across the group's witnesses.  Sweep/dedup/absorb are
+        # semantics-preserving and can only keep or lower the count, so
+        # the per-output optimality claim survives.
+        cleanup_for_lut_count(fragment)
+        blif_text = to_blif(fragment)
+        if task.inject is not None:
+            from ..testing import faults
+
+            blif_text = faults.after_decompose(
+                task.inject, blif_text, task.attempt
+            )
+    return GroupResult(
+        gi=task.gi,
+        blif_text=blif_text,
+        info={
+            "outputs": list(task.group),
+            "hyper": False,
+            "mode": "exact",
+            "exact": detail,
+        },
         perf=manager.perf.snapshot(),
     )
 
@@ -632,13 +751,15 @@ def _validate_reply(
 
 
 def _effective_task(
-    task: GroupTask, policy: TaskPolicy, attempt: int, mode: str
+    task: GroupTask, policy: TaskPolicy, attempt: int, mode: Optional[str]
 ) -> GroupTask:
     """The task as actually attempted in-process: decayed budgets.
 
     Retries shrink every budget by ``budget_decay`` per attempt, and the
     pool timeout (if any) is mirrored as a cooperative time budget so an
-    in-process hang is still bounded.
+    in-process hang is still bounded.  ``mode=None`` keeps the task's
+    own mode (the common case); a ladder rung passes an explicit mode to
+    re-run the task as a different strategy.
     """
     options = task.options
     factor = policy.budget_decay ** attempt
@@ -646,23 +767,29 @@ def _effective_task(
         options = options.decayed(factor)
     if options.max_seconds is None and policy.timeout_seconds is not None:
         options = replace(options, max_seconds=policy.timeout_seconds * factor)
-    return replace(task, options=options, attempt=attempt, mode=mode)
+    return replace(
+        task, options=options, attempt=attempt, mode=mode or task.mode
+    )
 
 
 def _attempt_inprocess(
     task: GroupTask,
     policy: TaskPolicy,
     attempt: int,
-    mode: str = "hyper",
+    mode: Optional[str] = None,
     journal: Optional[RunJournal] = None,
 ) -> Tuple[Optional[str], Optional[GroupResult]]:
     """Run one in-process attempt; returns ``(cause, result)``."""
+    from ..exact import ExactBudgetExceeded
+
     trial = _effective_task(task, policy, attempt, mode)
     try:
         result = decompose_group_task(trial)
     except BddBudgetExceeded as exc:
         prefix = "timeout" if exc.kind == "seconds" else "budget"
         return f"{prefix}: {exc}", None
+    except ExactBudgetExceeded as exc:
+        return f"budget: {exc}", None
     except Exception as exc:  # noqa: BLE001 - the ladder owns recovery
         return f"crash: {type(exc).__name__}: {exc}", None
     cause = _validate_reply(task, result, policy, journal=journal)
@@ -1003,9 +1130,16 @@ def _run_governed(
                             pending.append(i)
                             continue
                         except Exception as exc:  # noqa: BLE001 - worker died
-                            causes[i].append(
-                                f"crash: {type(exc).__name__}: {exc}"
-                            )
+                            # A budget-exhausted exact search is a
+                            # degradation, not a crash: the cause prefix
+                            # keeps the two distinguishable downstream
+                            # (pool recycling keys on "timeout"/faults).
+                            if type(exc).__name__ == "ExactBudgetExceeded":
+                                causes[i].append(f"budget: {exc}")
+                            else:
+                                causes[i].append(
+                                    f"crash: {type(exc).__name__}: {exc}"
+                                )
                             pending.append(i)
                             continue
                         cause = _validate_reply(
@@ -1076,6 +1210,23 @@ def _run_governed(
                         if cause.startswith("timeout"):
                             report.timeouts += 1
                         causes[i].append(cause)
+                if resolution is None and task.mode == "exact":
+                    # The advisory rung: an exact search that lost its
+                    # budget race is *dropped*, never substituted — a
+                    # structural stand-in labeled "exact" would defeat
+                    # the whole point of an optimality oracle.  The
+                    # portfolio reduce records "budget_exceeded" and
+                    # keeps the heuristic winner.
+                    report.degraded.append(
+                        {
+                            "gi": task.gi,
+                            "group": list(task.group),
+                            "causes": list(causes[i]),
+                            "resolution": "dropped",
+                            "attempts": attempt + 1,
+                        }
+                    )
+                    continue
                 if resolution is None and policy.structural_fallback:
                     # Parent-side and deterministic: immune to worker faults.
                     struct_start = time.perf_counter()
@@ -1125,25 +1276,45 @@ def _run_governed(
     return final, report
 
 
+def _cone_input_count(blif_text: str) -> int:
+    """Count the cone's declared PIs without a full parse."""
+    for line in blif_text.splitlines():
+        if line.startswith(".inputs"):
+            return len(line.split()) - 1
+    return 0
+
+
 def _portfolio_strategies(
     task: GroupTask, policy: TaskPolicy
 ) -> List[str]:
     """The strategies this task races (single-output groups have no
-    multi-output strategies to race)."""
+    multi-output strategies to race; the exact oracle only races cones
+    narrow enough to search exhaustively)."""
     wanted = tuple(policy.strategies) if policy.strategies else (
         PORTFOLIO_STRATEGIES
     )
     out = []
     for strategy in wanted:
-        if strategy not in PORTFOLIO_STRATEGIES:
+        if strategy not in KNOWN_STRATEGIES:
             raise ValueError(
                 f"unknown portfolio strategy {strategy!r}; expected one "
-                f"of {PORTFOLIO_STRATEGIES}"
+                f"of {KNOWN_STRATEGIES}"
             )
         if strategy in ("per_output", "column") and len(task.group) <= 1:
             continue
+        if strategy == "exact":
+            from ..exact import EXACT_MAX_INPUTS
+
+            if _cone_input_count(task.blif_text) > EXACT_MAX_INPUTS:
+                continue
         out.append(strategy)
-    return out or ["hyper"]
+    if all(s == "exact" for s in out):
+        # The exact rung is advisory — it may come back empty
+        # (budget_exceeded) — so every race carries at least one
+        # heuristic that cannot lose the group.  Also covers the
+        # empty list (a single-output-only selection).
+        out.append("hyper")
+    return out
 
 
 def _variant_task(task: GroupTask, strategy: str, gi: int) -> GroupTask:
@@ -1153,6 +1324,13 @@ def _variant_task(task: GroupTask, strategy: str, gi: int) -> GroupTask:
     task key, so variant results are shared with (and reusable by)
     non-portfolio runs of the same strategy.
     """
+    inject = task.inject
+    if (
+        inject is not None
+        and getattr(inject, "strategy", None) not in (None, strategy)
+    ):
+        inject = None  # strategy-targeted fault rides another variant
+    task = replace(task, inject=inject)
     if strategy == "hyper":
         return replace(task, mode="hyper", gi=gi, fallback_per_output=False)
     if strategy == "per_output":
@@ -1167,6 +1345,8 @@ def _variant_task(task: GroupTask, strategy: str, gi: int) -> GroupTask:
             ppi_placement="force_free",
             fallback_per_output=False,
         )
+    if strategy == "exact":
+        return replace(task, mode="exact", gi=gi, fallback_per_output=False)
     return replace(task, mode="structural", gi=gi)
 
 
@@ -1219,22 +1399,35 @@ def _run_portfolio(
             ti, strategy = origin[res.gi]
             by_task.setdefault(ti, {})[strategy] = res
 
-        rank = {s: r for r, s in enumerate(PORTFOLIO_STRATEGIES)}
+        # Exact ranks last: it may only *win* a group, never break a tie
+        # away from a heuristic whose fragment keys are shared with
+        # non-portfolio runs.
+        rank = {s: r for r, s in enumerate(KNOWN_STRATEGIES)}
         final: List[GroupResult] = []
         decisions: List[Dict[str, object]] = []
         for ti, task in enumerate(tasks):
             candidates = by_task.get(ti, {})
-            if len(candidates) < len(strategies_of[ti]):
+            missing = [s for s in strategies_of[ti] if s not in candidates]
+            if any(s != "exact" for s in missing):
                 # Only possible on an interrupted run: the group is
                 # incomplete, so it contributes no winner (the journal
-                # holds whatever variants did land).
+                # holds whatever variants did land).  A missing *exact*
+                # candidate is different — that rung is advisory and a
+                # budget-exhausted search is dropped by design, so the
+                # heuristics still decide the group below.
                 continue
+            scoreboard: Dict[str, object] = {
+                s: "budget_exceeded" for s in missing
+            }
             scored: List[Tuple[Tuple, int, str, GroupResult, int, int]] = []
             for strategy in strategies_of[ti]:
+                if strategy not in candidates:
+                    continue
                 res = candidates[strategy]
                 frag = parse_blif(res.blif_text)
                 luts = count_luts(frag, task.options.k)
                 depth = _network_depth(frag)
+                scoreboard[strategy] = {"luts": luts, "depth": depth}
                 scored.append(
                     (
                         cost.fragment_key(luts, depth),
@@ -1256,10 +1449,7 @@ def _run_portfolio(
                     "group": list(task.group),
                     "winner": winner,
                     "cost_model": cost.spec,
-                    "candidates": {
-                        entry[2]: {"luts": entry[4], "depth": entry[5]}
-                        for entry in scored
-                    },
+                    "candidates": scoreboard,
                 }
             )
             obs.event(

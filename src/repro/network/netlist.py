@@ -110,6 +110,23 @@ class Network:
         driver_of = dict(self._outputs)
         self._outputs = [(name, driver_of[name]) for name in names]
 
+    def reorder_inputs(self, names: Sequence[str]) -> None:
+        """Reorder the input list to ``names`` (a permutation of it).
+
+        Input order is part of the observable interface too: the
+        ``.inputs`` declaration drives BLIF round-trips, truth-table
+        flattening (:func:`~repro.network.transform.collapse_network`,
+        :func:`repro.exact.cone_spec`) and witness replay.  Transforms
+        that rebuild the PI list restore the source ordering through
+        this instead of trusting incidental iteration order.
+        """
+        if sorted(names) != sorted(self._inputs):
+            raise ValueError(
+                f"not a permutation of the inputs: {list(names)} vs "
+                f"{self._inputs}"
+            )
+        self._inputs = list(names)
+
     def fresh_name(self, prefix: str = "n") -> str:
         """A signal name not yet used in the network."""
         i = len(self._nodes)

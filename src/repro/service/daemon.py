@@ -131,6 +131,7 @@ _HYDE_KNOBS = _COMMON_KNOBS + (
     "ppi_placement",
     "fallback_per_output",
     "portfolio",
+    "exact_budget_seconds",
 )
 
 _FLOWS = {"hyde": hyde_map, "per-output": map_per_output}

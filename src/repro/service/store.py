@@ -58,6 +58,7 @@ import time
 from typing import Dict, List, Optional
 
 from ..decompose import DecompositionOptions
+from ..exact import cache as _exact_cache
 from ..runstate.journal import JOURNAL_VERSION, KEY_HEX_LEN
 
 __all__ = ["ResultStore", "schema_version", "STORE_FORMAT"]
@@ -105,6 +106,11 @@ def schema_version() -> str:
         "option_fields": sorted(
             f.name for f in dataclasses.fields(DecompositionOptions)
         ),
+        # The exact oracle's payload format: a bump there changes what
+        # an "exact"-mode fragment means, so service rows computed under
+        # the old semantics must stop matching too.  Attribute read at
+        # call time so version-sensitivity probes see monkeypatches.
+        "exact_cache_version": _exact_cache.EXACT_SCHEMA_VERSION,
     }
     canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(canonical.encode()).hexdigest()[:12]

@@ -66,12 +66,19 @@ class FaultSpec:
     the first try fails and the first retry succeeds; a large ``times``
     makes the fault persistent so the flow must fall further down the
     degradation ladder.
+
+    ``strategy`` narrows the fault to one portfolio rung: a group task
+    racing under the portfolio expands into per-strategy variants, and
+    a spec with ``strategy="exact"`` rides only on the matching variant
+    (others run clean).  ``None`` sabotages every variant — and is the
+    only sensible value outside portfolio mode.
     """
 
     kind: str
     times: int = 1
     seed: int = 0
     hang_seconds: float = 300.0
+    strategy: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in FAULT_KINDS:
@@ -113,9 +120,10 @@ class FaultPlan:
         """Parse a CLI spec like ``crash@0,hang@1,corrupt_blif@2:3``.
 
         Each comma-separated entry is ``kind@group_index`` with an
-        optional ``:times`` suffix (default 1).  The special entry
-        ``parent_kill@N`` stops the parent-side loop after N completed
-        groups instead of sabotaging a worker.
+        optional ``.strategy`` portfolio-rung target (e.g.
+        ``hang@0.exact``) and an optional ``:times`` suffix (default 1).
+        The special entry ``parent_kill@N`` stops the parent-side loop
+        after N completed groups instead of sabotaging a worker.
         """
         specs: Dict[int, FaultSpec] = {}
         parent_kill_after: Optional[int] = None
@@ -126,20 +134,27 @@ class FaultPlan:
             try:
                 kind, _, target = entry.partition("@")
                 times = 1
+                strategy: Optional[str] = None
                 if ":" in target:
                     target, _, times_text = target.partition(":")
                     times = int(times_text)
+                if "." in target:
+                    target, _, strategy = target.partition(".")
+                    strategy = strategy or None
                 gi = int(target)
             except ValueError as exc:
                 raise ValueError(
-                    f"bad fault entry {entry!r} (want kind@group[:times])"
+                    f"bad fault entry {entry!r} "
+                    "(want kind@group[.strategy][:times])"
                 ) from exc
             if kind == "parent_kill":
                 if gi < 1:
                     raise ValueError("parent_kill@N needs N >= 1")
                 parent_kill_after = gi
                 continue
-            specs[gi] = FaultSpec(kind=kind, times=times, seed=gi)
+            specs[gi] = FaultSpec(
+                kind=kind, times=times, seed=gi, strategy=strategy
+            )
         return cls(specs, parent_kill_after=parent_kill_after)
 
 

@@ -54,6 +54,25 @@ def _restore_output_order(candidate: Network, reference: Network) -> None:
         candidate.reorder_outputs(order)
 
 
+def _restore_input_order(candidate: Network, reference: Network) -> None:
+    """Force ``candidate``'s PIs into ``reference``'s relative order.
+
+    Same contract as :func:`_restore_output_order`, for the ``.inputs``
+    declaration: shrink passes that rebuild the PI list (dropping
+    outputs of a multi-output repro, constant-propagating inputs) must
+    leave surviving PIs in the source's relative order, or the shrunk
+    witness replays with a permuted input interface — the exact oracle
+    and ``repro verify`` both flatten cones by PI declaration order, so
+    a permutation changes the truth table they see.  Enforced
+    explicitly here rather than trusted to each pass's iteration order.
+    """
+    surviving = set(candidate.inputs)
+    order = [pi for pi in reference.inputs if pi in surviving]
+    order += [pi for pi in candidate.inputs if pi not in set(order)]
+    if order != candidate.inputs:
+        candidate.reorder_inputs(order)
+
+
 def _constant_node_variant(
     net: Network, target: str, value: int
 ) -> Optional[Network]:
@@ -94,6 +113,7 @@ def shrink_network(
         if _size(candidate) >= _size(current):
             return False
         _restore_output_order(candidate, net)
+        _restore_input_order(candidate, net)
         try:
             return bool(predicate(candidate))
         except Exception:

@@ -174,12 +174,20 @@ class TestFaultMatrix:
     def test_fault_plan_parse(self):
         plan = FaultPlan.parse("crash@0,hang@2:3")
         assert plan.spec_for(0).kind == "crash"
+        assert plan.spec_for(0).strategy is None
         assert plan.spec_for(2).times == 3
         assert plan.spec_for(1) is None
         with pytest.raises(ValueError):
             FaultPlan.parse("explode@0")
         with pytest.raises(ValueError):
             FaultPlan.parse("crash")
+
+    def test_fault_plan_parse_strategy_target(self):
+        plan = FaultPlan.parse("hang@0.exact:2")
+        spec = plan.spec_for(0)
+        assert spec.kind == "hang"
+        assert spec.strategy == "exact"
+        assert spec.times == 2
 
 
 class TestLadderEdges:

@@ -23,7 +23,8 @@ import pytest
 from repro.decompose import parse_cost_model
 from repro.mapping import TaskPolicy, hyde_map
 from repro.mapping.parallel import PORTFOLIO_STRATEGIES
-from repro.network import check_equivalence
+from repro.network import check_equivalence, parse_blif
+from repro.testing import FaultPlan, FaultSpec
 from repro.verify import random_network
 
 pytestmark = pytest.mark.slow
@@ -97,3 +98,121 @@ def test_portfolio_equivalent_and_never_worse_per_group(jobs):
                     f"worse than standalone {strategy} ({skey}) under "
                     f"{cost_model}"
                 )
+
+
+# ------------------------------------------------------------------ #
+# The exact rung: optimal when it finishes, harmless when it cannot
+# ------------------------------------------------------------------ #
+
+# Single-output 6-input XOR chain: at K=4 the exact optimum is two LUTs
+# (a 6-input function cannot fit one 4-LUT; xor4 feeding xor3 does it),
+# and the search resolves at the cheap bipartite N=2 rung — no DPLL, so
+# these tests never depend on machine speed.
+_XOR6 = """.model xor6
+.inputs a b c d e g
+.outputs f
+.names a b t1
+10 1
+01 1
+.names t1 c t2
+10 1
+01 1
+.names t2 d t3
+10 1
+01 1
+.names t3 e t4
+10 1
+01 1
+.names t4 g f
+10 1
+01 1
+.end
+"""
+
+
+def test_exact_rung_proves_the_optimum_on_a_small_cone():
+    source = parse_blif(_XOR6)
+    result = _map(source, 1, "area", strategies=("hyper", "exact"))
+    assert check_equivalence(source, result.network) is None
+    (entry,) = result.details["portfolio"]
+    cand = entry["candidates"]
+    assert isinstance(cand["exact"], dict), cand
+    assert cand["exact"]["luts"] == 2  # proven minimal at k=4
+    assert cand["exact"]["luts"] <= cand["hyper"]["luts"]
+    winner = cand[entry["winner"]]
+    assert winner["luts"] == 2
+
+
+@pytest.mark.parametrize("jobs", [1, 2])
+def test_exact_rung_degrades_to_heuristic_on_hang(jobs):
+    """A stuck exact search must lose the race, never corrupt it.
+
+    The hang is injected with a strategy-targeted fault spec
+    (``strategy="exact"``) so only the exact variant of group 0 is
+    sabotaged; the policy timeout cancels it cooperatively in-process
+    and by pool timeout in worker mode.  Either way the scoreboard must
+    say ``budget_exceeded``, the ladder must record the rung as dropped
+    (the exact rung has no structural substitute), and the heuristic
+    winner must still be equivalent to the source.
+    """
+    source = parse_blif(_XOR6)
+    result = hyde_map(
+        source.copy(),
+        k=K,
+        verify="none",
+        pack_clbs=False,
+        jobs=jobs,
+        portfolio=True,
+        policy=TaskPolicy(
+            portfolio=True,
+            strategies=("hyper", "exact"),
+            timeout_seconds=1.0,
+            retries=0,
+        ),
+        faults=FaultPlan(
+            {
+                0: FaultSpec(
+                    "hang",
+                    times=99,
+                    hang_seconds=30.0,
+                    strategy="exact",
+                )
+            }
+        ),
+    )
+    assert check_equivalence(source, result.network) is None
+    (entry,) = result.details["portfolio"]
+    assert entry["candidates"]["exact"] == "budget_exceeded"
+    assert entry["winner"] == "hyper"
+    assert isinstance(entry["candidates"]["hyper"], dict)
+    degraded = result.details.get("degraded") or []
+    assert any(d.get("resolution") == "dropped" for d in degraded), (
+        degraded
+    )
+
+
+def test_exact_only_strategy_list_keeps_a_heuristic():
+    """An all-exact portfolio silently gains a hyper rung: the exact
+    search may always exhaust its budget, and the race must still be
+    able to land a fragment."""
+    source = parse_blif(_XOR6)
+    result = _map(source, 1, "area", strategies=("exact",))
+    assert check_equivalence(source, result.network) is None
+    (entry,) = result.details["portfolio"]
+    assert "hyper" in entry["candidates"]
+
+
+def test_exact_rung_skipped_on_wide_cones():
+    """Cones beyond EXACT_MAX_INPUTS never reach the oracle."""
+    wide = parse_blif(
+        ".model wide\n"
+        ".inputs " + " ".join(f"i{j}" for j in range(12)) + "\n"
+        ".outputs f\n"
+        ".names " + " ".join(f"i{j}" for j in range(12)) + " f\n"
+        + "1" * 12 + " 1\n"
+        ".end\n"
+    )
+    result = _map(wide, 1, "area", strategies=("hyper", "exact"))
+    assert check_equivalence(wide, result.network) is None
+    (entry,) = result.details["portfolio"]
+    assert "exact" not in entry["candidates"]

@@ -51,6 +51,25 @@ class TestShrinkNetwork:
         assert len(shrunk.output_names) == 1
         assert len(shrunk.inputs) <= 5
 
+    def test_shrunk_inputs_keep_source_relative_order(self):
+        """Surviving PIs must appear in the source's declaration order.
+
+        The shrinker deletes and re-adds signals while minimizing, which
+        used to leave the witness's ``.inputs`` in discovery order — so
+        a replay that zips witness inputs against source inputs (or a
+        ``cone_spec`` whose truth-table variable order is PI declaration
+        order) silently permuted the function.  ``holds()`` now restores
+        the source-relative order before every probe.
+        """
+        net = _bad_network()
+        shrunk = shrink_network(net, _has_wide_xor)
+        source_order = {name: i for i, name in enumerate(net.inputs)}
+        positions = [source_order[name] for name in shrunk.inputs]
+        assert positions == sorted(positions), (
+            f"shrunk inputs {shrunk.inputs} out of source order "
+            f"{net.inputs}"
+        )
+
     def test_predicate_must_hold_on_input(self):
         net = layered_network("ok", 4, 2, 3, seed=1)
         with pytest.raises(ValueError, match="does not hold"):

@@ -42,19 +42,21 @@ LITERAL_CONE = """.model golden_cone
 .end
 """
 
-GOLDEN_LITERAL = "09f42511433e7a6db97b6f3d778a91c1"
-GOLDEN_LITERAL_K4 = "900c284f1876afb75e8ac12b6711f9ac"
-GOLDEN_LITERAL_PER_OUTPUT = "cb2fea6acd1065072123474af6fa46fb"
+GOLDEN_LITERAL = "a10b6d0b986de83606dcf902f82723d8"
+GOLDEN_LITERAL_K4 = "3d136210330b29b727d398d4cc588e68"
+GOLDEN_LITERAL_PER_OUTPUT = "d0fa11ae3072fc1de83bf90e771302f2"
+GOLDEN_LITERAL_EXACT = "54040d2d35690e6d9b79dd67b421031c"
 
 # The paper-example network's single ingredient-group cone, extracted
 # exactly as hyde_map does it.  This pin *does* ride on the netlist
 # builder and BLIF emitter — deliberately: those are part of the de
 # facto key contract for persisted stores.
-GOLDEN_EX41 = "aaf5a636bd3c933aa6891f3b540504c0"
+GOLDEN_EX41 = "bcf101396f52b92959d0a8839188d895"
 
 #: Digest of the store's key/row schema; drifts when the key recipe,
-#: the options dataclass shape or the store format changes.
-GOLDEN_SCHEMA = "147b93673bcc"
+#: the options dataclass shape, the store format or the exact oracle's
+#: payload version changes.
+GOLDEN_SCHEMA = "d9d33f21a4d1"
 
 
 def _literal_task(**overrides) -> GroupTask:
@@ -78,6 +80,43 @@ def test_literal_cone_keys_are_pinned():
         task_key(_literal_task(mode="per_output"))
         == GOLDEN_LITERAL_PER_OUTPUT
     )
+    assert task_key(_literal_task(mode="exact")) == GOLDEN_LITERAL_EXACT
+
+
+def test_exact_mode_and_budget_are_content():
+    """The exact rung must never share rows with heuristic strategies.
+
+    ``mode="exact"`` and the ``exact_budget_seconds`` option both join
+    the key: a fragment computed by the oracle under one budget is not
+    the same contract as a heuristic fragment (or an exact one whose
+    search had a different time box to prove optimality in).
+    """
+    base = task_key(_literal_task())
+    exact = task_key(_literal_task(mode="exact"))
+    assert exact != base
+    assert task_key(
+        _literal_task(
+            mode="exact",
+            options=DecompositionOptions(exact_budget_seconds=2.0),
+        )
+    ) not in (base, exact)
+
+
+def test_exact_schema_version_feeds_store_digest(monkeypatch):
+    """Bumping the NPN-cache payload version must strand service rows.
+
+    ``schema_version`` reads ``EXACT_SCHEMA_VERSION`` at call time, so a
+    bump changes the digest and every stored row stamped with the old
+    one silently misses (see ``ResultStore.prune_stale``).
+    """
+    from repro.exact import cache as exact_cache
+
+    assert schema_version() == GOLDEN_SCHEMA
+    monkeypatch.setattr(
+        exact_cache, "EXACT_SCHEMA_VERSION",
+        exact_cache.EXACT_SCHEMA_VERSION + 1,
+    )
+    assert schema_version() != GOLDEN_SCHEMA
 
 
 def test_paper_example_cone_key_is_pinned():

@@ -43,6 +43,14 @@ breaker threshold 2, 0.4s delay):
    correct, the failures are counted, and once the fault budget is
    spent the cache heals (later pass all-hits, byte-identical).
 
+**Act IV — exact-rung starvation** (in-process, no daemon):
+
+10. *Exact oracle hang*: a portfolio race with a strategy-targeted
+    hang on the exact rung (``hang@0.exact``) must degrade — the
+    scoreboard records ``budget_exceeded`` for exact, the heuristic
+    winner lands, and the output stays equivalent — at jobs 1 and 2,
+    inside the policy timeout plus slack, never with a wrong result.
+
 Global invariants checked throughout: zero wrong or non-equivalent
 results, every failure is a typed retryable ``ServiceError``, and
 every daemon exits cleanly when dismissed.  Every action and
@@ -525,6 +533,64 @@ def act_three(workdir: str) -> None:
     finish_daemon(proc, client, "act3")
 
 
+def act_four(workdir: str) -> None:
+    from repro.mapping import TaskPolicy
+    from repro.network import check_equivalence
+    from repro.testing import FaultPlan
+
+    phase("10. exact-rung hang: degrade to heuristic inside the timeout")
+    timeout_seconds = 1.5
+    for jobs in (1, 2):
+        source = build("z4ml")
+        start = time.monotonic()
+        result = hyde_map(
+            source.copy(),
+            verify="none",
+            pack_clbs=False,
+            jobs=jobs,
+            portfolio=True,
+            policy=TaskPolicy(
+                portfolio=True,
+                strategies=("hyper", "exact"),
+                timeout_seconds=timeout_seconds,
+                retries=0,
+            ),
+            faults=FaultPlan.parse("hang@0.exact:99"),
+        )
+        elapsed = time.monotonic() - start
+        JOURNAL.log(
+            "exact_hang", jobs=jobs, seconds=round(elapsed, 2),
+            luts=result.lut_count,
+        )
+        check(
+            check_equivalence(source, result.network) is None,
+            f"exact hang (jobs={jobs}): output still equivalent",
+        )
+        decisions = result.details.get("portfolio") or []
+        starved = [
+            entry for entry in decisions
+            if entry["candidates"].get("exact") == "budget_exceeded"
+        ]
+        check(
+            bool(starved),
+            f"exact hang (jobs={jobs}): scoreboard says budget_exceeded",
+        )
+        check(
+            all(
+                isinstance(entry["candidates"].get(entry["winner"]), dict)
+                for entry in decisions
+            ),
+            f"exact hang (jobs={jobs}): a heuristic winner landed",
+        )
+        # Generous slack over the policy timeout: the hang must be cut
+        # by the budget/pool governor, never ride to hang_seconds.
+        check(
+            elapsed < timeout_seconds * 8 + 10,
+            f"exact hang (jobs={jobs}): degraded within timeout slack "
+            f"({elapsed:.1f}s)",
+        )
+
+
 def main() -> int:
     global JOURNAL
     parser = argparse.ArgumentParser(description=__doc__)
@@ -541,6 +607,7 @@ def main() -> int:
         act_one(workdir)
         act_two(workdir)
         act_three(workdir)
+        act_four(workdir)
     except Exception as exc:  # noqa: BLE001 — journal it, then fail loud
         JOURNAL.log("harness_error", error=f"{type(exc).__name__}: {exc}")
         raise

@@ -1,0 +1,167 @@
+"""Exact-oracle smoke gate: optimality gaps, equivalence, NPN sweep.
+
+The CI-shaped end-to-end check for the exact mapping oracle:
+
+1. score two tiny MCNC circuits through
+   ``benchmarks.bench_optimality_gap.score_circuit`` — every cone must
+   be scored (no budget escapes on circuits this small), every gap must
+   be >= 1.0, and every witness is BDD-verified inside the scorer;
+2. run the real CLI (``repro exact`` on a small cone with a result
+   cache) as a subprocess: clean exit, a proven row per output, and a
+   cache hit on the immediate re-run;
+3. with ``--npn-sweep``, exhaustively classify all 65536 4-input
+   functions (must give the classical 222 NPN classes), exact-map every
+   representative, and write the full gap table to a JSON artifact for
+   the nightly CI upload.
+
+Any failure exits non-zero with enough context to reproduce by hand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, REPO_ROOT)
+
+from repro.boolfunc import TruthTable  # noqa: E402
+from repro.exact import ExactCache, exact_map  # noqa: E402
+
+from benchmarks.bench_optimality_gap import score_circuit  # noqa: E402
+
+# Both circuits' cones all resolve at the trivial / bipartite rungs of
+# the deepening, so the no-budget-escapes gate holds on any machine.
+CIRCUITS = ["rd73", "z4ml"]
+
+XOR6_BLIF = """.model xor6
+.inputs a b c d e g
+.outputs f
+.names a b t1
+10 1
+01 1
+.names t1 c t2
+10 1
+01 1
+.names t2 d t3
+10 1
+01 1
+.names t3 e t4
+10 1
+01 1
+.names t4 g f
+10 1
+01 1
+.end
+"""
+
+
+def fail(message: str) -> None:
+    print(f"FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_gap(name: str) -> None:
+    record = score_circuit(name, budget_seconds=15.0)
+    if record["cones_scored"] < 1:
+        fail(f"{name}: no cones scored")
+    if record["cones_budget"]:
+        fail(
+            f"{name}: {record['cones_budget']} cone(s) escaped on budget "
+            "on a circuit this small"
+        )
+    if record["exact_gap"] < 1.0:
+        fail(f"{name}: gap {record['exact_gap']} < 1.0 is impossible")
+    print(
+        f"ok: {name} gap {record['exact_gap']} over "
+        f"{record['cones_scored']} cone(s) "
+        f"({record['cones_optimal']} already optimal)"
+    )
+
+
+def check_cli(tmpdir: str) -> None:
+    blif = os.path.join(tmpdir, "xor6.blif")
+    cache = os.path.join(tmpdir, "exact_cache.db")
+    with open(blif, "w") as handle:
+        handle.write(XOR6_BLIF)
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    base = [sys.executable, "-m", "repro.cli", "exact", blif, "--cache", cache]
+    for attempt, expect in ((0, "search"), (1, "cache")):
+        proc = subprocess.run(
+            base, capture_output=True, text=True, env=env
+        )
+        if proc.returncode != 0:
+            fail(
+                f"CLI exact run {attempt} exited {proc.returncode}:\n"
+                f"{proc.stdout}\n{proc.stderr}"
+            )
+        if expect not in proc.stdout:
+            fail(
+                f"CLI exact run {attempt}: expected a {expect!r} row, "
+                f"got:\n{proc.stdout}"
+            )
+    print("ok: CLI exact proves, caches, and hits on re-run")
+
+
+def npn_sweep(artifact: str) -> None:
+    from tests.test_exact_mapper import (
+        _expected_luts_4,
+        _npn_representatives_4,
+    )
+
+    reps = _npn_representatives_4()
+    if len(reps) != 222:
+        fail(f"NPN classification found {len(reps)} classes, want 222")
+    table = []
+    with ExactCache(":memory:") as cache:
+        for mask in reps:
+            res = exact_map(TruthTable(4, mask), 4, cache=cache)
+            expected = _expected_luts_4(mask)
+            if res.luts != expected:
+                fail(
+                    f"class {mask:#06x}: exact {res.luts} LUTs, "
+                    f"ground truth {expected}"
+                )
+            table.append(
+                {
+                    "class": f"{mask:#06x}",
+                    "luts": res.luts,
+                    "depth": res.depth,
+                    "source": res.source,
+                }
+            )
+    with open(artifact, "w") as handle:
+        json.dump({"classes": len(table), "table": table}, handle, indent=2)
+    print(f"ok: all 222 NPN classes proven; gap table at {artifact}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--npn-sweep",
+        metavar="ARTIFACT",
+        default=None,
+        help="also sweep all 222 4-input NPN classes and write the "
+        "gap table JSON to ARTIFACT (nightly CI)",
+    )
+    args = parser.parse_args()
+
+    import tempfile
+
+    for name in CIRCUITS:
+        check_gap(name)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        check_cli(tmpdir)
+    if args.npn_sweep:
+        npn_sweep(args.npn_sweep)
+    print("exact gap smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
